@@ -1,0 +1,19 @@
+//! Bench target regenerating the ablation: backend width vs forwarding wire study.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cryowire::experiments;
+
+fn bench(c: &mut Criterion) {
+    let result = experiments::ablation_alu_count();
+    println!("{}", result.report());
+
+    let mut group = c.benchmark_group("abl_alu_count");
+    group.sample_size(10);
+    group.bench_function("abl_alu_count", |b| {
+        b.iter(|| std::hint::black_box(experiments::ablation_alu_count()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Bench target regenerating the ablation: bus topology x temperature study.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cryowire::experiments;
+
+fn bench(c: &mut Criterion) {
+    let result = experiments::ablation_bus_topology();
+    println!("{}", result.report());
+
+    let mut group = c.benchmark_group("abl_bus_topology");
+    group.sample_size(10);
+    group.bench_function("abl_bus_topology", |b| {
+        b.iter(|| std::hint::black_box(experiments::ablation_bus_topology()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

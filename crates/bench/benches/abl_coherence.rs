@@ -1,0 +1,19 @@
+//! Bench target regenerating the MESI coherence-cost cross-validation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cryowire::experiments;
+
+fn bench(c: &mut Criterion) {
+    let result = experiments::coherence_cross_validation();
+    println!("{}", result.report());
+
+    let mut group = c.benchmark_group("abl_coherence");
+    group.sample_size(10);
+    group.bench_function("abl_coherence", |b| {
+        b.iter(|| std::hint::black_box(experiments::coherence_cross_validation()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Bench target regenerating the frontend-depth sweep ablation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cryowire::experiments;
+
+fn bench(c: &mut Criterion) {
+    let result = experiments::ablation_depth_sweep();
+    println!("{}", result.report());
+
+    let mut group = c.benchmark_group("abl_depth_sweep");
+    group.sample_size(10);
+    group.bench_function("abl_depth_sweep", |b| {
+        b.iter(|| std::hint::black_box(experiments::ablation_depth_sweep()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Bench target regenerating the ablation: reservation vs flit-level engines study.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cryowire::experiments;
+
+fn bench(c: &mut Criterion) {
+    let result = experiments::ablation_engine_comparison();
+    println!("{}", result.report());
+
+    let mut group = c.benchmark_group("abl_engine_comparison");
+    group.sample_size(10);
+    group.bench_function("abl_engine_comparison", |b| {
+        b.iter(|| {
+            use cryowire::device::Temperature;
+            use cryowire::noc::{CryoBus, SimConfig, Simulator, TrafficPattern};
+            let bus = CryoBus::new(64, Temperature::liquid_nitrogen());
+            let sim = Simulator::new(SimConfig {
+                cycles: 3_000,
+                warmup: 800,
+                ..SimConfig::default()
+            });
+            std::hint::black_box(
+                sim.run(&bus, TrafficPattern::UniformRandom, 0.008)
+                    .expect("valid"),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Bench target regenerating the ablation: flip-flop overhead sensitivity study.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cryowire::experiments;
+
+fn bench(c: &mut Criterion) {
+    let result = experiments::ablation_ff_overhead();
+    println!("{}", result.report());
+
+    let mut group = c.benchmark_group("abl_ff_overhead");
+    group.sample_size(10);
+    group.bench_function("abl_ff_overhead", |b| {
+        b.iter(|| std::hint::black_box(experiments::ablation_ff_overhead()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

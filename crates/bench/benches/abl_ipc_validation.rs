@@ -1,0 +1,24 @@
+//! Bench target regenerating the Table 3 IPC cross-validation
+//! (analytic model vs the cycle-level out-of-order core).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cryowire::experiments;
+
+fn bench(c: &mut Criterion) {
+    let result = experiments::ipc_cross_validation();
+    println!("{}", result.report());
+
+    let mut group = c.benchmark_group("abl_ipc_validation");
+    group.sample_size(10);
+    group.bench_function("abl_ipc_validation", |b| {
+        b.iter(|| {
+            use cryowire::ooo::{CoreConfig, CoreSimulator, TraceConfig};
+            let trace = TraceConfig::parsec_like().generate(20_000, 7);
+            std::hint::black_box(CoreSimulator::new(CoreConfig::skylake_8_wide()).run(&trace))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

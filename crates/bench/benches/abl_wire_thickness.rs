@@ -1,0 +1,19 @@
+//! Bench target regenerating the ablation: wire thickness (Section 7.5) study.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cryowire::experiments;
+
+fn bench(c: &mut Criterion) {
+    let result = experiments::ablation_wire_thickness();
+    println!("{}", result.report());
+
+    let mut group = c.benchmark_group("abl_wire_thickness");
+    group.sample_size(10);
+    group.bench_function("abl_wire_thickness", |b| {
+        b.iter(|| std::hint::black_box(experiments::ablation_wire_thickness()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

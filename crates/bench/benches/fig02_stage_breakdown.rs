@@ -1,0 +1,22 @@
+//! Bench target regenerating Fig. 2: wire/transistor breakdown of the forwarding stages.
+//!
+//! Prints the paper-format rows once, then Criterion-measures
+//! re-running the full experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cryowire::experiments;
+
+fn bench(c: &mut Criterion) {
+    let result = experiments::fig02_stage_breakdown();
+    println!("{}", result.report());
+
+    let mut group = c.benchmark_group("fig02_stage_breakdown");
+    group.sample_size(10);
+    group.bench_function("fig02_stage_breakdown", |b| {
+        b.iter(|| std::hint::black_box(experiments::fig02_stage_breakdown()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

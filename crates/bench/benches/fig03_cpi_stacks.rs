@@ -1,0 +1,27 @@
+//! Bench target regenerating Fig. 3: PARSEC CPI stacks on the 300 K 64-core mesh.
+//!
+//! Prints the paper-format rows once, then Criterion-measures
+//! a representative kernel of the experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cryowire::experiments;
+
+fn bench(c: &mut Criterion) {
+    let result = experiments::fig03_cpi_stacks();
+    println!("{}", result.report());
+
+    let mut group = c.benchmark_group("fig03_cpi_stacks");
+    group.sample_size(10);
+    group.bench_function("fig03_cpi_stacks", |b| {
+        b.iter(|| {
+            let sim = cryowire::system::SystemSimulator::new();
+            let design = cryowire::system::SystemDesign::baseline_300k();
+            let w = &cryowire::system::Workload::parsec()[0];
+            std::hint::black_box(sim.evaluate(w, &design).performance())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

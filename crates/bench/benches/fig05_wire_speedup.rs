@@ -1,0 +1,22 @@
+//! Bench target regenerating Fig. 5: 77 K wire speed-up with and without repeaters.
+//!
+//! Prints the paper-format rows once, then Criterion-measures
+//! re-running the full experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cryowire::experiments;
+
+fn bench(c: &mut Criterion) {
+    let result = experiments::fig05_wire_speedup();
+    println!("{}", result.report());
+
+    let mut group = c.benchmark_group("fig05_wire_speedup");
+    group.sample_size(10);
+    group.bench_function("fig05_wire_speedup", |b| {
+        b.iter(|| std::hint::black_box(experiments::fig05_wire_speedup()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Bench target regenerating Fig. 9: pipeline & router model validation at 135 K.
+//!
+//! Prints the paper-format rows once, then Criterion-measures
+//! re-running the full experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cryowire::experiments;
+
+fn bench(c: &mut Criterion) {
+    let result = experiments::fig09_validation();
+    println!("{}", result.report());
+
+    let mut group = c.benchmark_group("fig09_validation");
+    group.sample_size(10);
+    group.bench_function("fig09_validation", |b| {
+        b.iter(|| std::hint::black_box(experiments::fig09_validation()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

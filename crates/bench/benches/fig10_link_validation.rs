@@ -1,0 +1,22 @@
+//! Bench target regenerating Fig. 10: 6 mm wire-link model validation.
+//!
+//! Prints the paper-format rows once, then Criterion-measures
+//! re-running the full experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cryowire::experiments;
+
+fn bench(c: &mut Criterion) {
+    let result = experiments::fig10_link_validation();
+    println!("{}", result.report());
+
+    let mut group = c.benchmark_group("fig10_link_validation");
+    group.sample_size(10);
+    group.bench_function("fig10_link_validation", |b| {
+        b.iter(|| std::hint::black_box(experiments::fig10_link_validation()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Bench target regenerating Fig. 13: stage critical paths at 77 K.
+//!
+//! Prints the paper-format rows once, then Criterion-measures
+//! re-running the full experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cryowire::experiments;
+
+fn bench(c: &mut Criterion) {
+    let result = experiments::fig13_critical_path_77k();
+    println!("{}", result.report());
+
+    let mut group = c.benchmark_group("fig13_critical_path_77k");
+    group.sample_size(10);
+    group.bench_function("fig13_critical_path_77k", |b| {
+        b.iter(|| std::hint::black_box(experiments::fig13_critical_path_77k()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

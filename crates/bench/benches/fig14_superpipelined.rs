@@ -1,0 +1,22 @@
+//! Bench target regenerating Fig. 14: superpipelined critical path at 77 K.
+//!
+//! Prints the paper-format rows once, then Criterion-measures
+//! re-running the full experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cryowire::experiments;
+
+fn bench(c: &mut Criterion) {
+    let result = experiments::fig14_superpipelined();
+    println!("{}", result.report());
+
+    let mut group = c.benchmark_group("fig14_superpipelined");
+    group.sample_size(10);
+    group.bench_function("fig14_superpipelined", |b| {
+        b.iter(|| std::hint::black_box(experiments::fig14_superpipelined()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Bench target regenerating Fig. 16: L3 hit/miss latency breakdown per NoC.
+//!
+//! Prints the paper-format rows once, then Criterion-measures
+//! re-running the full experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cryowire::experiments;
+
+fn bench(c: &mut Criterion) {
+    let result = experiments::fig16_llc_latency();
+    println!("{}", result.report());
+
+    let mut group = c.benchmark_group("fig16_llc_latency");
+    group.sample_size(10);
+    group.bench_function("fig16_llc_latency", |b| {
+        b.iter(|| std::hint::black_box(experiments::fig16_llc_latency()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Bench target regenerating Fig. 17: 77 K Mesh vs Shared bus vs ideal NoC.
+//!
+//! Prints the paper-format rows once, then Criterion-measures
+//! a representative kernel of the experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cryowire::experiments;
+
+fn bench(c: &mut Criterion) {
+    let result = experiments::fig17_bus_vs_mesh();
+    println!("{}", result.report());
+
+    let mut group = c.benchmark_group("fig17_bus_vs_mesh");
+    group.sample_size(10);
+    group.bench_function("fig17_bus_vs_mesh", |b| {
+        b.iter(|| {
+            let sim = cryowire::system::SystemSimulator::new();
+            let mesh = cryowire::system::SystemDesign::chp_mesh();
+            let w = &cryowire::system::Workload::parsec()[1];
+            std::hint::black_box(sim.evaluate(w, &mesh).performance())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

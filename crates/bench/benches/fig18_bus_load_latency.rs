@@ -1,0 +1,35 @@
+//! Bench target regenerating Fig. 18: shared-bus load-latency and workload bands.
+//!
+//! Prints the paper-format rows once, then Criterion-measures
+//! a representative kernel of the experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cryowire::experiments::{self, Fidelity};
+
+fn bench(c: &mut Criterion) {
+    let result = experiments::fig18_bus_load_latency(Fidelity::Quick);
+    println!("{}", result.report());
+
+    let mut group = c.benchmark_group("fig18_bus_load_latency");
+    group.sample_size(10);
+    group.bench_function("fig18_bus_load_latency", |b| {
+        b.iter(|| {
+            use cryowire::device::Temperature;
+            use cryowire::noc::{SharedBus, SimConfig, Simulator, TrafficPattern};
+            let bus = SharedBus::new(64, Temperature::liquid_nitrogen());
+            let sim = Simulator::new(SimConfig {
+                cycles: 4_000,
+                warmup: 1_000,
+                ..SimConfig::default()
+            });
+            std::hint::black_box(
+                sim.run(&bus, TrafficPattern::UniformRandom, 0.002)
+                    .expect("valid"),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Bench target regenerating Fig. 20: bus broadcast-latency breakdown.
+//!
+//! Prints the paper-format rows once, then Criterion-measures
+//! re-running the full experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cryowire::experiments;
+
+fn bench(c: &mut Criterion) {
+    let result = experiments::fig20_bus_latency_breakdown();
+    println!("{}", result.report());
+
+    let mut group = c.benchmark_group("fig20_bus_latency_breakdown");
+    group.sample_size(10);
+    group.bench_function("fig20_bus_latency_breakdown", |b| {
+        b.iter(|| std::hint::black_box(experiments::fig20_bus_latency_breakdown()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

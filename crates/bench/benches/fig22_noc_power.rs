@@ -1,0 +1,22 @@
+//! Bench target regenerating Fig. 22: NoC power including cooling.
+//!
+//! Prints the paper-format rows once, then Criterion-measures
+//! re-running the full experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cryowire::experiments;
+
+fn bench(c: &mut Criterion) {
+    let result = experiments::fig22_noc_power();
+    println!("{}", result.report());
+
+    let mut group = c.benchmark_group("fig22_noc_power");
+    group.sample_size(10);
+    group.bench_function("fig22_noc_power", |b| {
+        b.iter(|| std::hint::black_box(experiments::fig22_noc_power()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Bench target regenerating Fig. 23: multi-thread PARSEC performance of the five systems.
+//!
+//! Prints the paper-format rows once, then Criterion-measures
+//! a representative kernel of the experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cryowire::experiments::{self, Fidelity};
+
+fn bench(c: &mut Criterion) {
+    let result = experiments::fig23_system_performance(Fidelity::Quick);
+    println!("{}", result.report());
+
+    let mut group = c.benchmark_group("fig23_system_performance");
+    group.sample_size(10);
+    group.bench_function("fig23_system_performance", |b| {
+        b.iter(|| {
+            let sim = cryowire::system::SystemSimulator::new();
+            let design = cryowire::system::SystemDesign::cryosp_cryobus();
+            let w = &cryowire::system::Workload::parsec()[9];
+            std::hint::black_box(sim.evaluate(w, &design).performance())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Bench target regenerating Fig. 24: SPEC rate mode with the aggressive stride prefetcher.
+//!
+//! Prints the paper-format rows once, then Criterion-measures
+//! a representative kernel of the experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cryowire::experiments::{self, Fidelity};
+
+fn bench(c: &mut Criterion) {
+    let result = experiments::fig24_spec_prefetch(Fidelity::Quick);
+    println!("{}", result.report());
+
+    let mut group = c.benchmark_group("fig24_spec_prefetch");
+    group.sample_size(10);
+    group.bench_function("fig24_spec_prefetch", |b| {
+        b.iter(|| {
+            let sim = cryowire::system::SystemSimulator::new();
+            let design = cryowire::system::SystemDesign::cryosp_cryobus_2way();
+            let w = cryowire::system::Workload::spec()[2]
+                .clone()
+                .with_prefetcher(2.5);
+            std::hint::black_box(sim.evaluate(&w, &design).performance())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

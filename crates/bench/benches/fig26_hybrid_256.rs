@@ -1,0 +1,35 @@
+//! Bench target regenerating Fig. 26: 256-core hybrid CryoBus.
+//!
+//! Prints the paper-format rows once, then Criterion-measures
+//! a representative kernel of the experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cryowire::experiments::{self, Fidelity};
+
+fn bench(c: &mut Criterion) {
+    let result = experiments::fig26_hybrid_256(Fidelity::Quick);
+    println!("{}", result.report());
+
+    let mut group = c.benchmark_group("fig26_hybrid_256");
+    group.sample_size(10);
+    group.bench_function("fig26_hybrid_256", |b| {
+        b.iter(|| {
+            use cryowire::device::Temperature;
+            use cryowire::noc::{HybridCryoBus, SimConfig, Simulator, TrafficPattern};
+            let net = HybridCryoBus::c256(Temperature::liquid_nitrogen(), 1);
+            let sim = Simulator::new(SimConfig {
+                cycles: 4_000,
+                warmup: 1_000,
+                ..SimConfig::default()
+            });
+            std::hint::black_box(
+                sim.run(&net, TrafficPattern::UniformRandom, 0.004)
+                    .expect("valid"),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Bench target regenerating Fig. 27: performance/power across operating temperatures.
+//!
+//! Prints the paper-format rows once, then Criterion-measures
+//! a representative kernel of the experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cryowire::experiments;
+
+fn bench(c: &mut Criterion) {
+    let result = experiments::fig27_temperature_sweep();
+    println!("{}", result.report());
+
+    let mut group = c.benchmark_group("fig27_temperature_sweep");
+    group.sample_size(10);
+    group.bench_function("fig27_temperature_sweep", |b| {
+        b.iter(|| {
+            let sim = cryowire::system::SystemSimulator::new();
+            let design = cryowire::system::SystemDesign::cryosp_cryobus();
+            let w = &cryowire::system::Workload::spec()[0];
+            std::hint::black_box(sim.evaluate(w, &design).performance())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

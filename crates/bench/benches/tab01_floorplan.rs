@@ -1,0 +1,22 @@
+//! Bench target regenerating Table 1: unit geometry and forwarding-wire length.
+//!
+//! Prints the paper-format rows once, then Criterion-measures
+//! re-running the full experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cryowire::experiments;
+
+fn bench(c: &mut Criterion) {
+    let result = experiments::tab01_floorplan();
+    println!("{}", result.report());
+
+    let mut group = c.benchmark_group("tab01_floorplan");
+    group.sample_size(10);
+    group.bench_function("tab01_floorplan", |b| {
+        b.iter(|| std::hint::black_box(experiments::tab01_floorplan()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Bench target regenerating Table 3: core specifications, spec vs model.
+//!
+//! Prints the paper-format rows once, then Criterion-measures
+//! re-running the full experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cryowire::experiments;
+
+fn bench(c: &mut Criterion) {
+    let result = experiments::tab03_core_specs();
+    println!("{}", result.report());
+
+    let mut group = c.benchmark_group("tab03_core_specs");
+    group.sample_size(10);
+    group.bench_function("tab03_core_specs", |b| {
+        b.iter(|| std::hint::black_box(experiments::tab03_core_specs()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Bench target regenerating Table 4: evaluation setup.
+//!
+//! Prints the paper-format rows once, then Criterion-measures
+//! re-running the full experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cryowire::experiments;
+
+fn bench(c: &mut Criterion) {
+    let result = experiments::tab04_setup();
+    println!("{}", result);
+
+    let mut group = c.benchmark_group("tab04_setup");
+    group.sample_size(10);
+    group.bench_function("tab04_setup", |b| {
+        b.iter(|| std::hint::black_box(experiments::tab04_setup()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,136 @@
+//! Coherence-protocol validation: the system model's traversal constants
+//! measured from the MESI state machines.
+//!
+//! `cryowire-system` charges directory misses 2.5 (hit) / 3.5 (miss)
+//! one-way traversals and snooping misses one arbitrated transaction,
+//! and models synchronisation as serialized line ping-pongs. Here the
+//! actual MESI implementations of `cryowire-memory` run a sharing
+//! workload and report what those numbers really are.
+
+use cryowire_memory::{Access, DirectoryMesi, SnoopingMesi};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::report::{fmt2, Report};
+
+/// Measured protocol costs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoherenceValidation {
+    /// Average directory critical-path traversals per miss.
+    pub dir_traversals_per_miss: f64,
+    /// Average snooping bus transactions per miss.
+    pub snoop_transactions_per_miss: f64,
+    /// Directory traversals per ping-pong write (barrier/lock line).
+    pub dir_pingpong_traversals: f64,
+    /// Snooping transactions per ping-pong write.
+    pub snoop_pingpong_transactions: f64,
+}
+
+impl CoherenceValidation {
+    /// Report rendering.
+    #[must_use]
+    pub fn report(&self) -> Report {
+        let mut r = Report::new(
+            "abl-coherence",
+            "MESI protocol costs measured from the state machines",
+            &["quantity", "measured", "system-model constant"],
+        );
+        r.push_row(vec![
+            "directory traversals / miss".into(),
+            fmt2(self.dir_traversals_per_miss),
+            "2.5 (hit) / 3.5 (miss)".into(),
+        ]);
+        r.push_row(vec![
+            "snoop transactions / miss".into(),
+            fmt2(self.snoop_transactions_per_miss),
+            "1.0".into(),
+        ]);
+        r.push_row(vec![
+            "directory traversals / ping-pong".into(),
+            fmt2(self.dir_pingpong_traversals),
+            "4.0 (2 round trips)".into(),
+        ]);
+        r.push_row(vec![
+            "snoop transactions / ping-pong".into(),
+            fmt2(self.snoop_pingpong_transactions),
+            "1.0".into(),
+        ]);
+        r
+    }
+}
+
+/// Runs the measurement: random sharing traffic plus a two-writer
+/// ping-pong (the barrier-line pattern).
+#[must_use]
+pub fn coherence_cross_validation() -> CoherenceValidation {
+    let cores = 16;
+    let mut dir = DirectoryMesi::new(cores);
+    let mut snoop = SnoopingMesi::new(cores);
+    let mut rng = StdRng::seed_from_u64(21);
+
+    let (mut dir_trav, mut dir_misses) = (0u64, 0u64);
+    let (mut snoop_xact, mut snoop_misses) = (0u64, 0u64);
+    for _ in 0..40_000 {
+        let core = rng.gen_range(0..cores);
+        let line = rng.gen_range(0..96);
+        let access = if rng.gen::<f64>() < 0.7 {
+            Access::Read
+        } else {
+            Access::Write
+        };
+        let (cd, _) = dir.access(core, line, access);
+        if cd.critical_traversals > 0 {
+            dir_trav += cd.critical_traversals;
+            dir_misses += 1;
+        }
+        let (cs, _) = snoop.access(core, line, access);
+        if cs.bus_transactions > 0 {
+            snoop_xact += cs.bus_transactions;
+            snoop_misses += 1;
+        }
+    }
+
+    let mut dir2 = DirectoryMesi::new(cores);
+    let mut snoop2 = SnoopingMesi::new(cores);
+    let (mut dt, mut st) = (0u64, 0u64);
+    let rounds = 200;
+    for i in 0..rounds {
+        let core = i % 2;
+        dt += dir2.access(core, 7, Access::Write).0.critical_traversals;
+        st += snoop2.access(core, 7, Access::Write).0.bus_transactions;
+    }
+
+    CoherenceValidation {
+        dir_traversals_per_miss: dir_trav as f64 / dir_misses.max(1) as f64,
+        snoop_transactions_per_miss: snoop_xact as f64 / snoop_misses.max(1) as f64,
+        dir_pingpong_traversals: dt as f64 / rounds as f64,
+        snoop_pingpong_transactions: st as f64 / rounds as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measured_constants_support_the_system_model() {
+        let v = coherence_cross_validation();
+        assert!(
+            v.dir_traversals_per_miss > 2.0 && v.dir_traversals_per_miss < 4.0,
+            "directory traversals/miss = {}",
+            v.dir_traversals_per_miss
+        );
+        assert!((v.snoop_transactions_per_miss - 1.0).abs() < 1e-9);
+        assert!(
+            v.dir_pingpong_traversals >= 3.0,
+            "ping-pong traversals = {}",
+            v.dir_pingpong_traversals
+        );
+        assert!((v.snoop_pingpong_transactions - 1.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn report_renders() {
+        assert_eq!(coherence_cross_validation().report().len(), 4);
+    }
+}

@@ -1,0 +1,107 @@
+//! One-page headline summary: the abstract's claims, recomputed.
+
+use crate::experiments::{self, Fidelity};
+use crate::report::{fmt2, Report};
+
+/// The recomputed headline numbers of the paper's abstract.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeadlineSummary {
+    /// CryoSP clock gain over the 300 K baseline (paper: +96 %).
+    pub cryosp_clock_gain: f64,
+    /// CryoBus NoC latency factor vs the 300 K mesh at the L3-hit level
+    /// (paper: ~5x lower).
+    pub cryobus_latency_factor: f64,
+    /// Full-system PARSEC speed-up vs the 300 K baseline (paper: 3.82x).
+    pub system_speedup_vs_300k: f64,
+    /// vs the 77 K CHP baseline (paper: 2.53x).
+    pub system_speedup_vs_chp: f64,
+}
+
+impl HeadlineSummary {
+    /// Report rendering.
+    #[must_use]
+    pub fn report(&self) -> Report {
+        let mut r = Report::new(
+            "summary",
+            "abstract claims, recomputed",
+            &["claim", "paper", "measured"],
+        );
+        r.push_row(vec![
+            "CryoSP clock vs 300 K baseline".into(),
+            "+96 %".into(),
+            format!("+{:.0} %", (self.cryosp_clock_gain - 1.0) * 100.0),
+        ]);
+        r.push_row(vec![
+            "CryoBus NoC latency vs 300 K Mesh".into(),
+            "5x lower".into(),
+            format!("{:.1}x lower", self.cryobus_latency_factor),
+        ]);
+        r.push_row(vec![
+            "system speed-up vs 300 K baseline".into(),
+            "3.82x".into(),
+            format!("{}x", fmt2(self.system_speedup_vs_300k)),
+        ]);
+        r.push_row(vec![
+            "system speed-up vs CHP (77 K)".into(),
+            "2.53x".into(),
+            format!("{}x", fmt2(self.system_speedup_vs_chp)),
+        ]);
+        r
+    }
+}
+
+/// Recomputes the abstract's four headline numbers.
+///
+/// # Panics
+///
+/// Never panics: every underlying model point is feasible.
+#[must_use]
+pub fn headline_summary(fidelity: Fidelity) -> HeadlineSummary {
+    use cryowire_device::Temperature;
+    use cryowire_memory::{LlcPathModel, MemoryDesign, NocChoice};
+    use cryowire_noc::{CryoBus, RouterClass, RouterNetwork};
+    use cryowire_pipeline::CoreDesign;
+
+    let cryosp_clock_gain = CoreDesign::CryoSp.model_frequency_ghz().expect("feasible")
+        / CoreDesign::Baseline300K
+            .model_frequency_ghz()
+            .expect("feasible");
+
+    let mesh = LlcPathModel::new(
+        NocChoice::Router {
+            network: RouterNetwork::mesh64(RouterClass::OneCycle, Temperature::ambient()),
+            clock_ghz: 4.0,
+        },
+        MemoryDesign::mem_300k(),
+    );
+    let cryo = LlcPathModel::new(
+        NocChoice::CryoBus {
+            bus: CryoBus::new(64, Temperature::liquid_nitrogen()),
+        },
+        MemoryDesign::mem_77k(),
+    );
+    let cryobus_latency_factor = mesh.hit_breakdown().noc_ns / cryo.hit_breakdown().noc_ns;
+
+    let fig23 = experiments::fig23_system_performance(fidelity);
+    HeadlineSummary {
+        cryosp_clock_gain,
+        cryobus_latency_factor,
+        system_speedup_vs_300k: fig23.average_speedup_vs_300k,
+        system_speedup_vs_chp: fig23.average_speedup_vs_chp,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn headline_numbers_in_range() {
+        let s = headline_summary(Fidelity::Quick);
+        assert!(s.cryosp_clock_gain > 1.8 && s.cryosp_clock_gain < 2.1);
+        assert!(s.cryobus_latency_factor > 2.5);
+        assert!(s.system_speedup_vs_300k > 3.0);
+        assert!(s.system_speedup_vs_chp > 1.9);
+        assert_eq!(s.report().len(), 4);
+    }
+}

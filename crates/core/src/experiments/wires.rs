@@ -1,0 +1,161 @@
+//! Wire-level experiments: Fig. 5 (cryogenic wire speed-up) and Fig. 10
+//! (wire-link model validation).
+
+use cryowire_device::{
+    MosfetModel, RepeaterOptimizer, ResistivityModel, Temperature, Wire, WireClass,
+};
+
+use crate::report::{fmt2, Report};
+
+/// Fig. 5: 77 K speed-up of local/semi-global/global wires, without and
+/// with latency-optimal repeaters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig05Result {
+    /// (length µm, local speed-up, semi-global speed-up) without repeaters.
+    pub unrepeated: Vec<(f64, f64, f64)>,
+    /// Maximum unrepeated local speed-up over the sweep (paper: 2.95).
+    pub max_local_unrepeated: f64,
+    /// Maximum unrepeated semi-global speed-up (paper: 3.69).
+    pub max_semi_global_unrepeated: f64,
+    /// Repeated average-length semi-global (900 µm) speed-up (paper: 2.25).
+    pub repeated_semi_global: f64,
+    /// Repeated average-length global (6.22 mm) speed-up (paper: 3.38).
+    pub repeated_global: f64,
+}
+
+impl Fig05Result {
+    /// Report rendering.
+    #[must_use]
+    pub fn report(&self) -> Report {
+        let mut r = Report::new(
+            "fig5",
+            "77 K wire speed-up without (a) and with (b) repeaters",
+            &["length (um)", "local (a)", "semi-global (a)"],
+        );
+        for (len, local, semi) in &self.unrepeated {
+            r.push_row(vec![format!("{len:.0}"), fmt2(*local), fmt2(*semi)]);
+        }
+        r.push_row(vec![
+            "900 (repeated)".into(),
+            "-".into(),
+            fmt2(self.repeated_semi_global),
+        ]);
+        r.push_row(vec![
+            "6220 (repeated, global)".into(),
+            "-".into(),
+            fmt2(self.repeated_global),
+        ]);
+        r
+    }
+}
+
+/// Runs the Fig. 5 wire-speed-up sweep.
+#[must_use]
+pub fn fig05_wire_speedup() -> Fig05Result {
+    let mosfet = MosfetModel::industry_45nm();
+    let rho = ResistivityModel::intel_45nm();
+    let t77 = Temperature::liquid_nitrogen();
+    let opt = RepeaterOptimizer::new(&mosfet);
+
+    let lengths = [
+        10.0, 30.0, 100.0, 300.0, 900.0, 2_000.0, 5_000.0, 10_000.0, 20_000.0,
+    ];
+    let mut unrepeated = Vec::new();
+    let (mut max_local, mut max_semi) = (0.0f64, 0.0f64);
+    for &len in &lengths {
+        let local = Wire::new(WireClass::Local, len).unrepeated_speedup(&mosfet, &rho, t77);
+        let semi = Wire::new(WireClass::SemiGlobal, len).unrepeated_speedup(&mosfet, &rho, t77);
+        max_local = max_local.max(local);
+        max_semi = max_semi.max(semi);
+        unrepeated.push((len, local, semi));
+    }
+
+    Fig05Result {
+        unrepeated,
+        max_local_unrepeated: max_local,
+        max_semi_global_unrepeated: max_semi,
+        repeated_semi_global: opt.speedup(
+            &Wire::new(
+                WireClass::SemiGlobal,
+                cryowire_device::calib::AVG_SEMI_GLOBAL_LENGTH_UM,
+            ),
+            t77,
+        ),
+        repeated_global: opt.speedup(
+            &Wire::new(
+                WireClass::Global,
+                cryowire_device::calib::AVG_GLOBAL_LENGTH_UM,
+            ),
+            t77,
+        ),
+    }
+}
+
+/// Fig. 10: validation of the 6 mm wire-link model at 77 K.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig10Result {
+    /// Model-predicted 77 K speed-up of the 6 mm CryoBus link.
+    pub model_speedup: f64,
+    /// The paper's Hspice-validated value (3.05).
+    pub reference_speedup: f64,
+    /// Relative error against the reference.
+    pub error: f64,
+}
+
+impl Fig10Result {
+    /// Report rendering.
+    #[must_use]
+    pub fn report(&self) -> Report {
+        let mut r = Report::new(
+            "fig10",
+            "wire-link model validation (6 mm, 77 K)",
+            &["quantity", "value"],
+        );
+        r.push_row(vec!["model speed-up".into(), fmt2(self.model_speedup)]);
+        r.push_row(vec![
+            "paper (Hspice) speed-up".into(),
+            fmt2(self.reference_speedup),
+        ]);
+        r.push_row(vec![
+            "relative error".into(),
+            format!("{:.1}%", self.error * 100.0),
+        ]);
+        r
+    }
+}
+
+/// Runs the Fig. 10 link validation.
+#[must_use]
+pub fn fig10_link_validation() -> Fig10Result {
+    let opt = RepeaterOptimizer::new(&MosfetModel::industry_45nm());
+    let wire = Wire::new(WireClass::Global, 6_000.0);
+    let model = opt.speedup(&wire, Temperature::liquid_nitrogen());
+    let reference = 3.05;
+    Fig10Result {
+        model_speedup: model,
+        reference_speedup: reference,
+        error: (model - reference).abs() / reference,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig5_matches_paper_shape() {
+        let r = fig05_wire_speedup();
+        assert!((r.max_local_unrepeated - 2.95).abs() < 0.25);
+        assert!((r.max_semi_global_unrepeated - 3.69).abs() < 0.25);
+        assert!((r.repeated_semi_global - 2.25).abs() < 0.25);
+        assert!(r.repeated_global > 2.9 && r.repeated_global < 3.6);
+        assert!(!r.report().is_empty());
+    }
+
+    #[test]
+    fn fig10_error_small() {
+        let r = fig10_link_validation();
+        assert!(r.error < 0.12, "link validation error = {}", r.error);
+        assert_eq!(r.report().len(), 3);
+    }
+}

@@ -1,0 +1,120 @@
+//! Tabular report rendering shared by every experiment.
+
+use serde::Serialize;
+use std::fmt;
+
+/// A printable experiment result: the rows/series the paper's table or
+/// figure shows.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Report {
+    /// Experiment id ("fig23", "tab3", ...).
+    pub id: &'static str,
+    /// Human-readable title.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows, pre-formatted.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Report {
+    /// Creates a report; rows are added with [`Report::push_row`].
+    #[must_use]
+    pub fn new(id: &'static str, title: impl Into<String>, headers: &[&str]) -> Self {
+        Report {
+            id,
+            title: title.into(),
+            headers: headers.iter().map(|s| (*s).to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one formatted row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width must match headers"
+        );
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the report has no rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "[{}] {}", self.id, self.title)?;
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, " ")?;
+            for (w, cell) in widths.iter().zip(cells) {
+                write!(f, " {cell:>w$} ", w = w)?;
+            }
+            writeln!(f)
+        };
+        line(f, &self.headers)?;
+        writeln!(
+            f,
+            "  {}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+        )?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float with 3 significant decimals for report cells.
+#[must_use]
+pub fn fmt3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats a float with 2 decimals.
+#[must_use]
+pub fn fmt2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_renders() {
+        let mut r = Report::new("fig0", "demo", &["a", "bb"]);
+        r.push_row(vec!["1".into(), "2".into()]);
+        assert_eq!(r.len(), 1);
+        let s = r.to_string();
+        assert!(s.contains("fig0"));
+        assert!(s.contains("bb"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_ragged_rows() {
+        let mut r = Report::new("x", "demo", &["a"]);
+        r.push_row(vec!["1".into(), "2".into()]);
+    }
+}

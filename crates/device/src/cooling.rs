@@ -1,0 +1,127 @@
+//! Cryogenic cooling cost model (Section 6.1.2 and Section 7.4).
+//!
+//! The paper's LN-recycling Stinger coolers impose a recurring power
+//! overhead: removing 1 W of heat at 77 K costs 9.65 W of cooling power.
+//! For other temperatures the paper assumes coolers at 30 % of the Carnot
+//! limit, which reproduces the same 9.65 constant at 77 K:
+//!
+//! `CO(T) = (T_hot − T) / (η · T)`, with `T_hot` = 300 K and `η` = 0.3.
+
+use crate::calib;
+use crate::temperature::Temperature;
+
+/// The kind of cooling attached to a system.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CoolingSystem {
+    /// Conventional ambient cooling: no power overhead beyond the device.
+    Ambient,
+    /// Cryo-cooler at a fraction of the Carnot limit (the paper's Stinger
+    /// LN-recycling system).
+    CryoCooler {
+        /// Fraction of Carnot efficiency achieved (paper: 0.3).
+        carnot_fraction: f64,
+    },
+}
+
+/// Cooling overhead model mapping temperature to the cooling-power
+/// multiplier of Eq. (1)/(2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoolingModel {
+    system: CoolingSystem,
+    hot_side_k: f64,
+}
+
+impl CoolingModel {
+    /// The paper's model: 30 %-of-Carnot cryo-coolers against a 300 K
+    /// ambient.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        CoolingModel {
+            system: CoolingSystem::CryoCooler {
+                carnot_fraction: calib::CARNOT_FRACTION,
+            },
+            hot_side_k: calib::HOT_SIDE_K,
+        }
+    }
+
+    /// An ambient-only model (CO = 0 at every temperature).
+    #[must_use]
+    pub fn ambient() -> Self {
+        CoolingModel {
+            system: CoolingSystem::Ambient,
+            hot_side_k: calib::HOT_SIDE_K,
+        }
+    }
+
+    /// Cooling overhead CO at temperature `t`: watts of cooling power per
+    /// watt of device power (Eq. 1). Zero at or above the hot side.
+    #[must_use]
+    pub fn overhead(&self, t: Temperature) -> f64 {
+        match self.system {
+            CoolingSystem::Ambient => 0.0,
+            CoolingSystem::CryoCooler { carnot_fraction } => {
+                let tk = t.kelvin();
+                if tk >= self.hot_side_k {
+                    0.0
+                } else {
+                    (self.hot_side_k - tk) / (carnot_fraction * tk)
+                }
+            }
+        }
+    }
+
+    /// Total-power multiplier `1 + CO` (Eq. 2): total power consumed per
+    /// watt dissipated by the device.
+    #[must_use]
+    pub fn total_power_multiplier(&self, t: Temperature) -> f64 {
+        1.0 + self.overhead(t)
+    }
+}
+
+impl Default for CoolingModel {
+    fn default() -> Self {
+        CoolingModel::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_anchor_co_at_77k() {
+        let m = CoolingModel::paper_default();
+        let co = m.overhead(Temperature::liquid_nitrogen());
+        assert!(
+            (co - calib::COOLING_OVERHEAD_77K).abs() < 0.01,
+            "CO(77 K) = {co}, paper 9.65"
+        );
+        assert!((m.total_power_multiplier(Temperature::liquid_nitrogen()) - 10.65).abs() < 0.01);
+    }
+
+    #[test]
+    fn no_overhead_at_ambient() {
+        let m = CoolingModel::paper_default();
+        assert_eq!(m.overhead(Temperature::ambient()), 0.0);
+        assert_eq!(m.total_power_multiplier(Temperature::ambient()), 1.0);
+    }
+
+    #[test]
+    fn overhead_grows_as_temperature_falls() {
+        // Section 7.4: CO increases "exponentially" (hyperbolically here)
+        // with temperature reduction.
+        let m = CoolingModel::paper_default();
+        let mut last = 0.0;
+        for k in [250.0, 200.0, 150.0, 100.0, 77.0, 60.0] {
+            let co = m.overhead(Temperature::new(k).unwrap());
+            assert!(co > last);
+            last = co;
+        }
+    }
+
+    #[test]
+    fn ambient_model_is_free_everywhere() {
+        let m = CoolingModel::ambient();
+        assert_eq!(m.overhead(Temperature::liquid_nitrogen()), 0.0);
+    }
+}

@@ -1,0 +1,301 @@
+//! Elmore delay analysis of RC trees, and the buffered H-tree broadcast
+//! network.
+//!
+//! The hop-based link model (`12 hops → 1 cycle at 77 K`) abstracts the
+//! CryoBus broadcast wires; this module checks that abstraction at the
+//! circuit level. [`RcTree`] computes exact Elmore delays for arbitrary
+//! RC trees (the first-moment bound Hspice-era sign-off used for on-chip
+//! interconnect), and [`buffered_htree_broadcast_ps`] builds the actual
+//! CryoBus broadcast structure — an H-tree whose branch points carry
+//! cross-link switches acting as buffers — from the wire and repeater
+//! models.
+
+use crate::mosfet::{GateStyle, MosfetModel};
+use crate::repeater::RepeaterOptimizer;
+use crate::resistivity::ResistivityModel;
+use crate::temperature::Temperature;
+use crate::wire::{Wire, WireClass};
+
+/// A node of an RC tree (index 0 is the root/driver).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct RcNode {
+    parent: Option<usize>,
+    /// Resistance from the parent to this node, Ω.
+    resistance: f64,
+    /// Capacitance at this node, F.
+    capacitance: f64,
+}
+
+/// An RC tree with Elmore-delay queries.
+///
+/// ```
+/// use cryowire_device::elmore::RcTree;
+/// let mut tree = RcTree::new(1_000.0); // 1 kΩ driver
+/// let a = tree.add_node(RcTree::ROOT, 500.0, 1e-15);
+/// let _b = tree.add_node(a, 500.0, 1e-15);
+/// assert!(tree.elmore_delay_ps(a) > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RcTree {
+    nodes: Vec<RcNode>,
+}
+
+impl RcTree {
+    /// Index of the root node.
+    pub const ROOT: usize = 0;
+
+    /// Creates a tree whose root is a driver with output resistance
+    /// `driver_ohm` and no self-capacitance.
+    #[must_use]
+    pub fn new(driver_ohm: f64) -> Self {
+        RcTree {
+            nodes: vec![RcNode {
+                parent: None,
+                resistance: driver_ohm,
+                capacitance: 0.0,
+            }],
+        }
+    }
+
+    /// Adds a node under `parent` connected through `resistance` Ω with
+    /// `capacitance` F at the node; returns its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parent` is not an existing node.
+    pub fn add_node(&mut self, parent: usize, resistance: f64, capacitance: f64) -> usize {
+        assert!(parent < self.nodes.len(), "parent must exist");
+        self.nodes.push(RcNode {
+            parent: Some(parent),
+            resistance,
+            capacitance,
+        });
+        self.nodes.len() - 1
+    }
+
+    /// Adds a uniform distributed wire of `segments` lumped π-sections
+    /// under `parent`; returns the far-end node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segments` is zero or `parent` does not exist.
+    pub fn add_wire(
+        &mut self,
+        parent: usize,
+        total_resistance: f64,
+        total_capacitance: f64,
+        segments: usize,
+    ) -> usize {
+        assert!(segments > 0, "need at least one segment");
+        let r = total_resistance / segments as f64;
+        let c = total_capacitance / segments as f64;
+        let mut at = parent;
+        for _ in 0..segments {
+            at = self.add_node(at, r, c);
+        }
+        at
+    }
+
+    /// Total capacitance in the subtree rooted at `node`.
+    fn subtree_cap(&self, node: usize) -> f64 {
+        // O(n) per query; trees here are small.
+        let mut total = self.nodes[node].capacitance;
+        for (i, n) in self.nodes.iter().enumerate() {
+            if n.parent == Some(node) {
+                total += self.subtree_cap(i);
+            }
+        }
+        total
+    }
+
+    /// Elmore delay from the driver input to `node`, in picoseconds:
+    /// `Σ_k R_k · C_downstream(k)` over the path from the root.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` does not exist.
+    #[must_use]
+    pub fn elmore_delay_ps(&self, node: usize) -> f64 {
+        assert!(node < self.nodes.len(), "node must exist");
+        // Collect the root→node path.
+        let mut path = vec![node];
+        let mut at = node;
+        while let Some(p) = self.nodes[at].parent {
+            path.push(p);
+            at = p;
+        }
+        path.reverse();
+        let mut delay_s = 0.0;
+        for &k in &path {
+            delay_s += self.nodes[k].resistance * self.subtree_cap(k);
+        }
+        delay_s * 1e12
+    }
+
+    /// The maximum Elmore delay over all leaves, ps.
+    #[must_use]
+    pub fn max_leaf_delay_ps(&self) -> f64 {
+        let has_child: Vec<bool> = {
+            let mut v = vec![false; self.nodes.len()];
+            for n in &self.nodes {
+                if let Some(p) = n.parent {
+                    v[p] = true;
+                }
+            }
+            v
+        };
+        (0..self.nodes.len())
+            .filter(|&i| !has_child[i] && i != RcTree::ROOT)
+            .map(|i| self.elmore_delay_ps(i))
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Root-to-leaf broadcast delay of the buffered CryoBus H-tree, ps.
+///
+/// The H-tree for `levels` levels spans `span_mm` from the center to the
+/// farthest leaf; each level's segment is half the previous one's and is
+/// driven by a cross-link switch acting as a buffer, with the segment
+/// wire itself optimally repeated (the Section 5.2 design). The total is
+/// the sum of the per-level buffered-segment delays.
+#[must_use]
+pub fn buffered_htree_broadcast_ps(levels: usize, span_mm: f64, t: Temperature) -> f64 {
+    let mosfet = MosfetModel::industry_45nm();
+    let opt = RepeaterOptimizer::new(&mosfet);
+    // Segment lengths halve per level and sum to the span.
+    let total: f64 = (0..levels).map(|l| 0.5f64.powi(l as i32)).sum();
+    let unit_mm = span_mm / total;
+    let mut delay = 0.0;
+    for l in 0..levels {
+        let seg_um = unit_mm * 0.5f64.powi(l as i32) * 1_000.0;
+        let wire = Wire::new(WireClass::Global, seg_um.max(10.0));
+        delay += opt.optimal_delay(&wire, t);
+        // Switch/buffer insertion delay at the branch point.
+        let buffer_ps = 6.0
+            * mosfet
+                .nominal_state(GateStyle::Repeater, t)
+                .expect("nominal point feasible")
+                .delay_factor;
+        delay += buffer_ps;
+    }
+    delay
+}
+
+/// Elmore delay of the same H-tree **without** buffers (one monolithic RC
+/// tree): shows why the dynamic link connection's switches are also
+/// electrically necessary.
+#[must_use]
+pub fn unbuffered_htree_broadcast_ps(levels: usize, span_mm: f64, t: Temperature) -> f64 {
+    let mosfet = MosfetModel::industry_45nm();
+    let rho = ResistivityModel::intel_45nm();
+    let total: f64 = (0..levels).map(|l| 0.5f64.powi(l as i32)).sum();
+    let unit_mm = span_mm / total;
+
+    let mut tree = RcTree::new(mosfet.r0_ohm() / 256.0);
+    let mut frontier = vec![RcTree::ROOT];
+    for l in 0..levels {
+        let seg_um = unit_mm * 0.5f64.powi(l as i32) * 1_000.0;
+        let wire = Wire::new(WireClass::Global, seg_um.max(10.0));
+        let r = wire.total_resistance(&rho, t);
+        let c = wire.total_capacitance();
+        let mut next = Vec::new();
+        for &node in &frontier {
+            // Each branch point fans out to two subtrees (H-tree arms).
+            for _ in 0..2 {
+                next.push(tree.add_wire(node, r, c, 4));
+            }
+        }
+        frontier = next;
+    }
+    tree.max_leaf_delay_ps()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elmore_matches_hand_computed_ladder() {
+        // Driver 1 kΩ → R=1 kΩ, C=1 fF → R=1 kΩ, C=1 fF.
+        // delay = 1k·2f + 1k·2f + 1k·1f = 5 ps... computed exactly:
+        // node a: Rdrv·(Ca+Cb) + Ra·(Ca+Cb)?  Standard Elmore:
+        //   t(b) = Rdrv·(Ca+Cb) + Ra·(Ca+Cb) + Rb·Cb
+        //        = 1k·2f + 1k·2f + 1k·1f = 5 ps.
+        let mut tree = RcTree::new(1_000.0);
+        let a = tree.add_node(RcTree::ROOT, 1_000.0, 1e-15);
+        let b = tree.add_node(a, 1_000.0, 1e-15);
+        assert!((tree.elmore_delay_ps(b) - 5.0).abs() < 1e-9);
+        // And t(a) = 1k·2f + 1k·2f = 4 ps.
+        assert!((tree.elmore_delay_ps(a) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn branches_load_the_shared_path() {
+        // Adding a sibling subtree must slow the original leaf (shared
+        // upstream resistance sees more downstream capacitance).
+        let mut tree = RcTree::new(1_000.0);
+        let trunk = tree.add_node(RcTree::ROOT, 1_000.0, 1e-15);
+        let leaf = tree.add_node(trunk, 1_000.0, 1e-15);
+        let before = tree.elmore_delay_ps(leaf);
+        let _sibling = tree.add_node(trunk, 1_000.0, 5e-15);
+        let after = tree.elmore_delay_ps(leaf);
+        assert!(after > before);
+    }
+
+    #[test]
+    fn buffered_htree_meets_the_one_cycle_budget_at_77k() {
+        // The CryoBus broadcast: 3 levels, 6 mm center-to-leaf span.
+        // One 4 GHz cycle = 250 ps.
+        let d = buffered_htree_broadcast_ps(3, 6.0, Temperature::liquid_nitrogen());
+        assert!(
+            d < 250.0,
+            "buffered 77 K H-tree broadcast = {d} ps (budget 250 ps)"
+        );
+    }
+
+    #[test]
+    fn buffered_htree_misses_the_budget_at_300k() {
+        // Fig. 20's other half: the same structure at 300 K cannot
+        // broadcast in one cycle.
+        let d = buffered_htree_broadcast_ps(3, 6.0, Temperature::ambient());
+        assert!(
+            d > 250.0,
+            "300 K H-tree broadcast = {d} ps should exceed one cycle"
+        );
+    }
+
+    #[test]
+    fn unbuffered_tree_is_much_slower() {
+        // Without the cross-link switches buffering each level, the
+        // quadratic RC of the monolithic tree blows the budget even cold.
+        let t77 = Temperature::liquid_nitrogen();
+        let buffered = buffered_htree_broadcast_ps(3, 6.0, t77);
+        let unbuffered = unbuffered_htree_broadcast_ps(3, 6.0, t77);
+        assert!(
+            unbuffered > 2.0 * buffered,
+            "unbuffered {unbuffered} ps vs buffered {buffered} ps"
+        );
+    }
+
+    #[test]
+    fn elmore_agrees_with_hop_model_order_of_magnitude() {
+        // The hop model says 12 hops (2 mm each) take one 250 ps cycle at
+        // 77 K ⇒ ~20.8 ps per 2 mm. The repeated-wire model underlying
+        // the buffered tree gives the same scale.
+        let mosfet = MosfetModel::industry_45nm();
+        let opt = RepeaterOptimizer::new(&mosfet);
+        let wire = Wire::new(WireClass::Global, 2_000.0);
+        let per_hop = opt.optimal_delay(&wire, Temperature::liquid_nitrogen());
+        assert!(
+            per_hop > 8.0 && per_hop < 40.0,
+            "2 mm 77 K hop = {per_hop} ps"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "parent must exist")]
+    fn dangling_parent_rejected() {
+        let mut tree = RcTree::new(1_000.0);
+        let _ = tree.add_node(99, 1.0, 1e-15);
+    }
+}

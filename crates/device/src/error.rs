@@ -1,0 +1,107 @@
+//! Error types for the device-model crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by device-level models.
+///
+/// All model entry points validate their arguments (temperatures, voltages,
+/// geometries) and return this error rather than producing silently
+/// meaningless physics.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DeviceError {
+    /// Temperature outside the validated model range.
+    TemperatureOutOfRange {
+        /// The offending temperature in kelvin.
+        kelvin: f64,
+        /// Inclusive lower bound of the validated range, in kelvin.
+        min: f64,
+        /// Inclusive upper bound of the validated range, in kelvin.
+        max: f64,
+    },
+    /// A supply / threshold voltage pair that the model rejects
+    /// (e.g. `v_dd <= v_th`, or a negative voltage).
+    InvalidVoltage {
+        /// Supply voltage in volts.
+        v_dd: f64,
+        /// Threshold voltage in volts.
+        v_th: f64,
+    },
+    /// A geometric parameter (length, width, pitch, ...) that must be
+    /// strictly positive was zero or negative.
+    InvalidGeometry {
+        /// Name of the offending parameter.
+        parameter: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// The voltage optimizer could not find any feasible operating point
+    /// under the given power budget.
+    NoFeasibleOperatingPoint {
+        /// The power budget (normalized) that could not be met.
+        budget: f64,
+    },
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::TemperatureOutOfRange { kelvin, min, max } => write!(
+                f,
+                "temperature {kelvin} K outside validated model range [{min} K, {max} K]"
+            ),
+            DeviceError::InvalidVoltage { v_dd, v_th } => {
+                write!(f, "invalid voltage pair v_dd={v_dd} V, v_th={v_th} V")
+            }
+            DeviceError::InvalidGeometry { parameter, value } => {
+                write!(
+                    f,
+                    "invalid geometry: {parameter} = {value} must be positive"
+                )
+            }
+            DeviceError::NoFeasibleOperatingPoint { budget } => write!(
+                f,
+                "no feasible operating point under normalized power budget {budget}"
+            ),
+        }
+    }
+}
+
+impl Error for DeviceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let err = DeviceError::TemperatureOutOfRange {
+            kelvin: 4.0,
+            min: 60.0,
+            max: 400.0,
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("4 K"));
+        assert!(msg.starts_with(char::is_lowercase));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DeviceError>();
+    }
+
+    #[test]
+    fn errors_compare_equal() {
+        let a = DeviceError::InvalidVoltage {
+            v_dd: 1.0,
+            v_th: 1.2,
+        };
+        let b = DeviceError::InvalidVoltage {
+            v_dd: 1.0,
+            v_th: 1.2,
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,50 @@
+//! # cryowire-device
+//!
+//! Device-level models for cryogenic computing: temperature-dependent wire
+//! resistivity, distributed-RC wire delay with latency-optimal repeater
+//! insertion, a compact cryogenic MOSFET model, voltage (V_dd/V_th) scaling,
+//! and cryo-cooler cost models.
+//!
+//! This crate is the Rust substitute for the Hspice + industry-model-card +
+//! cryo-MOSFET/cryo-wire toolchain used by the CryoWire paper (Min et al.,
+//! ASPLOS 2022). Every model is analytical and calibrated against the
+//! measured numbers the paper publishes (see [`calib`]).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use cryowire_device::{Temperature, WireClass, Wire, RepeaterOptimizer, MosfetModel};
+//!
+//! let t300 = Temperature::ambient();
+//! let t77 = Temperature::liquid_nitrogen();
+//! let mosfet = MosfetModel::industry_45nm();
+//! let wire = Wire::new(WireClass::Global, 6_220.0); // 6.22 mm global wire
+//! let opt = RepeaterOptimizer::new(&mosfet);
+//! let d300 = opt.optimal_delay(&wire, t300);
+//! let d77 = opt.optimal_delay(&wire, t77);
+//! assert!(d300 / d77 > 3.0); // >3x wire speed-up at 77 K
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod calib;
+pub mod cooling;
+pub mod elmore;
+pub mod error;
+pub mod mosfet;
+pub mod repeater;
+pub mod resistivity;
+pub mod temperature;
+pub mod voltage;
+pub mod wire;
+
+pub use cooling::{CoolingModel, CoolingSystem};
+pub use elmore::RcTree;
+pub use error::DeviceError;
+pub use mosfet::{GateStyle, MosfetModel, MosfetState};
+pub use repeater::{RepeaterDesign, RepeaterOptimizer};
+pub use resistivity::ResistivityModel;
+pub use temperature::Temperature;
+pub use voltage::{OperatingPoint, VoltageOptimizer, VoltageScalingResult};
+pub use wire::{Wire, WireClass, WireDelay, WireGeometry};

@@ -1,0 +1,370 @@
+//! Compact cryogenic MOSFET model (the cryo-MOSFET substitute).
+//!
+//! Captures the three temperature effects the paper's analysis rests on:
+//!
+//! 1. carrier mobility improves as T drops (µ ∝ (300/T)^m),
+//! 2. the threshold voltage *rises* as T drops, eating into the overdrive,
+//!    so complex-logic paths only speed up ~8 % at 77 K without voltage
+//!    scaling (Section 4.3, Observation #1),
+//! 3. subthreshold leakage collapses exponentially with T, which is what
+//!    makes aggressive V_dd/V_th scaling feasible at 77 K and infeasible at
+//!    300 K (Section 2.3).
+//!
+//! Threshold-voltage convention: explicit operating points (e.g. Table 3's
+//! CryoSP 0.64 V / 0.25 V) give the threshold *as seen at the operating
+//! temperature* — the designers compensate the natural cryogenic V_th rise.
+//! The *nominal* 300 K design (V_th = 0.47 V), by contrast, shifts upward
+//! when merely cooled; [`MosfetModel::nominal_state`] applies that shift.
+
+use crate::calib;
+use crate::error::DeviceError;
+use crate::temperature::Temperature;
+
+/// Thermal voltage kT/q at temperature `t`, in volts.
+#[must_use]
+pub fn thermal_voltage(t: Temperature) -> f64 {
+    8.617_333e-5 * t.kelvin()
+}
+
+/// The circuit style a gate-delay query refers to.
+///
+/// The paper's own data implies two distinct temperature sensitivities:
+/// complex logic paths (stacked devices, body effect amplifies the V_th
+/// shift) improve only ~8 % at 77 K, while simple inverter repeater chains
+/// improve ~37 % (derived from Fig. 5b: 2.25² / 3.69 ≈ 1.37). We model the
+/// difference as a per-style effective V_th temperature coefficient.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GateStyle {
+    /// Multi-input gates on pipeline critical paths.
+    ComplexLogic,
+    /// Inverter chains used as wire repeaters and link drivers.
+    Repeater,
+}
+
+/// Evaluated MOSFET characteristics at one (temperature, voltage) point,
+/// normalized to the 300 K nominal-voltage operating point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MosfetState {
+    /// On-current relative to 300 K nominal (higher is faster).
+    pub on_current_factor: f64,
+    /// Gate delay relative to 300 K nominal (lower is faster).
+    pub delay_factor: f64,
+    /// Subthreshold leakage current relative to 300 K nominal.
+    pub leakage_factor: f64,
+    /// Dynamic energy per switch relative to 300 K nominal (∝ V_dd²).
+    pub dynamic_energy_factor: f64,
+}
+
+/// Compact MOSFET model with alpha-power-law on-current and exponential
+/// subthreshold leakage.
+///
+/// ```
+/// use cryowire_device::{MosfetModel, GateStyle, Temperature};
+/// let m = MosfetModel::industry_45nm();
+/// let s = m.nominal_state(GateStyle::ComplexLogic, Temperature::liquid_nitrogen())?;
+/// // Paper: logic paths speed up only ~8 % at 77 K without voltage scaling.
+/// assert!((1.0 / s.delay_factor - 1.08).abs() < 0.03);
+/// # Ok::<(), cryowire_device::DeviceError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MosfetModel {
+    /// Nominal supply voltage at 300 K.
+    v_dd_nominal: f64,
+    /// Nominal (design) threshold voltage at 300 K.
+    v_th_nominal: f64,
+    /// Alpha-power-law velocity-saturation exponent.
+    alpha: f64,
+    /// Mobility temperature exponent: µ(T) = µ₃₀₀ (300/T)^m.
+    mobility_exponent: f64,
+    /// Effective V_th temperature coefficient for complex logic, V/K
+    /// (V_th rises as T falls).
+    vth_tempco_logic: f64,
+    /// Effective V_th temperature coefficient for repeater inverters, V/K.
+    vth_tempco_repeater: f64,
+    /// Subthreshold ideality factor n (swing = n·kT/q·ln10).
+    subthreshold_n: f64,
+    /// DIBL coefficient, V of V_th reduction per V of V_dd.
+    dibl: f64,
+    /// Minimum-inverter output resistance at 300 K nominal, Ω.
+    r0_ohm: f64,
+    /// Minimum-inverter input capacitance, F.
+    c0_farad: f64,
+    /// Minimum-inverter parasitic (self-load) capacitance, F.
+    cp_farad: f64,
+}
+
+impl MosfetModel {
+    /// The 45 nm-class model calibrated to the paper's anchors:
+    /// ~8 % logic speed-up and ~37 % repeater speed-up at 77 K.
+    #[must_use]
+    pub fn industry_45nm() -> Self {
+        MosfetModel {
+            v_dd_nominal: calib::VDD_300K_BASELINE,
+            v_th_nominal: calib::VTH_300K_BASELINE,
+            alpha: 1.15,
+            mobility_exponent: 0.29,
+            vth_tempco_logic: 8.5e-4,
+            vth_tempco_repeater: 2.0e-4,
+            subthreshold_n: 1.3,
+            dibl: 0.08,
+            r0_ohm: 28_000.0,
+            c0_farad: 0.2e-15,
+            cp_farad: 0.2e-15,
+        }
+    }
+
+    /// Nominal supply voltage at 300 K, volts.
+    #[must_use]
+    pub fn v_dd_nominal(&self) -> f64 {
+        self.v_dd_nominal
+    }
+
+    /// Nominal threshold voltage at 300 K, volts.
+    #[must_use]
+    pub fn v_th_nominal(&self) -> f64 {
+        self.v_th_nominal
+    }
+
+    /// Minimum-inverter output resistance at 300 K nominal voltage, Ω.
+    #[must_use]
+    pub fn r0_ohm(&self) -> f64 {
+        self.r0_ohm
+    }
+
+    /// Minimum-inverter input capacitance, farads.
+    #[must_use]
+    pub fn c0_farad(&self) -> f64 {
+        self.c0_farad
+    }
+
+    /// Minimum-inverter parasitic output capacitance, farads.
+    #[must_use]
+    pub fn cp_farad(&self) -> f64 {
+        self.cp_farad
+    }
+
+    /// Effective threshold voltage of `style` circuits at temperature `t`
+    /// for a 300 K design threshold of `v_th_design` (no compensation).
+    #[must_use]
+    pub fn effective_v_th(&self, style: GateStyle, t: Temperature, v_th_design: f64) -> f64 {
+        let kappa = match style {
+            GateStyle::ComplexLogic => self.vth_tempco_logic,
+            GateStyle::Repeater => self.vth_tempco_repeater,
+        };
+        v_th_design + kappa * (300.0 - t.kelvin())
+    }
+
+    /// Evaluates the model at temperature `t`, supply `v_dd`, and threshold
+    /// `v_th` **as seen at `t`** (the Table 3/4 convention).
+    ///
+    /// All returned factors are normalized to the 300 K nominal-voltage
+    /// point of the same style.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::InvalidVoltage`] if `v_dd <= 0`, `v_th <= 0`,
+    /// or the overdrive `v_dd - v_th` is below 50 mV.
+    pub fn state(&self, t: Temperature, v_dd: f64, v_th: f64) -> Result<MosfetState, DeviceError> {
+        if v_dd <= 0.0 || v_th <= 0.0 || !v_dd.is_finite() || !v_th.is_finite() {
+            return Err(DeviceError::InvalidVoltage { v_dd, v_th });
+        }
+        let overdrive = v_dd - v_th;
+        if overdrive <= 0.05 {
+            return Err(DeviceError::InvalidVoltage { v_dd, v_th });
+        }
+
+        // Reference: 300 K, nominal voltages (no shift at 300 K).
+        let od_ref = self.v_dd_nominal - self.v_th_nominal;
+
+        let mobility = (300.0 / t.kelvin()).powf(self.mobility_exponent);
+        let ion = mobility * (overdrive / od_ref).powf(self.alpha);
+        // Gate delay ∝ C · V_dd / I_on; C is temperature-independent.
+        let delay = (v_dd / self.v_dd_nominal) / ion;
+
+        let leakage = self.leakage_factor(t, v_dd, v_th);
+        let dyn_energy = (v_dd / self.v_dd_nominal).powi(2);
+
+        Ok(MosfetState {
+            on_current_factor: ion,
+            delay_factor: delay,
+            leakage_factor: leakage,
+            dynamic_energy_factor: dyn_energy,
+        })
+    }
+
+    /// Model state of an *uncompensated* 300 K design (V_dd = 1.25 V,
+    /// design V_th = 0.47 V) merely cooled to `t`: the natural cryogenic
+    /// V_th rise is applied before evaluation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DeviceError::InvalidVoltage`] if the shifted point is
+    /// infeasible at `t` (cannot happen for the validated range).
+    pub fn nominal_state(
+        &self,
+        style: GateStyle,
+        t: Temperature,
+    ) -> Result<MosfetState, DeviceError> {
+        let v_th_eff = self.effective_v_th(style, t, self.v_th_nominal);
+        self.state(t, self.v_dd_nominal, v_th_eff)
+    }
+
+    /// Subthreshold leakage current relative to the 300 K nominal point.
+    ///
+    /// `I_leak ∝ (T/300)² · exp((−V_th + η·V_dd) / (n·kT/q))`, the standard
+    /// compact form; the exponential in 1/T is what makes 77 K leakage
+    /// vanish (and 300 K low-V_th leakage explode).
+    #[must_use]
+    pub fn leakage_factor(&self, t: Temperature, v_dd: f64, v_th: f64) -> f64 {
+        let exponent = |t: Temperature, v_dd: f64, v_th: f64| {
+            let vt = thermal_voltage(t);
+            (-v_th + self.dibl * v_dd) / (self.subthreshold_n * vt)
+        };
+        let t300 = Temperature::ambient();
+        let ref_exp = exponent(t300, self.v_dd_nominal, self.v_th_nominal);
+        let this_exp = exponent(t, v_dd, v_th);
+        (t.kelvin() / 300.0).powi(2) * (this_exp - ref_exp).exp()
+    }
+
+    /// Delay speed-up of `style` circuits at temperature `t` relative to
+    /// 300 K, both at nominal design voltages (no V_th compensation).
+    ///
+    /// # Panics
+    ///
+    /// Never panics for temperatures in the validated range (the nominal
+    /// point is always feasible there).
+    #[must_use]
+    pub fn speedup(&self, style: GateStyle, t: Temperature) -> f64 {
+        let s = self
+            .nominal_state(style, t)
+            .expect("nominal point is feasible in validated range");
+        1.0 / s.delay_factor
+    }
+}
+
+impl Default for MosfetModel {
+    fn default() -> Self {
+        MosfetModel::industry_45nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(k: f64) -> Temperature {
+        Temperature::new(k).unwrap()
+    }
+
+    #[test]
+    fn logic_speedup_matches_paper_8_percent() {
+        let m = MosfetModel::industry_45nm();
+        let s = m.speedup(GateStyle::ComplexLogic, Temperature::liquid_nitrogen());
+        assert!(
+            (s - calib::LOGIC_SPEEDUP_77K).abs() < 0.03,
+            "logic speedup at 77 K = {s}, paper anchor 1.08"
+        );
+    }
+
+    #[test]
+    fn repeater_speedup_matches_implied_37_percent() {
+        let m = MosfetModel::industry_45nm();
+        let s = m.speedup(GateStyle::Repeater, Temperature::liquid_nitrogen());
+        assert!(
+            (s - calib::REPEATER_SPEEDUP_77K).abs() < 0.06,
+            "repeater speedup at 77 K = {s}, implied anchor 1.37"
+        );
+    }
+
+    #[test]
+    fn leakage_collapses_at_77k() {
+        let m = MosfetModel::industry_45nm();
+        let s = m
+            .nominal_state(GateStyle::ComplexLogic, Temperature::liquid_nitrogen())
+            .unwrap();
+        assert!(
+            s.leakage_factor < 1e-12,
+            "77 K leakage factor = {}",
+            s.leakage_factor
+        );
+    }
+
+    #[test]
+    fn low_vth_explodes_leakage_at_300k_but_not_77k() {
+        // Section 2.3: V_dd/V_th scaling is only feasible at cryogenic
+        // temperatures.
+        let m = MosfetModel::industry_45nm();
+        let at_300 = m.leakage_factor(Temperature::ambient(), calib::VDD_CRYOSP, calib::VTH_CRYOSP);
+        let at_77 = m.leakage_factor(
+            Temperature::liquid_nitrogen(),
+            calib::VDD_CRYOSP,
+            calib::VTH_CRYOSP,
+        );
+        assert!(at_300 > 50.0, "300 K low-Vth leakage factor = {at_300}");
+        assert!(at_77 < 1e-6, "77 K low-Vth leakage factor = {at_77}");
+    }
+
+    #[test]
+    fn voltage_scaling_recovers_frequency_at_77k() {
+        // Table 3: CryoSP's (0.64 V, 0.25 V) point at 77 K is ~1.22x faster
+        // than the 77 K uncompensated nominal point (7.84 / 6.44 GHz).
+        let m = MosfetModel::industry_45nm();
+        let t77 = Temperature::liquid_nitrogen();
+        let nominal = m.nominal_state(GateStyle::ComplexLogic, t77).unwrap();
+        let scaled = m.state(t77, calib::VDD_CRYOSP, calib::VTH_CRYOSP).unwrap();
+        let gain = nominal.delay_factor / scaled.delay_factor;
+        assert!(
+            (gain - 1.218).abs() < 0.08,
+            "CryoSP voltage-scaling frequency gain = {gain}, paper implies ~1.22"
+        );
+    }
+
+    #[test]
+    fn chp_voltage_point_gain() {
+        // Table 3: CHP-core's (0.75 V, 0.25 V) implies ~1.31x over the 77 K
+        // nominal point (6.1 GHz from ~4.67 GHz). Our compact model lands
+        // within ~6 %.
+        let m = MosfetModel::industry_45nm();
+        let t77 = Temperature::liquid_nitrogen();
+        let nominal = m.nominal_state(GateStyle::ComplexLogic, t77).unwrap();
+        let scaled = m.state(t77, calib::VDD_CHP, calib::VTH_CHP).unwrap();
+        let gain = nominal.delay_factor / scaled.delay_factor;
+        assert!(
+            (gain - 1.306).abs() < 0.12,
+            "CHP voltage-scaling frequency gain = {gain}, paper implies ~1.31"
+        );
+    }
+
+    #[test]
+    fn rejects_infeasible_voltages() {
+        let m = MosfetModel::industry_45nm();
+        let t77 = Temperature::liquid_nitrogen();
+        assert!(m.state(t77, 0.3, 0.47).is_err());
+        assert!(m.state(t77, -1.0, 0.25).is_err());
+        assert!(m.state(t77, 1.0, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn dynamic_energy_scales_quadratically() {
+        let m = MosfetModel::industry_45nm();
+        let s = m
+            .state(
+                Temperature::liquid_nitrogen(),
+                calib::VDD_300K_BASELINE / 2.0,
+                0.25,
+            )
+            .unwrap();
+        assert!((s.dynamic_energy_factor - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn delay_monotone_in_temperature_at_nominal() {
+        let m = MosfetModel::industry_45nm();
+        let mut last = f64::INFINITY;
+        for k in [300.0, 200.0, 135.0, 100.0, 77.0] {
+            let s = m.nominal_state(GateStyle::Repeater, t(k)).unwrap();
+            assert!(s.delay_factor < last, "repeater delay should fall with T");
+            last = s.delay_factor;
+        }
+    }
+}

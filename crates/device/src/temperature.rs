@@ -1,0 +1,152 @@
+//! Temperature newtype and the validated operating range.
+
+use crate::error::DeviceError;
+use std::fmt;
+
+/// Lowest temperature (kelvin) at which the models are considered valid.
+///
+/// Below ~60 K carrier freeze-out and incomplete ionization effects that the
+/// compact models ignore become significant.
+pub const MIN_KELVIN: f64 = 60.0;
+
+/// Highest temperature (kelvin) at which the models are considered valid.
+pub const MAX_KELVIN: f64 = 400.0;
+
+/// An absolute temperature in kelvin.
+///
+/// `Temperature` is the single temperature currency across all CryoWire
+/// models. Constructing one via [`Temperature::new`] validates that the
+/// value lies in the range the models were calibrated for
+/// ([`MIN_KELVIN`], [`MAX_KELVIN`]).
+///
+/// ```
+/// use cryowire_device::Temperature;
+/// let t = Temperature::new(77.0)?;
+/// assert_eq!(t.kelvin(), 77.0);
+/// # Ok::<(), cryowire_device::DeviceError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Temperature(f64);
+
+impl Temperature {
+    /// Creates a temperature, validating the model range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::TemperatureOutOfRange`] if `kelvin` is not in
+    /// `[MIN_KELVIN, MAX_KELVIN]` or is not finite.
+    pub fn new(kelvin: f64) -> Result<Self, DeviceError> {
+        if !kelvin.is_finite() || !(MIN_KELVIN..=MAX_KELVIN).contains(&kelvin) {
+            return Err(DeviceError::TemperatureOutOfRange {
+                kelvin,
+                min: MIN_KELVIN,
+                max: MAX_KELVIN,
+            });
+        }
+        Ok(Temperature(kelvin))
+    }
+
+    /// Room temperature, 300 K — the paper's conventional baseline.
+    #[must_use]
+    pub fn ambient() -> Self {
+        Temperature(300.0)
+    }
+
+    /// Liquid-nitrogen temperature, 77 K — the paper's cryogenic target.
+    #[must_use]
+    pub fn liquid_nitrogen() -> Self {
+        Temperature(77.0)
+    }
+
+    /// The 135 K point used for the paper's real-machine validation
+    /// (evaporator-cooled commodity boards, Fig. 8/9).
+    #[must_use]
+    pub fn validation_point() -> Self {
+        Temperature(135.0)
+    }
+
+    /// The value in kelvin.
+    #[must_use]
+    pub fn kelvin(self) -> f64 {
+        self.0
+    }
+
+    /// Temperature in units of 300 K (1.0 at ambient).
+    #[must_use]
+    pub fn normalized(self) -> f64 {
+        self.0 / 300.0
+    }
+
+    /// True if this is a cryogenic temperature (below 150 K by convention).
+    #[must_use]
+    pub fn is_cryogenic(self) -> bool {
+        self.0 < 150.0
+    }
+}
+
+impl fmt::Display for Temperature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} K", self.0)
+    }
+}
+
+impl TryFrom<f64> for Temperature {
+    type Error = DeviceError;
+
+    fn try_from(kelvin: f64) -> Result<Self, Self::Error> {
+        Temperature::new(kelvin)
+    }
+}
+
+impl From<Temperature> for f64 {
+    fn from(t: Temperature) -> f64 {
+        t.kelvin()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_match_paper_temperatures() {
+        assert_eq!(Temperature::ambient().kelvin(), 300.0);
+        assert_eq!(Temperature::liquid_nitrogen().kelvin(), 77.0);
+        assert_eq!(Temperature::validation_point().kelvin(), 135.0);
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        assert!(Temperature::new(4.2).is_err());
+        assert!(Temperature::new(500.0).is_err());
+        assert!(Temperature::new(f64::NAN).is_err());
+        assert!(Temperature::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn accepts_boundaries() {
+        assert!(Temperature::new(MIN_KELVIN).is_ok());
+        assert!(Temperature::new(MAX_KELVIN).is_ok());
+    }
+
+    #[test]
+    fn cryogenic_predicate() {
+        assert!(Temperature::liquid_nitrogen().is_cryogenic());
+        assert!(Temperature::validation_point().is_cryogenic());
+        assert!(!Temperature::ambient().is_cryogenic());
+    }
+
+    #[test]
+    fn display_and_conversions() {
+        let t = Temperature::new(77.0).unwrap();
+        assert_eq!(t.to_string(), "77 K");
+        assert_eq!(f64::from(t), 77.0);
+        assert_eq!(Temperature::try_from(77.0).unwrap(), t);
+        assert!((t.normalized() - 77.0 / 300.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ordering_works() {
+        assert!(Temperature::liquid_nitrogen() < Temperature::ambient());
+    }
+}

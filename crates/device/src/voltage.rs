@@ -1,0 +1,272 @@
+//! V_dd / V_th scaling at cryogenic temperatures (Section 4.5).
+//!
+//! At 77 K the collapsed leakage allows lowering both the supply and
+//! threshold voltages. [`VoltageOptimizer`] reproduces the paper's
+//! derivation of CHP-core and CryoSP: maximize clock frequency subject to a
+//! total-power budget (device + cryo-cooling) relative to the 300 K
+//! baseline.
+
+use crate::cooling::CoolingModel;
+use crate::error::DeviceError;
+use crate::mosfet::MosfetModel;
+use crate::temperature::Temperature;
+
+/// A (V_dd, V_th) pair, with V_th as seen at the operating temperature.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OperatingPoint {
+    /// Supply voltage, volts.
+    pub v_dd: f64,
+    /// Threshold voltage at the operating temperature, volts.
+    pub v_th: f64,
+}
+
+impl OperatingPoint {
+    /// The 300 K baseline point (Table 3): 1.25 V / 0.47 V.
+    #[must_use]
+    pub fn baseline_300k() -> Self {
+        OperatingPoint {
+            v_dd: crate::calib::VDD_300K_BASELINE,
+            v_th: crate::calib::VTH_300K_BASELINE,
+        }
+    }
+
+    /// CryoSP's published point (Table 3): 0.64 V / 0.25 V.
+    #[must_use]
+    pub fn cryosp() -> Self {
+        OperatingPoint {
+            v_dd: crate::calib::VDD_CRYOSP,
+            v_th: crate::calib::VTH_CRYOSP,
+        }
+    }
+
+    /// CHP-core's published point (Table 3): 0.75 V / 0.25 V.
+    #[must_use]
+    pub fn chp_core() -> Self {
+        OperatingPoint {
+            v_dd: crate::calib::VDD_CHP,
+            v_th: crate::calib::VTH_CHP,
+        }
+    }
+
+    /// The 77 K NoC/LLC shared domain (Table 4): 0.55 V / 0.225 V.
+    #[must_use]
+    pub fn noc_77k() -> Self {
+        OperatingPoint {
+            v_dd: crate::calib::VDD_NOC_77K,
+            v_th: crate::calib::VTH_NOC_77K,
+        }
+    }
+}
+
+/// Outcome of evaluating or optimizing a voltage point at a temperature.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VoltageScalingResult {
+    /// The chosen operating point.
+    pub point: OperatingPoint,
+    /// Clock-frequency factor relative to the 300 K nominal baseline.
+    pub frequency_factor: f64,
+    /// Device power relative to the 300 K baseline device power.
+    pub device_power_factor: f64,
+    /// Total power (device + cooling) relative to the 300 K baseline
+    /// device power.
+    pub total_power_factor: f64,
+}
+
+/// Maximizes frequency under a total-power budget by grid search over
+/// (V_dd, V_th), using the compact MOSFET model for delay and power.
+///
+/// The device power model splits the 300 K baseline into a dynamic and a
+/// static fraction (McPAT-era server cores are roughly 70 / 30); dynamic
+/// power scales as `C·V²·f` and static as `V·I_leak(T, V_th)`.
+#[derive(Debug, Clone)]
+pub struct VoltageOptimizer {
+    mosfet: MosfetModel,
+    cooling: CoolingModel,
+    /// Fraction of 300 K baseline device power that is dynamic.
+    dynamic_fraction: f64,
+    /// Activity/capacitance factor relative to baseline (e.g. a halved-width
+    /// CryoCore pipeline has a smaller switched capacitance).
+    capacitance_factor: f64,
+}
+
+impl VoltageOptimizer {
+    /// Creates an optimizer with the paper's default cooling model and a
+    /// 70/30 dynamic/static power split.
+    #[must_use]
+    pub fn new(mosfet: &MosfetModel) -> Self {
+        VoltageOptimizer {
+            mosfet: mosfet.clone(),
+            cooling: CoolingModel::paper_default(),
+            dynamic_fraction: 0.7,
+            capacitance_factor: 1.0,
+        }
+    }
+
+    /// Sets the switched-capacitance factor (e.g. 0.35 for the halved
+    /// CryoCore microarchitecture).
+    #[must_use]
+    pub fn with_capacitance_factor(mut self, factor: f64) -> Self {
+        self.capacitance_factor = factor;
+        self
+    }
+
+    /// Replaces the cooling model.
+    #[must_use]
+    pub fn with_cooling(mut self, cooling: CoolingModel) -> Self {
+        self.cooling = cooling;
+        self
+    }
+
+    /// Evaluates a specific operating point at `t`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::InvalidVoltage`] for infeasible points.
+    pub fn evaluate(
+        &self,
+        point: OperatingPoint,
+        t: Temperature,
+    ) -> Result<VoltageScalingResult, DeviceError> {
+        let state = self.mosfet.state(t, point.v_dd, point.v_th)?;
+        let freq = 1.0 / state.delay_factor;
+        let dynamic =
+            self.dynamic_fraction * self.capacitance_factor * state.dynamic_energy_factor * freq;
+        let static_p = (1.0 - self.dynamic_fraction)
+            * self.capacitance_factor
+            * state.leakage_factor
+            * (point.v_dd / self.mosfet.v_dd_nominal());
+        let device = dynamic + static_p;
+        let total = device * self.cooling.total_power_multiplier(t);
+        Ok(VoltageScalingResult {
+            point,
+            frequency_factor: freq,
+            device_power_factor: device,
+            total_power_factor: total,
+        })
+    }
+
+    /// Finds the frequency-maximal feasible point at `t` with total power
+    /// (device + cooling) at most `budget` × the 300 K baseline device
+    /// power.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::NoFeasibleOperatingPoint`] if no grid point
+    /// meets the budget.
+    pub fn maximize_frequency(
+        &self,
+        t: Temperature,
+        budget: f64,
+    ) -> Result<VoltageScalingResult, DeviceError> {
+        let mut best: Option<VoltageScalingResult> = None;
+        let mut v_dd = 0.3;
+        while v_dd <= 1.3 {
+            let mut v_th = 0.1;
+            while v_th <= 0.6 {
+                if let Ok(res) = self.evaluate(OperatingPoint { v_dd, v_th }, t) {
+                    if res.total_power_factor <= budget
+                        && best.is_none_or(|b| res.frequency_factor > b.frequency_factor)
+                    {
+                        best = Some(res);
+                    }
+                }
+                v_th += 0.005;
+            }
+            v_dd += 0.01;
+        }
+        best.ok_or(DeviceError::NoFeasibleOperatingPoint { budget })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_point_is_unity() {
+        let opt = VoltageOptimizer::new(&MosfetModel::industry_45nm())
+            .with_cooling(CoolingModel::ambient());
+        let res = opt
+            .evaluate(OperatingPoint::baseline_300k(), Temperature::ambient())
+            .unwrap();
+        assert!((res.frequency_factor - 1.0).abs() < 1e-9);
+        assert!((res.device_power_factor - 1.0).abs() < 1e-9);
+        assert!((res.total_power_factor - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn vth_scaling_infeasible_at_300k() {
+        // Section 2.3: lowering V_th at 300 K explodes leakage; the CryoSP
+        // point at 300 K must blow well past the baseline power.
+        let opt = VoltageOptimizer::new(&MosfetModel::industry_45nm())
+            .with_cooling(CoolingModel::ambient());
+        let res = opt
+            .evaluate(OperatingPoint::cryosp(), Temperature::ambient())
+            .unwrap();
+        assert!(
+            res.device_power_factor > 2.0,
+            "CryoSP point at 300 K should be power-infeasible, got {}",
+            res.device_power_factor
+        );
+    }
+
+    #[test]
+    fn optimizer_beats_nominal_frequency_at_77k() {
+        let opt =
+            VoltageOptimizer::new(&MosfetModel::industry_45nm()).with_capacitance_factor(0.35);
+        let res = opt
+            .maximize_frequency(Temperature::liquid_nitrogen(), 1.0)
+            .unwrap();
+        // Voltage scaling plus the cold transistors must beat 300 K
+        // frequency despite the 10.65x cooling multiplier.
+        assert!(
+            res.frequency_factor > 1.0,
+            "77 K optimized frequency factor = {}",
+            res.frequency_factor
+        );
+        assert!(res.total_power_factor <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn optimizer_lands_near_paper_voltage_region() {
+        // CryoSP's published point is 0.64 V / 0.25 V; our optimizer should
+        // land in the same low-voltage region (within ~0.2 V).
+        let opt =
+            VoltageOptimizer::new(&MosfetModel::industry_45nm()).with_capacitance_factor(0.35);
+        let res = opt
+            .maximize_frequency(Temperature::liquid_nitrogen(), 1.0)
+            .unwrap();
+        assert!(
+            res.point.v_dd < 1.1,
+            "optimizer should pick a scaled V_dd, got {}",
+            res.point.v_dd
+        );
+        assert!(
+            res.point.v_th < 0.47,
+            "optimizer should pick a scaled V_th, got {}",
+            res.point.v_th
+        );
+    }
+
+    #[test]
+    fn infeasible_budget_errors() {
+        let opt = VoltageOptimizer::new(&MosfetModel::industry_45nm());
+        let err = opt
+            .maximize_frequency(Temperature::liquid_nitrogen(), 1e-9)
+            .unwrap_err();
+        assert!(matches!(err, DeviceError::NoFeasibleOperatingPoint { .. }));
+    }
+
+    #[test]
+    fn bigger_budget_never_hurts() {
+        let opt =
+            VoltageOptimizer::new(&MosfetModel::industry_45nm()).with_capacitance_factor(0.35);
+        let lo = opt
+            .maximize_frequency(Temperature::liquid_nitrogen(), 0.5)
+            .unwrap();
+        let hi = opt
+            .maximize_frequency(Temperature::liquid_nitrogen(), 1.0)
+            .unwrap();
+        assert!(hi.frequency_factor >= lo.frequency_factor);
+    }
+}

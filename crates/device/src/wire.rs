@@ -1,0 +1,360 @@
+//! Wire geometry and distributed-RC delay (the cryo-wire substitute).
+//!
+//! Wires are classified as in Section 2.1 of the paper: **local** (thinnest,
+//! adjacent gates), **semi-global** (intra-core, unit-to-unit, e.g. the
+//! data-forwarding network), and **global** (thickest, NoC links). Delay of
+//! an unrepeated wire uses the standard Elmore form for a lumped driver and
+//! distributed RC line:
+//!
+//! `t = 0.69·R_drv·(C_par + C_wire + C_load) + R_wire·(0.38·C_wire + 0.69·C_load)`
+//!
+//! Repeater insertion lives in [`crate::repeater`].
+
+use crate::error::DeviceError;
+use crate::mosfet::{GateStyle, MosfetModel};
+use crate::resistivity::ResistivityModel;
+use crate::temperature::Temperature;
+
+/// Metal-layer class of a wire (Section 2.1 / Fig. 1b).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum WireClass {
+    /// Thinnest, highest-resistivity wires connecting adjacent gates.
+    Local = 0,
+    /// Mid-layer wires connecting microarchitectural units inside a core
+    /// ("intra-core wires", e.g. the forwarding network).
+    SemiGlobal = 1,
+    /// Thickest, lowest-resistivity top-layer wires used by the NoC
+    /// ("inter-core wires").
+    Global = 2,
+}
+
+impl WireClass {
+    /// All classes, thinnest first.
+    pub const ALL: [WireClass; 3] = [WireClass::Local, WireClass::SemiGlobal, WireClass::Global];
+}
+
+/// Physical cross-section and capacitance of one wire class.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireGeometry {
+    /// Drawn width, µm.
+    pub width_um: f64,
+    /// Metal thickness, µm.
+    pub thickness_um: f64,
+    /// Capacitance per micron, fF/µm.
+    pub cap_per_um_ff: f64,
+    /// Default driver size (multiple of a minimum inverter) used when the
+    /// wire is driven without repeaters.
+    pub default_driver_size: f64,
+    /// Default receiver load, fF.
+    pub default_load_ff: f64,
+}
+
+impl WireGeometry {
+    /// 45 nm-class geometry for `class` (Mistry 2007-era dimensions).
+    #[must_use]
+    pub fn for_class(class: WireClass) -> Self {
+        match class {
+            WireClass::Local => WireGeometry {
+                width_um: 0.065,
+                thickness_um: 0.13,
+                cap_per_um_ff: 0.19,
+                default_driver_size: 64.0,
+                default_load_ff: 2.0,
+            },
+            WireClass::SemiGlobal => WireGeometry {
+                width_um: 0.14,
+                thickness_um: 0.25,
+                cap_per_um_ff: 0.21,
+                // Forwarding-network wires are driven by large ALU output
+                // drivers; calibrated so the 1686 µm forwarding wire speeds
+                // up 2.81x at 77 K (Section 4.3).
+                default_driver_size: 256.0,
+                default_load_ff: 10.0,
+            },
+            WireClass::Global => WireGeometry {
+                width_um: 0.2,
+                thickness_um: 0.45,
+                cap_per_um_ff: 0.24,
+                default_driver_size: 256.0,
+                default_load_ff: 10.0,
+            },
+        }
+    }
+
+    /// Cross-sectional area, µm².
+    #[must_use]
+    pub fn area_um2(&self) -> f64 {
+        self.width_um * self.thickness_um
+    }
+}
+
+/// A wire of a given class and length.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Wire {
+    class: WireClass,
+    length_um: f64,
+    geometry: WireGeometry,
+}
+
+impl Wire {
+    /// Creates a wire of `class` with default 45 nm geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `length_um` is not strictly positive; use
+    /// [`Wire::try_new`] for fallible construction.
+    #[must_use]
+    pub fn new(class: WireClass, length_um: f64) -> Self {
+        Wire::try_new(class, length_um).expect("wire length must be positive")
+    }
+
+    /// Fallible constructor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::InvalidGeometry`] if `length_um` is not a
+    /// positive finite number.
+    pub fn try_new(class: WireClass, length_um: f64) -> Result<Self, DeviceError> {
+        if !length_um.is_finite() || length_um <= 0.0 {
+            return Err(DeviceError::InvalidGeometry {
+                parameter: "length_um",
+                value: length_um,
+            });
+        }
+        Ok(Wire {
+            class,
+            length_um,
+            geometry: WireGeometry::for_class(class),
+        })
+    }
+
+    /// Replaces the geometry (e.g. to model the "draw wires thicker"
+    /// mitigation of Section 7.5).
+    #[must_use]
+    pub fn with_geometry(mut self, geometry: WireGeometry) -> Self {
+        self.geometry = geometry;
+        self
+    }
+
+    /// The wire's metal-layer class.
+    #[must_use]
+    pub fn class(&self) -> WireClass {
+        self.class
+    }
+
+    /// Length in microns.
+    #[must_use]
+    pub fn length_um(&self) -> f64 {
+        self.length_um
+    }
+
+    /// The wire's geometry.
+    #[must_use]
+    pub fn geometry(&self) -> &WireGeometry {
+        &self.geometry
+    }
+
+    /// Resistance per micron at temperature `t`, in Ω/µm.
+    ///
+    /// `r = ρ(class, T) / (width × thickness)`; resistivity is converted
+    /// from µΩ·cm.
+    #[must_use]
+    pub fn resistance_per_um(&self, rho: &ResistivityModel, t: Temperature) -> f64 {
+        let rho_ohm_m = rho.resistivity(self.class, t) * 1e-8; // µΩ·cm → Ω·m
+        let area_m2 = self.geometry.area_um2() * 1e-12;
+        rho_ohm_m * 1e-6 / area_m2
+    }
+
+    /// Total wire resistance at `t`, Ω.
+    #[must_use]
+    pub fn total_resistance(&self, rho: &ResistivityModel, t: Temperature) -> f64 {
+        self.resistance_per_um(rho, t) * self.length_um
+    }
+
+    /// Capacitance per micron, farads.
+    #[must_use]
+    pub fn cap_per_um(&self) -> f64 {
+        self.geometry.cap_per_um_ff * 1e-15
+    }
+
+    /// Total wire capacitance, farads.
+    #[must_use]
+    pub fn total_capacitance(&self) -> f64 {
+        self.cap_per_um() * self.length_um
+    }
+
+    /// Delay of the unrepeated wire at temperature `t`, driven by an
+    /// inverter of the geometry's default size, in picoseconds.
+    #[must_use]
+    pub fn unrepeated_delay_ps(
+        &self,
+        mosfet: &MosfetModel,
+        rho: &ResistivityModel,
+        t: Temperature,
+    ) -> f64 {
+        self.unrepeated_delay_with_driver_ps(mosfet, rho, t, self.geometry.default_driver_size)
+    }
+
+    /// Delay of the unrepeated wire with an explicit driver size, in ps.
+    ///
+    /// The driver is an inverter chain endpoint modelled with the
+    /// [`GateStyle::Repeater`] temperature behaviour.
+    #[must_use]
+    pub fn unrepeated_delay_with_driver_ps(
+        &self,
+        mosfet: &MosfetModel,
+        rho: &ResistivityModel,
+        t: Temperature,
+        driver_size: f64,
+    ) -> f64 {
+        let breakdown = self.unrepeated_delay_breakdown(mosfet, rho, t, driver_size);
+        breakdown.total_ps()
+    }
+
+    /// Driver/wire delay decomposition for the unrepeated wire, in ps.
+    #[must_use]
+    pub fn unrepeated_delay_breakdown(
+        &self,
+        mosfet: &MosfetModel,
+        rho: &ResistivityModel,
+        t: Temperature,
+        driver_size: f64,
+    ) -> WireDelay {
+        let ion = mosfet
+            .nominal_state(GateStyle::Repeater, t)
+            .expect("nominal point feasible")
+            .on_current_factor;
+        let r_drv = mosfet.r0_ohm() / driver_size / ion;
+        let c_par = mosfet.cp_farad() * driver_size;
+        let c_wire = self.total_capacitance();
+        let c_load = self.geometry.default_load_ff * 1e-15;
+        let r_wire = self.total_resistance(rho, t);
+
+        let driver_s = 0.69 * r_drv * (c_par + c_wire + c_load);
+        let wire_s = r_wire * (0.38 * c_wire + 0.69 * c_load);
+        WireDelay {
+            driver_ps: driver_s * 1e12,
+            wire_ps: wire_s * 1e12,
+        }
+    }
+
+    /// 77 K speed-up of the unrepeated wire relative to 300 K.
+    #[must_use]
+    pub fn unrepeated_speedup(
+        &self,
+        mosfet: &MosfetModel,
+        rho: &ResistivityModel,
+        t: Temperature,
+    ) -> f64 {
+        let d300 = self.unrepeated_delay_ps(mosfet, rho, Temperature::ambient());
+        let dt = self.unrepeated_delay_ps(mosfet, rho, t);
+        d300 / dt
+    }
+}
+
+/// Driver/wire decomposition of a wire delay.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireDelay {
+    /// Delay attributable to the driver (transistor), ps.
+    pub driver_ps: f64,
+    /// Delay attributable to the distributed wire RC, ps.
+    pub wire_ps: f64,
+}
+
+impl WireDelay {
+    /// Total delay, ps.
+    #[must_use]
+    pub fn total_ps(&self) -> f64 {
+        self.driver_ps + self.wire_ps
+    }
+
+    /// Fraction of the delay attributable to the wire (0..1).
+    #[must_use]
+    pub fn wire_fraction(&self) -> f64 {
+        self.wire_ps / self.total_ps()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calib;
+
+    fn setup() -> (MosfetModel, ResistivityModel) {
+        (MosfetModel::industry_45nm(), ResistivityModel::intel_45nm())
+    }
+
+    #[test]
+    fn rejects_nonpositive_length() {
+        assert!(Wire::try_new(WireClass::Local, 0.0).is_err());
+        assert!(Wire::try_new(WireClass::Local, -5.0).is_err());
+        assert!(Wire::try_new(WireClass::Local, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn resistance_scales_with_length_and_temperature() {
+        let (_, rho) = setup();
+        let short = Wire::new(WireClass::SemiGlobal, 100.0);
+        let long = Wire::new(WireClass::SemiGlobal, 200.0);
+        let t300 = Temperature::ambient();
+        let t77 = Temperature::liquid_nitrogen();
+        let r_short = short.total_resistance(&rho, t300);
+        let r_long = long.total_resistance(&rho, t300);
+        assert!((r_long / r_short - 2.0).abs() < 1e-9);
+        assert!(short.total_resistance(&rho, t77) < r_short);
+    }
+
+    #[test]
+    fn forwarding_wire_speedup_matches_paper() {
+        // Section 4.3: the pipeline's semi-global forwarding wires speed up
+        // ~2.81x at 77 K. The 1686 µm length is Table 1's forwarding wire.
+        let (mosfet, rho) = setup();
+        let wire = Wire::new(WireClass::SemiGlobal, 1686.0);
+        let s = wire.unrepeated_speedup(&mosfet, &rho, Temperature::liquid_nitrogen());
+        assert!(
+            (s - calib::PIPELINE_WIRE_SPEEDUP_77K).abs() < 0.15,
+            "forwarding-wire speedup = {s}, paper anchor 2.81"
+        );
+    }
+
+    #[test]
+    fn long_local_wire_speedup_near_fig5a() {
+        let (mosfet, rho) = setup();
+        // "Long" local wire: speed-up approaches the resistance ratio
+        // (paper Fig. 5a: 2.95x in maximum).
+        let wire = Wire::new(WireClass::Local, 10_000.0);
+        let s = wire.unrepeated_speedup(&mosfet, &rho, Temperature::liquid_nitrogen());
+        assert!(s > 2.7 && s < 3.1, "long local wire speedup = {s}");
+    }
+
+    #[test]
+    fn long_semi_global_wire_speedup_near_fig5a() {
+        let (mosfet, rho) = setup();
+        let wire = Wire::new(WireClass::SemiGlobal, 20_000.0);
+        let s = wire.unrepeated_speedup(&mosfet, &rho, Temperature::liquid_nitrogen());
+        assert!(s > 3.3 && s < 3.85, "long semi-global wire speedup = {s}");
+    }
+
+    #[test]
+    fn speedup_grows_with_length() {
+        // Longer wires are more wire-dominated, so they benefit more.
+        let (mosfet, rho) = setup();
+        let t77 = Temperature::liquid_nitrogen();
+        let mut last = 0.0;
+        for len in [50.0, 200.0, 900.0, 3_000.0, 10_000.0] {
+            let s = Wire::new(WireClass::SemiGlobal, len).unrepeated_speedup(&mosfet, &rho, t77);
+            assert!(s > last, "speedup must grow with length");
+            last = s;
+        }
+    }
+
+    #[test]
+    fn wire_fraction_sane() {
+        let (mosfet, rho) = setup();
+        let wire = Wire::new(WireClass::SemiGlobal, 1686.0);
+        let b = wire.unrepeated_delay_breakdown(&mosfet, &rho, Temperature::ambient(), 256.0);
+        let f = b.wire_fraction();
+        assert!(f > 0.4 && f < 0.95, "wire fraction = {f}");
+    }
+}

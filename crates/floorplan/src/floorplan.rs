@@ -1,0 +1,290 @@
+//! Skylake-like floorplan and inter-unit wire-length derivation
+//! (Section 3.1.2, Fig. 7).
+//!
+//! Stages whose critical path crosses *adjacent* units get their wiring
+//! from synthesis directly; stages spanning *non-adjacent* units (the
+//! long-forwarding-wire stages) need an explicit wire length derived from
+//! the floorplan. Following the paper (and Palacharla/McPAT before it),
+//! the eight ALUs and the integer register file stack in one column and
+//! share a single set of forwarding wires, so the forwarding wire length
+//! is the sum of their heights.
+
+use crate::units::{UnitGeometry, UnitKind};
+
+/// A unit placed at a position on the die (µm coordinates of its
+/// lower-left corner).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlacedUnit {
+    /// Which unit this is.
+    pub kind: UnitKind,
+    /// X coordinate of the lower-left corner, µm.
+    pub x_um: f64,
+    /// Y coordinate of the lower-left corner, µm.
+    pub y_um: f64,
+    /// The unit's rectangle.
+    pub geometry: UnitGeometry,
+}
+
+impl PlacedUnit {
+    /// Center of the unit, µm.
+    #[must_use]
+    pub fn center_um(&self) -> (f64, f64) {
+        (
+            self.x_um + self.geometry.width_um() / 2.0,
+            self.y_um + self.geometry.height_um() / 2.0,
+        )
+    }
+
+    /// True if this unit's rectangle touches `other`'s (shared edge or
+    /// overlap), the paper's criterion for "adjacent units".
+    #[must_use]
+    pub fn is_adjacent(&self, other: &PlacedUnit) -> bool {
+        let (ax0, ay0) = (self.x_um, self.y_um);
+        let (ax1, ay1) = (
+            self.x_um + self.geometry.width_um(),
+            self.y_um + self.geometry.height_um(),
+        );
+        let (bx0, by0) = (other.x_um, other.y_um);
+        let (bx1, by1) = (
+            other.x_um + other.geometry.width_um(),
+            other.y_um + other.geometry.height_um(),
+        );
+        let eps = 1.0; // µm slack for abutment
+        ax0 <= bx1 + eps && bx0 <= ax1 + eps && ay0 <= by1 + eps && by0 <= ay1 + eps
+    }
+}
+
+/// A core floorplan: a set of placed units plus the forwarding-column
+/// structure.
+///
+/// [`Floorplan::skylake_like`] follows the WikiChip Skylake-client layout
+/// the paper adopts: frontend units (BTB, predictor, I-cache, decoder)
+/// across the top, the rename/issue cluster in the middle, and the
+/// execution column — eight ALUs stacked on top of the integer register
+/// file — on the side, flanked by the LSQ and D-cache.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Floorplan {
+    units: Vec<PlacedUnit>,
+    /// Number of ALUs sharing the forwarding column.
+    alu_count: usize,
+}
+
+impl Floorplan {
+    /// Builds the Skylake-like floorplan used throughout the paper, with
+    /// eight ALUs in the forwarding column.
+    #[must_use]
+    pub fn skylake_like() -> Self {
+        Floorplan::with_alu_count(8)
+    }
+
+    /// Builds the floorplan with a custom number of forwarding-column ALUs
+    /// (e.g. 4 for the narrower CryoCore-style backend).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alu_count` is zero.
+    #[must_use]
+    pub fn with_alu_count(alu_count: usize) -> Self {
+        assert!(alu_count > 0, "a core needs at least one ALU");
+        let mut units = Vec::new();
+
+        // Frontend row (y grows upward; arbitrary but consistent layout).
+        let mut x = 0.0;
+        for kind in [
+            UnitKind::Btb,
+            UnitKind::BackupPredictor,
+            UnitKind::ICache,
+            UnitKind::BranchChecker,
+            UnitKind::Decoder,
+        ] {
+            let g = kind.geometry();
+            units.push(PlacedUnit {
+                kind,
+                x_um: x,
+                y_um: 2_400.0,
+                geometry: g,
+            });
+            x += g.width_um();
+        }
+
+        // Middle cluster: rename, issue queues, ROB.
+        let mut x = 0.0;
+        for kind in [
+            UnitKind::Rename,
+            UnitKind::IssueQueueInt,
+            UnitKind::IssueQueueFp,
+            UnitKind::Rob,
+        ] {
+            let g = kind.geometry();
+            units.push(PlacedUnit {
+                kind,
+                x_um: x,
+                y_um: 1_800.0,
+                geometry: g,
+            });
+            x += g.width_um();
+        }
+
+        // Execution column: ALUs stacked above the register file at x = 0.
+        let mut y = 0.0;
+        let rf = UnitKind::RegisterFile.geometry();
+        units.push(PlacedUnit {
+            kind: UnitKind::RegisterFile,
+            x_um: 0.0,
+            y_um: y,
+            geometry: rf,
+        });
+        y += rf.height_um();
+        for _ in 0..alu_count {
+            let g = UnitKind::Alu.geometry();
+            units.push(PlacedUnit {
+                kind: UnitKind::Alu,
+                x_um: 0.0,
+                y_um: y,
+                geometry: g,
+            });
+            y += g.height_um();
+        }
+
+        // Memory side: LSQ and D-cache next to the execution column.
+        units.push(PlacedUnit {
+            kind: UnitKind::Lsq,
+            x_um: 400.0,
+            y_um: 0.0,
+            geometry: UnitKind::Lsq.geometry(),
+        });
+        units.push(PlacedUnit {
+            kind: UnitKind::DCache,
+            x_um: 400.0,
+            y_um: 500.0,
+            geometry: UnitKind::DCache.geometry(),
+        });
+
+        Floorplan { units, alu_count }
+    }
+
+    /// All placed units.
+    #[must_use]
+    pub fn units(&self) -> &[PlacedUnit] {
+        &self.units
+    }
+
+    /// Number of ALUs in the forwarding column.
+    #[must_use]
+    pub fn alu_count(&self) -> usize {
+        self.alu_count
+    }
+
+    /// First placed instance of `kind`, if any.
+    #[must_use]
+    pub fn unit(&self, kind: UnitKind) -> Option<&PlacedUnit> {
+        self.units.iter().find(|u| u.kind == kind)
+    }
+
+    /// The data-forwarding wire length: the forwarding wires span the whole
+    /// execution column, i.e. the sum of all ALU heights plus the register
+    /// file height (Table 1: ≈1686 µm for 8 ALUs).
+    #[must_use]
+    pub fn forwarding_wire_length_um(&self) -> f64 {
+        let alu_h = UnitKind::Alu.geometry().height_um();
+        let rf_h = UnitKind::RegisterFile.geometry().height_um();
+        self.alu_count as f64 * alu_h + rf_h
+    }
+
+    /// Manhattan distance between the centers of two units, µm. Returns
+    /// `None` if either unit is absent from the floorplan.
+    #[must_use]
+    pub fn manhattan_distance_um(&self, a: UnitKind, b: UnitKind) -> Option<f64> {
+        let ua = self.unit(a)?;
+        let ub = self.unit(b)?;
+        let (ax, ay) = ua.center_um();
+        let (bx, by) = ub.center_um();
+        Some((ax - bx).abs() + (ay - by).abs())
+    }
+
+    /// True if the first placed instances of `a` and `b` abut, meaning the
+    /// stage's wiring can come from synthesis alone (path ②-1 in Fig. 6).
+    #[must_use]
+    pub fn are_adjacent(&self, a: UnitKind, b: UnitKind) -> bool {
+        match (self.unit(a), self.unit(b)) {
+            (Some(ua), Some(ub)) => ua.is_adjacent(ub),
+            _ => false,
+        }
+    }
+}
+
+impl Default for Floorplan {
+    fn default() -> Self {
+        Floorplan::skylake_like()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forwarding_wire_matches_table1() {
+        // Table 1: 8×ALU + register file ≈ 1686 µm.
+        let fp = Floorplan::skylake_like();
+        let len = fp.forwarding_wire_length_um();
+        assert!((len - 1686.0).abs() < 20.0, "forwarding wire = {len} µm");
+    }
+
+    #[test]
+    fn narrower_backend_shortens_forwarding_wire() {
+        // CryoCore halves the issue width; fewer ALUs ⇒ shorter forwarding
+        // wires.
+        let full = Floorplan::with_alu_count(8);
+        let half = Floorplan::with_alu_count(4);
+        assert!(half.forwarding_wire_length_um() < full.forwarding_wire_length_um());
+    }
+
+    #[test]
+    fn alus_and_register_file_are_stacked() {
+        let fp = Floorplan::skylake_like();
+        let alus: Vec<_> = fp
+            .units()
+            .iter()
+            .filter(|u| u.kind == UnitKind::Alu)
+            .collect();
+        assert_eq!(alus.len(), 8);
+        // All in the same column as the register file.
+        let rf = fp.unit(UnitKind::RegisterFile).unwrap();
+        for alu in alus {
+            assert_eq!(alu.x_um, rf.x_um);
+        }
+    }
+
+    #[test]
+    fn decoder_and_rename_are_non_adjacent_rows() {
+        let fp = Floorplan::skylake_like();
+        let d = fp.manhattan_distance_um(UnitKind::Decoder, UnitKind::Rename);
+        assert!(d.is_some());
+        assert!(d.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn adjacency_is_symmetric() {
+        let fp = Floorplan::skylake_like();
+        for a in UnitKind::ALL {
+            for b in UnitKind::ALL {
+                assert_eq!(fp.are_adjacent(a, b), fp.are_adjacent(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn every_unit_is_placed() {
+        let fp = Floorplan::skylake_like();
+        for kind in UnitKind::ALL {
+            assert!(fp.unit(kind).is_some(), "{kind} missing from floorplan");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one ALU")]
+    fn zero_alus_rejected() {
+        let _ = Floorplan::with_alu_count(0);
+    }
+}

@@ -1,0 +1,28 @@
+//! # cryowire-floorplan
+//!
+//! Unit geometry and floorplan modelling — the paper's "inter-unit wire
+//! model" extension of CC-Model (Section 3.1.2).
+//!
+//! The critical-path delay of stages that span non-adjacent units depends
+//! on realistic inter-unit wire lengths, which in turn depend on the
+//! floorplan. The paper uses an Intel-Skylake-like floorplan with unit
+//! areas synthesized from BOOM with the FreePDK 45 nm library (Table 1);
+//! this crate encodes those geometries and derives wire lengths from unit
+//! placement, e.g. the ~1686 µm data-forwarding wire that traverses eight
+//! ALUs and the integer register file.
+//!
+//! ```
+//! use cryowire_floorplan::Floorplan;
+//! let fp = Floorplan::skylake_like();
+//! let len = fp.forwarding_wire_length_um();
+//! assert!((len - 1686.0).abs() < 20.0); // Table 1 anchor
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod floorplan;
+pub mod units;
+
+pub use floorplan::{Floorplan, PlacedUnit};
+pub use units::{UnitGeometry, UnitKind};

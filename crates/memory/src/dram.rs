@@ -1,0 +1,169 @@
+//! DRAM timing at 300 K and 77 K — the DDR4 / CLL-DRAM substitute.
+//!
+//! Table 4 quotes 60.32 ns random-access latency for DDR4-2400 and
+//! 15.84 ns for the cryogenic CLL-DRAM of Lee et al. (ISCA'19). This
+//! module derives those from component timings: a random access pays
+//! precharge (tRP) + activate (tRCD) + column access (tCAS) + burst, and
+//! cooling shrinks the array/wire-dominated components while the
+//! exponentially-slowed charge leakage lets refresh be turned off
+//! entirely (CryoGuard: near refresh-free operation), removing the
+//! refresh-blocking overhead from the average.
+
+use cryowire_device::Temperature;
+
+/// Component timings of a DRAM device, ns.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DramTiming {
+    /// Precharge, ns.
+    pub t_rp: f64,
+    /// Activate (row to column delay), ns.
+    pub t_rcd: f64,
+    /// Column access strobe, ns.
+    pub t_cas: f64,
+    /// Data burst, ns.
+    pub t_burst: f64,
+    /// Refresh interval (tREFI), ns; `None` means refresh-free.
+    pub t_refi: Option<f64>,
+    /// Refresh cycle time (tRFC), ns.
+    pub t_rfc: f64,
+    /// Memory-controller and PHY overhead per request, ns (queuing,
+    /// command serialization, channel crossing).
+    pub t_controller: f64,
+}
+
+impl DramTiming {
+    /// DDR4-2400 at 300 K (CL17-class part).
+    #[must_use]
+    pub fn ddr4_2400() -> Self {
+        DramTiming {
+            t_rp: 14.16,
+            t_rcd: 14.16,
+            t_cas: 14.16,
+            t_burst: 3.33,
+            t_refi: Some(7_800.0),
+            t_rfc: 350.0,
+            t_controller: 6.66,
+        }
+    }
+
+    /// CLL-DRAM at 77 K: array access dominated by wordline/bitline RC,
+    /// which collapses with the wires; sense margins improve; refresh is
+    /// eliminated (retention grows beyond practical workloads at 77 K).
+    #[must_use]
+    pub fn cll_dram_77k() -> Self {
+        DramTiming {
+            t_rp: 3.7,
+            t_rcd: 3.7,
+            t_cas: 3.7,
+            t_burst: 3.33,
+            t_refi: None,
+            t_rfc: 0.0,
+            // The controller sits in the same LN bath: its wire-heavy
+            // command/data paths ride the cryogenic speed-up.
+            t_controller: 1.41,
+        }
+    }
+
+    /// The timing set for temperature `t` (the two published points;
+    /// callers interpolate via [`crate::hierarchy::MemoryDesign`]).
+    #[must_use]
+    pub fn at(t: Temperature) -> Self {
+        if t.is_cryogenic() {
+            DramTiming::cll_dram_77k()
+        } else {
+            DramTiming::ddr4_2400()
+        }
+    }
+
+    /// Closed-bank random access latency:
+    /// controller + tRP + tRCD + tCAS + burst.
+    #[must_use]
+    pub fn random_access_ns(&self) -> f64 {
+        self.t_controller + self.t_rp + self.t_rcd + self.t_cas + self.t_burst
+    }
+
+    /// Open-row hit latency: controller + tCAS + burst.
+    #[must_use]
+    pub fn row_hit_ns(&self) -> f64 {
+        self.t_controller + self.t_cas + self.t_burst
+    }
+
+    /// Fraction of time the device is blocked refreshing
+    /// (tRFC / tREFI; zero when refresh-free).
+    #[must_use]
+    pub fn refresh_overhead(&self) -> f64 {
+        match self.t_refi {
+            Some(refi) => self.t_rfc / refi,
+            None => 0.0,
+        }
+    }
+
+    /// Average random-access latency including refresh blocking.
+    #[must_use]
+    pub fn effective_random_access_ns(&self) -> f64 {
+        // A request arriving during a refresh waits half of tRFC on
+        // average, weighted by the blocked-time fraction.
+        self.random_access_ns() + self.refresh_overhead() * self.t_rfc / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_300k_latency() {
+        // Table 4: 60.32 ns DDR4-2400 random access.
+        let d = DramTiming::ddr4_2400();
+        assert!(
+            (d.effective_random_access_ns() - 60.32).abs() < 0.5,
+            "DDR4 effective latency = {}",
+            d.effective_random_access_ns()
+        );
+    }
+
+    #[test]
+    fn table4_77k_latency() {
+        // Table 4: 15.84 ns CLL-DRAM.
+        let d = DramTiming::cll_dram_77k();
+        assert!(
+            (d.effective_random_access_ns() - 15.84).abs() < 0.5,
+            "CLL-DRAM latency = {}",
+            d.effective_random_access_ns()
+        );
+    }
+
+    #[test]
+    fn paper_anchor_3_8x_dram_speedup() {
+        let hot = DramTiming::ddr4_2400().effective_random_access_ns();
+        let cold = DramTiming::cll_dram_77k().effective_random_access_ns();
+        let ratio = hot / cold;
+        assert!((ratio - 3.8).abs() < 0.4, "DRAM speed-up = {ratio}");
+    }
+
+    #[test]
+    fn cryogenic_dram_is_refresh_free() {
+        // CryoGuard / Rambus: retention at 77 K makes refresh negligible.
+        assert_eq!(DramTiming::cll_dram_77k().refresh_overhead(), 0.0);
+        assert!(DramTiming::ddr4_2400().refresh_overhead() > 0.02);
+    }
+
+    #[test]
+    fn row_hits_are_cheaper() {
+        for d in [DramTiming::ddr4_2400(), DramTiming::cll_dram_77k()] {
+            assert!(d.row_hit_ns() < d.random_access_ns());
+        }
+    }
+
+    #[test]
+    fn selection_by_temperature() {
+        assert_eq!(
+            DramTiming::at(Temperature::liquid_nitrogen()),
+            DramTiming::cll_dram_77k()
+        );
+        assert_eq!(
+            DramTiming::at(Temperature::ambient()),
+            DramTiming::ddr4_2400()
+        );
+    }
+}

@@ -1,0 +1,209 @@
+//! Cache and DRAM latency specifications (Table 4, "Memory specification").
+//!
+//! All cache latencies are quoted in cycles at the 4 GHz reference clock,
+//! exactly as the paper's Table 4 does; DRAM random-access latency is in
+//! nanoseconds (DDR4-2400 at 300 K, CLL-DRAM at 77 K).
+
+/// One cache level's specification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheLevelSpec {
+    /// Capacity in KiB (per core for private levels, per-core slice for
+    /// the shared L3).
+    pub size_kib: usize,
+    /// Access latency in cycles at the 4 GHz reference clock.
+    pub latency_cycles_at_4ghz: u64,
+}
+
+impl CacheLevelSpec {
+    /// Access latency in nanoseconds.
+    #[must_use]
+    pub fn latency_ns(&self) -> f64 {
+        self.latency_cycles_at_4ghz as f64 / 4.0
+    }
+}
+
+/// A full memory hierarchy (Table 4's 300 K or 77 K column).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemoryDesign {
+    name: &'static str,
+    l1: CacheLevelSpec,
+    l2: CacheLevelSpec,
+    l3: CacheLevelSpec,
+    dram_ns: f64,
+}
+
+impl MemoryDesign {
+    /// The 300 K memory: i7-6700 caches + DDR4-2400.
+    #[must_use]
+    pub fn mem_300k() -> Self {
+        MemoryDesign {
+            name: "300K memory",
+            l1: CacheLevelSpec {
+                size_kib: 32,
+                latency_cycles_at_4ghz: 4,
+            },
+            l2: CacheLevelSpec {
+                size_kib: 256,
+                latency_cycles_at_4ghz: 12,
+            },
+            l3: CacheLevelSpec {
+                size_kib: 1_024,
+                latency_cycles_at_4ghz: 20,
+            },
+            dram_ns: 60.32,
+        }
+    }
+
+    /// The 77 K memory: cryogenic SRAM caches (CryoCache) + CLL-DRAM.
+    #[must_use]
+    pub fn mem_77k() -> Self {
+        MemoryDesign {
+            name: "77K memory",
+            l1: CacheLevelSpec {
+                size_kib: 32,
+                latency_cycles_at_4ghz: 2,
+            },
+            l2: CacheLevelSpec {
+                size_kib: 256,
+                latency_cycles_at_4ghz: 6,
+            },
+            l3: CacheLevelSpec {
+                size_kib: 1_024,
+                latency_cycles_at_4ghz: 10,
+            },
+            dram_ns: 15.84,
+        }
+    }
+
+    /// A hierarchy linearly interpolated between the 77 K and 300 K
+    /// designs by temperature — the Section 7.4 assumption that memory
+    /// performance scales linearly with temperature.
+    ///
+    /// # Panics
+    ///
+    /// Never panics for temperatures in the validated device range.
+    #[must_use]
+    pub fn interpolated(t: cryowire_device::Temperature) -> Self {
+        let cold = MemoryDesign::mem_77k();
+        let hot = MemoryDesign::mem_300k();
+        let frac = ((t.kelvin() - 77.0) / (300.0 - 77.0)).clamp(0.0, 1.0);
+        let lerp = |a: f64, b: f64| a + (b - a) * frac;
+        let level = |c: CacheLevelSpec, h: CacheLevelSpec| CacheLevelSpec {
+            size_kib: c.size_kib,
+            latency_cycles_at_4ghz: lerp(
+                c.latency_cycles_at_4ghz as f64,
+                h.latency_cycles_at_4ghz as f64,
+            )
+            .round() as u64,
+        };
+        MemoryDesign {
+            name: "interpolated memory",
+            l1: level(cold.l1, hot.l1),
+            l2: level(cold.l2, hot.l2),
+            l3: level(cold.l3, hot.l3),
+            dram_ns: lerp(cold.dram_ns, hot.dram_ns),
+        }
+    }
+
+    /// Design name as in Table 4.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// L1 specification.
+    #[must_use]
+    pub fn l1(&self) -> CacheLevelSpec {
+        self.l1
+    }
+
+    /// L2 specification.
+    #[must_use]
+    pub fn l2(&self) -> CacheLevelSpec {
+        self.l2
+    }
+
+    /// Shared L3 (per-core slice) specification.
+    #[must_use]
+    pub fn l3(&self) -> CacheLevelSpec {
+        self.l3
+    }
+
+    /// DRAM random-access latency, ns.
+    #[must_use]
+    pub fn dram_latency_ns(&self) -> f64 {
+        self.dram_ns
+    }
+
+    /// Total shared L3 capacity for an `n`-core die, MiB.
+    #[must_use]
+    pub fn total_l3_mib(&self, cores: usize) -> usize {
+        self.l3.size_kib * cores / 1_024
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_300k_values() {
+        let m = MemoryDesign::mem_300k();
+        assert_eq!(m.l1().latency_cycles_at_4ghz, 4);
+        assert_eq!(m.l2().latency_cycles_at_4ghz, 12);
+        assert_eq!(m.l3().latency_cycles_at_4ghz, 20);
+        assert!((m.dram_latency_ns() - 60.32).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table4_77k_values() {
+        let m = MemoryDesign::mem_77k();
+        assert_eq!(m.l1().latency_cycles_at_4ghz, 2);
+        assert_eq!(m.l2().latency_cycles_at_4ghz, 6);
+        assert_eq!(m.l3().latency_cycles_at_4ghz, 10);
+        assert!((m.dram_latency_ns() - 15.84).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_anchor_twice_faster_caches() {
+        // Section 6.1.1: "twice faster caches and 3.8 times faster DRAM".
+        let a = MemoryDesign::mem_300k();
+        let b = MemoryDesign::mem_77k();
+        assert_eq!(
+            a.l3().latency_cycles_at_4ghz,
+            2 * b.l3().latency_cycles_at_4ghz
+        );
+        let dram_ratio = a.dram_latency_ns() / b.dram_latency_ns();
+        assert!((dram_ratio - 3.8).abs() < 0.05, "DRAM ratio = {dram_ratio}");
+    }
+
+    #[test]
+    fn sixty_four_mib_shared_l3() {
+        // Section 5.1: 64-core CPU with 64 MB shared L3 (1 MB per core).
+        assert_eq!(MemoryDesign::mem_77k().total_l3_mib(64), 64);
+    }
+
+    #[test]
+    fn latency_ns_conversion() {
+        let l3 = MemoryDesign::mem_77k().l3();
+        assert!((l3.latency_ns() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interpolation_hits_endpoints_and_is_monotone() {
+        use cryowire_device::Temperature;
+        let at = |k: f64| MemoryDesign::interpolated(Temperature::new(k).unwrap());
+        assert_eq!(at(77.0), {
+            let mut m = MemoryDesign::mem_77k();
+            m.name = "interpolated memory";
+            m
+        });
+        assert!((at(300.0).dram_latency_ns() - 60.32).abs() < 1e-9);
+        let mut last = 0.0;
+        for k in [77.0, 135.0, 200.0, 250.0, 300.0] {
+            let d = at(k).dram_latency_ns();
+            assert!(d > last, "DRAM latency must grow with temperature");
+            last = d;
+        }
+    }
+}

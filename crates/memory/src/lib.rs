@@ -1,0 +1,32 @@
+//! # cryowire-memory
+//!
+//! Memory-hierarchy latency models for the CryoWire evaluation — the
+//! CACTI-NUCA / CryoCache / CLL-DRAM substitute (Table 4, Fig. 16).
+//!
+//! The paper integrates previously-published 77 K-optimized caches and
+//! DRAM: the 77 K memory provides twice-faster caches and 3.8x-faster
+//! DRAM than the 300 K setup. This crate encodes those latencies and
+//! composes them with the NoC models into the L3 hit/miss paths that
+//! Fig. 16 decomposes.
+//!
+//! ```
+//! use cryowire_memory::MemoryDesign;
+//! let m300 = MemoryDesign::mem_300k();
+//! let m77 = MemoryDesign::mem_77k();
+//! assert!(m300.dram_latency_ns() / m77.dram_latency_ns() > 3.5);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod coherence;
+pub mod dram;
+pub mod hierarchy;
+pub mod llc_path;
+pub mod nuca;
+
+pub use coherence::{Access, CoherenceCost, DirectoryMesi, MesiState, SnoopingMesi};
+pub use dram::DramTiming;
+pub use hierarchy::{CacheLevelSpec, MemoryDesign};
+pub use llc_path::{CoherenceStyle, LatencyBreakdown, LlcPathModel, NocChoice};
+pub use nuca::{NucaCandidate, NucaOptimizer};

@@ -1,0 +1,348 @@
+//! L3 hit/miss latency composition over a NoC (Fig. 16).
+//!
+//! Directory-based router NoCs pay two network traversals per L3 hit
+//! (request to the home slice, data response) and an extra traversal plus
+//! DRAM on a miss. Snooping buses pay one arbitrated broadcast for the
+//! request and one data transfer on the (already-directed) data wires.
+//! Data responses carry a cache line, adding a serialization tail.
+
+use cryowire_device::Temperature;
+use cryowire_noc::{CryoBus, Network, NocKind, RouterClass, RouterNetwork, SharedBus};
+
+use crate::hierarchy::MemoryDesign;
+
+/// Coherence style implied by the NoC (Table 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoherenceStyle {
+    /// Directory coherence over a router NoC; L3 slices keep directory
+    /// state.
+    Directory,
+    /// Snooping over a shared bus.
+    Snooping,
+}
+
+/// The NoC choices Fig. 16 compares.
+#[derive(Debug, Clone)]
+pub enum NocChoice {
+    /// A router-based NoC with its clock frequency, GHz (Table 4: 4 GHz at
+    /// 300 K, 5.44 GHz at 77 K).
+    Router {
+        /// The network.
+        network: RouterNetwork,
+        /// NoC clock, GHz.
+        clock_ghz: f64,
+    },
+    /// A conventional or H-tree shared bus (4 GHz domain).
+    Bus {
+        /// The bus.
+        bus: SharedBus,
+    },
+    /// The paper's CryoBus.
+    CryoBus {
+        /// The bus.
+        bus: CryoBus,
+    },
+    /// The ideal zero-latency NoC used as Fig. 16's red dotted line and
+    /// Fig. 17's normalization.
+    Ideal,
+}
+
+impl NocChoice {
+    /// The five standard Fig. 16 configurations at a temperature.
+    #[must_use]
+    pub fn standard_set(t: Temperature) -> Vec<NocChoice> {
+        let clock = if t.is_cryogenic() { 5.44 } else { 4.0 };
+        let mk = |kind| NocChoice::Router {
+            network: RouterNetwork::new(kind, 64, RouterClass::OneCycle, t)
+                .expect("64-core router networks are valid"),
+            clock_ghz: clock,
+        };
+        vec![
+            mk(NocKind::Mesh),
+            mk(NocKind::FlattenedButterfly),
+            mk(NocKind::CMesh),
+            NocChoice::Bus {
+                bus: SharedBus::new(64, t),
+            },
+            NocChoice::CryoBus {
+                bus: CryoBus::new(64, t),
+            },
+        ]
+    }
+
+    /// Display name.
+    #[must_use]
+    pub fn name(&self) -> String {
+        match self {
+            NocChoice::Router { network, .. } => network.name(),
+            NocChoice::Bus { bus } => bus.name(),
+            NocChoice::CryoBus { bus } => bus.name(),
+            NocChoice::Ideal => "Ideal (zero NoC)".to_string(),
+        }
+    }
+
+    /// Coherence style (Table 4).
+    #[must_use]
+    pub fn coherence(&self) -> CoherenceStyle {
+        match self {
+            NocChoice::Router { .. } => CoherenceStyle::Directory,
+            _ => CoherenceStyle::Snooping,
+        }
+    }
+
+    /// Serialization tail of a cache-line data response, cycles
+    /// (a 64 B line as 4 extra flits/beats behind the head).
+    const DATA_TAIL_CYCLES: f64 = 4.0;
+
+    /// One-way request latency, ns.
+    #[must_use]
+    pub fn request_latency_ns(&self) -> f64 {
+        match self {
+            NocChoice::Router { network, clock_ghz } => {
+                network.average_zero_load_latency() / clock_ghz
+            }
+            NocChoice::Bus { bus } => bus.transaction_latency() as f64 / 4.0,
+            NocChoice::CryoBus { bus } => bus.transaction_latency() as f64 / 4.0,
+            NocChoice::Ideal => 0.0,
+        }
+    }
+
+    /// Data-response latency, ns (head latency plus line serialization).
+    #[must_use]
+    pub fn response_latency_ns(&self) -> f64 {
+        match self {
+            NocChoice::Router { network, clock_ghz } => {
+                (network.average_zero_load_latency() + Self::DATA_TAIL_CYCLES) / clock_ghz
+            }
+            // Data moves on the directed data wires: broadcast-span
+            // traversal plus the line tail, no arbitration.
+            NocChoice::Bus { bus } => {
+                (bus.occupancy_cycles() as f64 + Self::DATA_TAIL_CYCLES) / 4.0
+            }
+            NocChoice::CryoBus { bus } => {
+                (bus.occupancy_cycles() as f64 + Self::DATA_TAIL_CYCLES) / 4.0
+            }
+            NocChoice::Ideal => 0.0,
+        }
+    }
+
+    /// Total NoC time on an L3 hit, ns.
+    #[must_use]
+    pub fn hit_noc_ns(&self) -> f64 {
+        self.request_latency_ns() + self.response_latency_ns()
+    }
+
+    /// Total NoC time on an L3 miss, ns: the directory protocol adds a
+    /// traversal to the memory controller; snooping already broadcast to
+    /// everyone, so only the response path lengthens.
+    #[must_use]
+    pub fn miss_noc_ns(&self) -> f64 {
+        match self.coherence() {
+            CoherenceStyle::Directory => {
+                self.request_latency_ns() * 2.0 + self.response_latency_ns()
+            }
+            CoherenceStyle::Snooping => self.request_latency_ns() + self.response_latency_ns(),
+        }
+    }
+}
+
+/// {NoC, cache, DRAM} decomposition of an access latency (Fig. 16's bars).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyBreakdown {
+    /// Time on the interconnect, ns.
+    pub noc_ns: f64,
+    /// Time in the cache arrays, ns.
+    pub cache_ns: f64,
+    /// Time in DRAM, ns.
+    pub dram_ns: f64,
+}
+
+impl LatencyBreakdown {
+    /// Total latency, ns.
+    #[must_use]
+    pub fn total_ns(&self) -> f64 {
+        self.noc_ns + self.cache_ns + self.dram_ns
+    }
+
+    /// NoC share of the total (0..1).
+    #[must_use]
+    pub fn noc_fraction(&self) -> f64 {
+        self.noc_ns / self.total_ns()
+    }
+}
+
+/// Composes a NoC choice and a memory design into L3 hit/miss breakdowns.
+#[derive(Debug, Clone)]
+pub struct LlcPathModel {
+    noc: NocChoice,
+    memory: MemoryDesign,
+}
+
+impl LlcPathModel {
+    /// Creates the path model.
+    #[must_use]
+    pub fn new(noc: NocChoice, memory: MemoryDesign) -> Self {
+        LlcPathModel { noc, memory }
+    }
+
+    /// The NoC choice.
+    #[must_use]
+    pub fn noc(&self) -> &NocChoice {
+        &self.noc
+    }
+
+    /// L3 **hit** latency breakdown (Fig. 16a).
+    #[must_use]
+    pub fn hit_breakdown(&self) -> LatencyBreakdown {
+        LatencyBreakdown {
+            noc_ns: self.noc.hit_noc_ns(),
+            cache_ns: self.memory.l3().latency_ns(),
+            dram_ns: 0.0,
+        }
+    }
+
+    /// L3 **miss** latency breakdown (Fig. 16b).
+    #[must_use]
+    pub fn miss_breakdown(&self) -> LatencyBreakdown {
+        LatencyBreakdown {
+            noc_ns: self.noc.miss_noc_ns(),
+            cache_ns: self.memory.l3().latency_ns(),
+            dram_ns: self.memory.dram_latency_ns(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t77() -> Temperature {
+        Temperature::liquid_nitrogen()
+    }
+    fn t300() -> Temperature {
+        Temperature::ambient()
+    }
+
+    fn mesh(t: Temperature) -> NocChoice {
+        let clock = if t.is_cryogenic() { 5.44 } else { 4.0 };
+        NocChoice::Router {
+            network: RouterNetwork::mesh64(RouterClass::OneCycle, t),
+            clock_ghz: clock,
+        }
+    }
+
+    #[test]
+    fn mesh_dominates_77k_hit_latency() {
+        // Fig. 16: with 77 K Mesh, NoC takes up to ~71.7 % of the L3 hit
+        // latency.
+        let model = LlcPathModel::new(mesh(t77()), MemoryDesign::mem_77k());
+        let frac = model.hit_breakdown().noc_fraction();
+        assert!(
+            frac > 0.55 && frac < 0.80,
+            "77 K mesh hit NoC fraction = {frac}"
+        );
+    }
+
+    #[test]
+    fn mesh_77k_miss_noc_fraction() {
+        // Fig. 16: ~40.4 % of the miss latency.
+        let model = LlcPathModel::new(mesh(t77()), MemoryDesign::mem_77k());
+        let frac = model.miss_breakdown().noc_fraction();
+        assert!(
+            frac > 0.25 && frac < 0.55,
+            "77 K mesh miss NoC fraction = {frac}"
+        );
+    }
+
+    #[test]
+    fn bus_beats_mesh_at_77k() {
+        // Guideline #1.
+        let mesh_model = LlcPathModel::new(mesh(t77()), MemoryDesign::mem_77k());
+        let bus_model = LlcPathModel::new(
+            NocChoice::Bus {
+                bus: SharedBus::new(64, t77()),
+            },
+            MemoryDesign::mem_77k(),
+        );
+        assert!(bus_model.hit_breakdown().total_ns() < mesh_model.hit_breakdown().total_ns());
+        assert!(bus_model.miss_breakdown().total_ns() < mesh_model.miss_breakdown().total_ns());
+    }
+
+    #[test]
+    fn bus_and_mesh_comparable_at_300k() {
+        // Fig. 16: at 300 K the shared bus is comparable to router NoCs
+        // (within ~2x either way).
+        let mesh_model = LlcPathModel::new(mesh(t300()), MemoryDesign::mem_300k());
+        let bus_model = LlcPathModel::new(
+            NocChoice::Bus {
+                bus: SharedBus::new(64, t300()),
+            },
+            MemoryDesign::mem_300k(),
+        );
+        let ratio = bus_model.hit_breakdown().total_ns() / mesh_model.hit_breakdown().total_ns();
+        assert!(
+            ratio > 0.5 && ratio < 2.0,
+            "300 K bus/mesh hit ratio = {ratio}"
+        );
+    }
+
+    #[test]
+    fn cryobus_nearest_to_ideal() {
+        let mem = MemoryDesign::mem_77k();
+        let ideal = LlcPathModel::new(NocChoice::Ideal, mem)
+            .hit_breakdown()
+            .total_ns();
+        let cryo = LlcPathModel::new(
+            NocChoice::CryoBus {
+                bus: CryoBus::new(64, t77()),
+            },
+            mem,
+        )
+        .hit_breakdown()
+        .total_ns();
+        let mesh_total = LlcPathModel::new(mesh(t77()), mem)
+            .hit_breakdown()
+            .total_ns();
+        assert!(cryo - ideal < mesh_total - ideal);
+        assert!(
+            cryo / ideal < 2.2,
+            "CryoBus hit vs ideal = {}",
+            cryo / ideal
+        );
+    }
+
+    #[test]
+    fn ideal_has_zero_noc() {
+        let model = LlcPathModel::new(NocChoice::Ideal, MemoryDesign::mem_77k());
+        assert_eq!(model.hit_breakdown().noc_ns, 0.0);
+        assert!(model.miss_breakdown().noc_fraction() < 1e-12);
+    }
+
+    #[test]
+    fn directory_miss_costs_more_noc_than_hit() {
+        let model = LlcPathModel::new(mesh(t77()), MemoryDesign::mem_77k());
+        assert!(model.miss_breakdown().noc_ns > model.hit_breakdown().noc_ns);
+    }
+
+    #[test]
+    fn standard_set_has_five_nocs() {
+        let set = NocChoice::standard_set(t77());
+        assert_eq!(set.len(), 5);
+        assert_eq!(set[0].coherence(), CoherenceStyle::Directory);
+        assert_eq!(set[4].coherence(), CoherenceStyle::Snooping);
+    }
+
+    #[test]
+    fn router_nocs_barely_improve_at_77k() {
+        // Guideline #1's premise: mesh ns latency improves only via the
+        // 4 → 5.44 GHz clock (~26 %), nowhere near the 3x wire speed-up.
+        let hit300 = LlcPathModel::new(mesh(t300()), MemoryDesign::mem_300k())
+            .hit_breakdown()
+            .noc_ns;
+        let hit77 = LlcPathModel::new(mesh(t77()), MemoryDesign::mem_77k())
+            .hit_breakdown()
+            .noc_ns;
+        let gain = hit300 / hit77;
+        assert!(gain < 1.6, "mesh NoC hit-latency gain at 77 K = {gain}");
+    }
+}

@@ -1,0 +1,68 @@
+//! Error types for the NoC crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by NoC construction and simulation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NocError {
+    /// Node count incompatible with the topology (e.g. a mesh needs a
+    /// square count, CryoBus needs a power-of-four H-tree).
+    InvalidNodeCount {
+        /// The rejected count.
+        nodes: usize,
+        /// What the topology requires.
+        requirement: &'static str,
+    },
+    /// A source or destination node index out of range.
+    NodeOutOfRange {
+        /// The offending index.
+        node: usize,
+        /// The network size.
+        nodes: usize,
+    },
+    /// An injection rate that is not a probability.
+    InvalidInjectionRate {
+        /// The rejected rate.
+        rate: f64,
+    },
+}
+
+impl fmt::Display for NocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NocError::InvalidNodeCount { nodes, requirement } => {
+                write!(f, "invalid node count {nodes}: {requirement}")
+            }
+            NocError::NodeOutOfRange { node, nodes } => {
+                write!(f, "node {node} out of range for a {nodes}-node network")
+            }
+            NocError::InvalidInjectionRate { rate } => {
+                write!(f, "injection rate {rate} must be in [0, 1]")
+            }
+        }
+    }
+}
+
+impl Error for NocError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = NocError::InvalidNodeCount {
+            nodes: 63,
+            requirement: "mesh requires a perfect square",
+        };
+        assert!(e.to_string().contains("63"));
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NocError>();
+    }
+}

@@ -1,0 +1,133 @@
+//! Global-wire link speed model (the CACTI-NUCA wire-link substitute,
+//! Section 3.1.3 / 5.1).
+//!
+//! The paper anchors 300 K links at 0.064 ns per 2 mm hop (CACTI-NUCA,
+//! 45 nm), i.e. ~4 hops per 4 GHz cycle, and derives 77 K links from the
+//! re-optimized repeated global wire (~3x faster ⇒ 12 hops/cycle). We keep
+//! the 300 K anchor and scale it with the *computed* repeated-wire speed-up
+//! from the device models, so the whole temperature range is available.
+
+use cryowire_device::{calib, MosfetModel, RepeaterOptimizer, Temperature, Wire, WireClass};
+
+/// Physical hop length on the 8x8 64-core die, mm (one tile pitch).
+pub const HOP_LENGTH_MM: f64 = 2.0;
+
+/// Wire-link speed model: hop delay and hops-per-cycle at any temperature.
+///
+/// ```
+/// use cryowire_device::Temperature;
+/// use cryowire_noc::LinkModel;
+///
+/// let link = LinkModel::new();
+/// let h300 = link.hops_per_cycle(Temperature::ambient(), 4.0);
+/// let h77 = link.hops_per_cycle(Temperature::liquid_nitrogen(), 4.0);
+/// assert_eq!(h300, 4);
+/// assert_eq!(h77, 12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LinkModel {
+    optimizer: RepeaterOptimizer,
+    /// Reference 2 mm hop delay at 300 K, ns (CACTI-NUCA anchor).
+    hop_delay_300k_ns: f64,
+}
+
+impl LinkModel {
+    /// Creates the model with the paper's 45 nm anchors.
+    #[must_use]
+    pub fn new() -> Self {
+        LinkModel {
+            optimizer: RepeaterOptimizer::new(&MosfetModel::industry_45nm()),
+            hop_delay_300k_ns: calib::LINK_DELAY_300K_NS_PER_2MM,
+        }
+    }
+
+    /// Speed-up of a re-optimized 2 mm global link at `t` vs 300 K.
+    #[must_use]
+    pub fn speedup(&self, t: Temperature) -> f64 {
+        let wire = Wire::new(WireClass::Global, HOP_LENGTH_MM * 1_000.0);
+        self.optimizer.speedup(&wire, t)
+    }
+
+    /// Delay of one 2 mm hop at `t`, ns.
+    #[must_use]
+    pub fn hop_delay_ns(&self, t: Temperature) -> f64 {
+        self.hop_delay_300k_ns / self.speedup(t)
+    }
+
+    /// How many 2 mm hops a signal traverses within one clock cycle at
+    /// `clock_ghz` (at least 1).
+    #[must_use]
+    pub fn hops_per_cycle(&self, t: Temperature, clock_ghz: f64) -> usize {
+        let cycle_ns = 1.0 / clock_ghz;
+        // The paper quotes rounded hop counts (0.25 ns / 0.064 ns ⇒ "4
+        // hops/cycle"), so we round rather than floor.
+        ((cycle_ns / self.hop_delay_ns(t)).round() as usize).max(1)
+    }
+
+    /// Cycles needed to traverse `hops` wire hops at `t` and `clock_ghz`
+    /// (at least 1).
+    #[must_use]
+    pub fn traversal_cycles(&self, hops: usize, t: Temperature, clock_ghz: f64) -> usize {
+        if hops == 0 {
+            return 0;
+        }
+        let hpc = self.hops_per_cycle(t, clock_ghz);
+        hops.div_ceil(hpc)
+    }
+}
+
+impl Default for LinkModel {
+    fn default() -> Self {
+        LinkModel::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_anchor_4_hops_per_cycle_at_300k() {
+        let link = LinkModel::new();
+        assert_eq!(link.hops_per_cycle(Temperature::ambient(), 4.0), 4);
+    }
+
+    #[test]
+    fn paper_anchor_12_hops_per_cycle_at_77k() {
+        let link = LinkModel::new();
+        assert_eq!(link.hops_per_cycle(Temperature::liquid_nitrogen(), 4.0), 12);
+    }
+
+    #[test]
+    fn fig10_link_speedup_near_3x() {
+        let link = LinkModel::new();
+        let s = link.speedup(Temperature::liquid_nitrogen());
+        assert!(s > 2.8 && s < 3.6, "77 K link speedup = {s}");
+    }
+
+    #[test]
+    fn traversal_cycles_ceil() {
+        let link = LinkModel::new();
+        let t300 = Temperature::ambient();
+        // 30 hops at 4 hops/cycle = 8 cycles (the baseline shared bus
+        // broadcast of Section 5.2.1).
+        assert_eq!(link.traversal_cycles(30, t300, 4.0), 8);
+        // 12 hops at 12 hops/cycle = 1 cycle (CryoBus broadcast).
+        assert_eq!(
+            link.traversal_cycles(12, Temperature::liquid_nitrogen(), 4.0),
+            1
+        );
+        assert_eq!(link.traversal_cycles(0, t300, 4.0), 0);
+    }
+
+    #[test]
+    fn speedup_monotone_in_cooling() {
+        let link = LinkModel::new();
+        let mut last = 0.0;
+        for k in [300.0, 200.0, 135.0, 100.0, 77.0] {
+            let s = link.speedup(Temperature::new(k).unwrap());
+            assert!(s >= last);
+            last = s;
+        }
+    }
+}

@@ -1,0 +1,267 @@
+//! Load–latency sweep harness (Fig. 18 / 21 / 25 / 26) and the workload
+//! injection-rate bands of Fig. 18.
+
+use crate::error::NocError;
+use crate::sim::{Network, SimConfig, Simulator};
+use crate::traffic::TrafficPattern;
+
+/// Per-core request injection-rate band of a workload suite
+/// (L2 MPKI-derived, Fig. 18).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadBand {
+    /// Suite name.
+    pub name: &'static str,
+    /// Minimum per-core injection rate (packets/core/cycle).
+    pub min_rate: f64,
+    /// Maximum per-core injection rate.
+    pub max_rate: f64,
+}
+
+/// The measured injection bands of Fig. 18 (Gem5 + real-machine profiling
+/// in the paper; encoded here as the band edges the figure shows).
+pub const WORKLOAD_BANDS: [WorkloadBand; 4] = [
+    WorkloadBand {
+        name: "PARSEC",
+        min_rate: 0.0005,
+        max_rate: 0.004,
+    },
+    WorkloadBand {
+        name: "SPEC2006",
+        min_rate: 0.004,
+        max_rate: 0.012,
+    },
+    WorkloadBand {
+        name: "SPEC2017",
+        min_rate: 0.005,
+        max_rate: 0.013,
+    },
+    WorkloadBand {
+        name: "CloudSuite",
+        min_rate: 0.008,
+        max_rate: 0.014,
+    },
+];
+
+/// One point of a load–latency curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadLatencyPoint {
+    /// Offered per-core injection rate.
+    pub rate: f64,
+    /// Measured average latency, cycles.
+    pub latency: f64,
+    /// Whether the network saturated.
+    pub saturated: bool,
+}
+
+/// A full load–latency curve for one network/pattern combination.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadLatencyCurve {
+    /// Network display name.
+    pub network: String,
+    /// Measured points, ascending in rate.
+    pub points: Vec<LoadLatencyPoint>,
+}
+
+impl LoadLatencyCurve {
+    /// Zero-load latency (first point's latency).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the curve is empty.
+    #[must_use]
+    pub fn zero_load_latency(&self) -> f64 {
+        self.points.first().expect("curve has points").latency
+    }
+
+    /// The lowest offered rate at which the network saturated, if any —
+    /// the curve's bandwidth limit.
+    #[must_use]
+    pub fn saturation_rate(&self) -> Option<f64> {
+        self.points.iter().find(|p| p.saturated).map(|p| p.rate)
+    }
+
+    /// True if the network sustains `rate` without saturating (i.e. the
+    /// workload band fits under the curve).
+    #[must_use]
+    pub fn supports_rate(&self, rate: f64) -> bool {
+        match self.saturation_rate() {
+            Some(sat) => rate < sat,
+            None => self
+                .points
+                .last()
+                .is_some_and(|p| p.rate >= rate && !p.saturated),
+        }
+    }
+}
+
+/// Sweep configuration and runner.
+#[derive(Debug, Clone)]
+pub struct LoadLatencySweep {
+    sim: Simulator,
+    rates: Vec<f64>,
+}
+
+impl LoadLatencySweep {
+    /// A sweep over the given rates with default simulation parameters.
+    #[must_use]
+    pub fn new(rates: Vec<f64>) -> Self {
+        LoadLatencySweep {
+            sim: Simulator::new(SimConfig::default()),
+            rates,
+        }
+    }
+
+    /// The default sweep covering all Fig. 18 workload bands
+    /// (0.0002 .. 0.03, log-spaced-ish).
+    #[must_use]
+    pub fn fig18_default() -> Self {
+        LoadLatencySweep::new(vec![
+            0.0002, 0.0005, 0.001, 0.002, 0.003, 0.004, 0.006, 0.008, 0.010, 0.012, 0.014, 0.016,
+            0.020, 0.025, 0.030,
+        ])
+    }
+
+    /// Overrides the simulator configuration.
+    #[must_use]
+    pub fn with_config(mut self, config: SimConfig) -> Self {
+        self.sim = Simulator::new(config);
+        self
+    }
+
+    /// Runs the sweep over many networks concurrently, one worker thread
+    /// per network (the Fig. 21/25 fan-out).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first simulation error encountered.
+    pub fn run_many(
+        &self,
+        networks: &[&(dyn Network + Sync)],
+        pattern: TrafficPattern,
+    ) -> Result<Vec<LoadLatencyCurve>, NocError> {
+        let results = parking_lot::Mutex::new(vec![None; networks.len()]);
+        crossbeam::thread::scope(|scope| {
+            for (i, net) in networks.iter().enumerate() {
+                let results = &results;
+                scope.spawn(move |_| {
+                    let r = self.run(*net, pattern);
+                    results.lock()[i] = Some(r);
+                });
+            }
+        })
+        .expect("sweep workers do not panic");
+        results
+            .into_inner()
+            .into_iter()
+            .map(|r| r.expect("every worker reports"))
+            .collect()
+    }
+
+    /// Runs the sweep; the curve stops two points after first saturation
+    /// (enough to show the hockey stick without wasting cycles).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation errors (invalid rates or patterns).
+    pub fn run(
+        &self,
+        network: &dyn Network,
+        pattern: TrafficPattern,
+    ) -> Result<LoadLatencyCurve, NocError> {
+        let mut points = Vec::new();
+        let mut saturated_seen = 0;
+        for &rate in &self.rates {
+            let r = self.sim.run(network, pattern, rate)?;
+            points.push(LoadLatencyPoint {
+                rate,
+                latency: r.avg_latency,
+                saturated: r.saturated,
+            });
+            if r.saturated {
+                saturated_seen += 1;
+                if saturated_seen >= 2 {
+                    break;
+                }
+            }
+        }
+        Ok(LoadLatencyCurve {
+            network: network.name(),
+            points,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bus::SharedBus;
+    use crate::cryobus::CryoBus;
+    use cryowire_device::Temperature;
+
+    fn quick_sweep(rates: Vec<f64>) -> LoadLatencySweep {
+        LoadLatencySweep::new(rates).with_config(SimConfig {
+            cycles: 8_000,
+            warmup: 2_000,
+            ..SimConfig::default()
+        })
+    }
+
+    #[test]
+    fn fig18_shared_bus_300k_fails_parsec() {
+        // "300K Shared bus cannot run even the PARSEC workloads."
+        let bus = SharedBus::new(64, Temperature::ambient());
+        let curve = quick_sweep(vec![0.0005, 0.001, 0.002, 0.004])
+            .run(&bus, TrafficPattern::UniformRandom)
+            .unwrap();
+        let parsec_max = WORKLOAD_BANDS[0].max_rate;
+        assert!(
+            !curve.supports_rate(parsec_max),
+            "300 K bus should not sustain PARSEC max"
+        );
+    }
+
+    #[test]
+    fn fig18_shared_bus_77k_covers_parsec_not_spec() {
+        let bus = SharedBus::new(64, Temperature::liquid_nitrogen());
+        let curve = quick_sweep(vec![0.0005, 0.002, 0.004, 0.006, 0.010, 0.014])
+            .run(&bus, TrafficPattern::UniformRandom)
+            .unwrap();
+        assert!(curve.supports_rate(WORKLOAD_BANDS[0].max_rate), "PARSEC");
+        assert!(
+            !curve.supports_rate(WORKLOAD_BANDS[2].max_rate),
+            "SPEC2017 should exceed the 77 K shared bus"
+        );
+    }
+
+    #[test]
+    fn fig21_cryobus_covers_all_bands() {
+        let bus = CryoBus::new(64, Temperature::liquid_nitrogen());
+        let curve = quick_sweep(vec![0.001, 0.004, 0.008, 0.012, 0.0145])
+            .run(&bus, TrafficPattern::UniformRandom)
+            .unwrap();
+        for band in WORKLOAD_BANDS {
+            assert!(
+                curve.supports_rate(band.max_rate),
+                "CryoBus should sustain {}",
+                band.name
+            );
+        }
+    }
+
+    #[test]
+    fn curve_accessors() {
+        let bus = CryoBus::new(64, Temperature::liquid_nitrogen());
+        let curve = quick_sweep(vec![0.001, 0.02, 0.03])
+            .run(&bus, TrafficPattern::UniformRandom)
+            .unwrap();
+        assert!(curve.zero_load_latency() >= 5.0);
+        assert!(curve.saturation_rate().is_some());
+    }
+
+    #[test]
+    fn bands_are_ordered_and_positive() {
+        for band in WORKLOAD_BANDS {
+            assert!(band.min_rate > 0.0 && band.min_rate < band.max_rate);
+        }
+    }
+}

@@ -1,0 +1,342 @@
+//! Router-based NoCs: Mesh, Concentrated Mesh, Flattened Butterfly
+//! (Fig. 15a–c).
+//!
+//! Routing is dimension-ordered (XY) for the meshes and two-hop
+//! (row then column) for the flattened butterfly. Routers come in two
+//! classes (Table 4 / Section 5.2.3): the academic 1-cycle router, which
+//! is fully pipelined (a link serializes one flit per cycle), and the
+//! industry 3-cycle router, whose switch allocation holds the output for
+//! the full pipeline — the conservative assumption behind the paper's
+//! "3-cycle" curves in Fig. 21.
+
+use cryowire_device::Temperature;
+
+use crate::error::NocError;
+use crate::link::LinkModel;
+use crate::sim::{Network, PacketLeg};
+use crate::topology::{NocKind, Topology};
+
+/// Router pipeline class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RouterClass {
+    /// State-of-the-art 1-cycle router (Park DAC'12, SWIFT).
+    OneCycle,
+    /// Realistic 3-cycle industry router (Teraflops, SCC).
+    ThreeCycle,
+}
+
+impl RouterClass {
+    /// Pipeline depth in cycles.
+    #[must_use]
+    pub fn cycles(self) -> u64 {
+        match self {
+            RouterClass::OneCycle => 1,
+            RouterClass::ThreeCycle => 3,
+        }
+    }
+
+    /// Cycles an output link stays held per packet: fully pipelined for
+    /// the 1-cycle router, the whole pipeline for the 3-cycle router.
+    #[must_use]
+    pub fn occupancy(self) -> u64 {
+        match self {
+            RouterClass::OneCycle => 1,
+            RouterClass::ThreeCycle => 3,
+        }
+    }
+}
+
+/// A router-based network at a given temperature.
+#[derive(Debug, Clone)]
+pub struct RouterNetwork {
+    kind: NocKind,
+    class: RouterClass,
+    topo: Topology,
+    router_grid: Topology,
+    concentration: usize,
+    link_cycles_per_router_hop: u64,
+    temperature: Temperature,
+}
+
+impl RouterNetwork {
+    /// Builds a router network of `kind` over `nodes` cores at `t`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError::InvalidNodeCount`] for non-square node counts
+    /// or a `kind` that is not router-based.
+    pub fn new(
+        kind: NocKind,
+        nodes: usize,
+        class: RouterClass,
+        t: Temperature,
+    ) -> Result<Self, NocError> {
+        if kind.is_bus() {
+            return Err(NocError::InvalidNodeCount {
+                nodes,
+                requirement: "RouterNetwork only models router-based NoCs",
+            });
+        }
+        let topo = Topology::square(nodes)?;
+        let concentration = match kind {
+            NocKind::Mesh => 1,
+            NocKind::CMesh | NocKind::FlattenedButterfly => 4,
+            _ => unreachable!("bus kinds rejected above"),
+        };
+        let router_grid = Topology::square(nodes / concentration)?;
+        // Physical length of one router-to-router hop in 2 mm core hops.
+        let core_hops_per_router_hop = topo.side() / router_grid.side();
+        let link = LinkModel::new();
+        let link_cycles = link
+            .traversal_cycles(core_hops_per_router_hop, t, 4.0)
+            .max(1) as u64;
+        Ok(RouterNetwork {
+            kind,
+            class,
+            topo,
+            router_grid,
+            concentration,
+            link_cycles_per_router_hop: link_cycles,
+            temperature: t,
+        })
+    }
+
+    /// The 64-core mesh of Table 4.
+    ///
+    /// # Panics
+    ///
+    /// Never panics for the fixed valid configuration.
+    #[must_use]
+    pub fn mesh64(class: RouterClass, t: Temperature) -> Self {
+        RouterNetwork::new(NocKind::Mesh, 64, class, t).expect("64-core mesh is valid")
+    }
+
+    /// The network kind.
+    #[must_use]
+    pub fn kind(&self) -> NocKind {
+        self.kind
+    }
+
+    /// The router class.
+    #[must_use]
+    pub fn class(&self) -> RouterClass {
+        self.class
+    }
+
+    /// Operating temperature.
+    #[must_use]
+    pub fn temperature(&self) -> Temperature {
+        self.temperature
+    }
+
+    /// Router holding the given core.
+    #[must_use]
+    fn router_of(&self, core: usize) -> usize {
+        if self.concentration == 1 {
+            return core;
+        }
+        // 2x2 core blocks map to one router.
+        let (x, y) = self.topo.coords(core);
+        self.router_grid.node_at(x / 2, y / 2)
+    }
+
+    /// Ordered router sequence for a packet (XY for meshes, row-then-column
+    /// for the flattened butterfly).
+    fn router_route(&self, src_r: usize, dst_r: usize) -> Vec<usize> {
+        let (sx, sy) = self.router_grid.coords(src_r);
+        let (dx, dy) = self.router_grid.coords(dst_r);
+        let mut route = vec![src_r];
+        match self.kind {
+            NocKind::FlattenedButterfly => {
+                if sx != dx {
+                    route.push(self.router_grid.node_at(dx, sy));
+                }
+                if sy != dy {
+                    route.push(self.router_grid.node_at(dx, dy));
+                }
+            }
+            _ => {
+                // XY: walk X first, then Y, one router per hop.
+                let mut x = sx;
+                while x != dx {
+                    x = if dx > x { x + 1 } else { x - 1 };
+                    route.push(self.router_grid.node_at(x, sy));
+                }
+                let mut y = sy;
+                while y != dy {
+                    y = if dy > y { y + 1 } else { y - 1 };
+                    route.push(self.router_grid.node_at(dx, y));
+                }
+            }
+        }
+        route
+    }
+
+    /// Resource id of the directed link a→b (unique per ordered router
+    /// pair; FB links are direct express channels).
+    fn link_id(&self, a: usize, b: usize) -> usize {
+        let r = self.router_grid.nodes();
+        a * r + b
+    }
+
+    /// Link traversal cycles between two (possibly non-adjacent, for FB)
+    /// routers.
+    fn link_cycles(&self, a: usize, b: usize) -> u64 {
+        let hops = self.router_grid.manhattan_hops(a, b) as u64;
+        hops * self.link_cycles_per_router_hop
+    }
+}
+
+impl Network for RouterNetwork {
+    fn name(&self) -> String {
+        let class = match self.class {
+            RouterClass::OneCycle => "1-cycle",
+            RouterClass::ThreeCycle => "3-cycle",
+        };
+        format!("{} ({class}) @ {}", self.kind, self.temperature)
+    }
+
+    fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    fn resource_count(&self) -> usize {
+        let r = self.router_grid.nodes();
+        // Directed router-pair links plus per-router injection ports.
+        r * r + r
+    }
+
+    fn path(&self, src: usize, dst: usize, _tag: u64) -> Vec<PacketLeg> {
+        let src_r = self.router_of(src);
+        let dst_r = self.router_of(dst);
+        let rc = self.class.cycles();
+        let occ = self.class.occupancy();
+        let inj_base = self.router_grid.nodes() * self.router_grid.nodes();
+
+        let mut legs = Vec::new();
+        // Injection port of the source router (shared by concentrated
+        // cores) plus the source router pipeline.
+        legs.push(PacketLeg::on(inj_base + src_r, occ, rc));
+        let route = self.router_route(src_r, dst_r);
+        for pair in route.windows(2) {
+            let (a, b) = (pair[0], pair[1]);
+            legs.push(PacketLeg::on(
+                self.link_id(a, b),
+                occ.max(self.link_cycles(a, b)),
+                rc + self.link_cycles(a, b),
+            ));
+        }
+        legs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t300() -> Temperature {
+        Temperature::ambient()
+    }
+    fn t77() -> Temperature {
+        Temperature::liquid_nitrogen()
+    }
+
+    #[test]
+    fn mesh_zero_load_latency_matches_hop_count() {
+        let mesh = RouterNetwork::mesh64(RouterClass::OneCycle, t300());
+        // Corner to corner: 14 router hops, 1-cycle routers + 1-cycle links:
+        // injection router (1) + 14 × (1 + 1) = 29.
+        assert_eq!(mesh.zero_load_latency(0, 63), 29);
+    }
+
+    #[test]
+    fn cmesh_has_fewer_hops() {
+        let mesh = RouterNetwork::mesh64(RouterClass::OneCycle, t300());
+        let cmesh = RouterNetwork::new(NocKind::CMesh, 64, RouterClass::OneCycle, t300()).unwrap();
+        assert!(cmesh.average_zero_load_latency() < mesh.average_zero_load_latency());
+    }
+
+    #[test]
+    fn fb_at_most_two_inter_router_hops() {
+        let fb = RouterNetwork::new(
+            NocKind::FlattenedButterfly,
+            64,
+            RouterClass::OneCycle,
+            t300(),
+        )
+        .unwrap();
+        for src in 0..64 {
+            for dst in 0..64 {
+                let legs = fb.path(src, dst, 0);
+                // injection + ≤2 link legs
+                assert!(legs.len() <= 3, "{src}->{dst}: {} legs", legs.len());
+            }
+        }
+    }
+
+    #[test]
+    fn three_cycle_router_is_slower() {
+        let one = RouterNetwork::mesh64(RouterClass::OneCycle, t300());
+        let three = RouterNetwork::mesh64(RouterClass::ThreeCycle, t300());
+        assert!(three.average_zero_load_latency() > one.average_zero_load_latency());
+    }
+
+    #[test]
+    fn mesh_latency_in_cycles_barely_changes_at_77k() {
+        // Section 5.1 Guideline #1: short mesh links already take one cycle
+        // at 300 K, so cooling does not reduce the cycle count.
+        let m300 = RouterNetwork::mesh64(RouterClass::OneCycle, t300());
+        let m77 = RouterNetwork::mesh64(RouterClass::OneCycle, t77());
+        assert_eq!(
+            m300.average_zero_load_latency(),
+            m77.average_zero_load_latency()
+        );
+    }
+
+    #[test]
+    fn fb_long_links_speed_up_at_77k() {
+        // FB's express links take 1–2 cycles at 300 K and 1 at 77 K.
+        let f300 = RouterNetwork::new(
+            NocKind::FlattenedButterfly,
+            64,
+            RouterClass::OneCycle,
+            t300(),
+        )
+        .unwrap();
+        let f77 = RouterNetwork::new(
+            NocKind::FlattenedButterfly,
+            64,
+            RouterClass::OneCycle,
+            t77(),
+        )
+        .unwrap();
+        assert!(f77.average_zero_load_latency() <= f300.average_zero_load_latency());
+    }
+
+    #[test]
+    fn rejects_bus_kinds_and_bad_counts() {
+        assert!(RouterNetwork::new(NocKind::CryoBus, 64, RouterClass::OneCycle, t300()).is_err());
+        assert!(RouterNetwork::new(NocKind::Mesh, 63, RouterClass::OneCycle, t300()).is_err());
+    }
+
+    #[test]
+    fn concentration_maps_2x2_blocks() {
+        let cmesh = RouterNetwork::new(NocKind::CMesh, 64, RouterClass::OneCycle, t300()).unwrap();
+        // Cores 0, 1, 8, 9 share router 0 (top-left 2x2 block).
+        assert_eq!(cmesh.router_of(0), 0);
+        assert_eq!(cmesh.router_of(1), 0);
+        assert_eq!(cmesh.router_of(8), 0);
+        assert_eq!(cmesh.router_of(9), 0);
+        assert_ne!(cmesh.router_of(2), 0);
+    }
+
+    #[test]
+    fn route_is_contiguous_for_mesh() {
+        let mesh = RouterNetwork::mesh64(RouterClass::OneCycle, t300());
+        let route = mesh.router_route(0, 63);
+        for pair in route.windows(2) {
+            assert_eq!(mesh.router_grid.manhattan_hops(pair[0], pair[1]), 1);
+        }
+        assert_eq!(route.len(), 15); // 14 hops + source
+    }
+}

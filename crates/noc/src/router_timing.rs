@@ -1,0 +1,202 @@
+//! Router critical-path timing — the "router model" of Section 3.1.3.
+//!
+//! The paper feeds a router design (EVA) through CC-Model to get its
+//! maximum frequency at low temperature, finding that routers gain only
+//! ~9.3 % at 77 K: their critical paths are allocator/crossbar *logic*,
+//! not long wires. This module models the five canonical router pipeline
+//! stages with per-stage transistor/wire splits and derives the maximum
+//! clock at any temperature and voltage, reproducing that observation and
+//! Table 4's 5.44 GHz voltage-scaled 77 K mesh clock.
+
+use cryowire_device::{
+    GateStyle, MosfetModel, OperatingPoint, ResistivityModel, Temperature, Wire, WireClass,
+};
+
+/// One router pipeline stage with its 300 K critical-path decomposition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RouterStage {
+    /// Stage name.
+    pub name: &'static str,
+    /// Transistor component at 300 K, ps.
+    pub transistor_ps: f64,
+    /// Wire component at 300 K, ps (short intra-router wires).
+    pub wire_ps: f64,
+}
+
+impl RouterStage {
+    /// Total 300 K delay, ps.
+    #[must_use]
+    pub fn total_ps(&self) -> f64 {
+        self.transistor_ps + self.wire_ps
+    }
+}
+
+/// The EVA-like 4-VC router's stages, calibrated so the 300 K maximum
+/// stage delay is 250 ps (the 4 GHz NoC domain of Table 4) and the
+/// transistor share matches the paper's "routers barely speed up"
+/// finding.
+#[must_use]
+pub fn eva_router_stages() -> Vec<RouterStage> {
+    let mk = |name, total: f64, wire_frac: f64| RouterStage {
+        name,
+        transistor_ps: total * (1.0 - wire_frac),
+        wire_ps: total * wire_frac,
+    };
+    vec![
+        mk("buffer write/read", 220.0, 0.06),
+        mk("route compute", 180.0, 0.03),
+        mk("VC allocation", 250.0, 0.03),
+        mk("switch allocation", 245.0, 0.04),
+        mk("crossbar traversal", 215.0, 0.12),
+    ]
+}
+
+/// Router timing model bound to the device models.
+#[derive(Debug, Clone)]
+pub struct RouterTimingModel {
+    stages: Vec<RouterStage>,
+    mosfet: MosfetModel,
+    rho: ResistivityModel,
+}
+
+impl RouterTimingModel {
+    /// The EVA-like router on the 45 nm device models.
+    #[must_use]
+    pub fn eva_like() -> Self {
+        RouterTimingModel {
+            stages: eva_router_stages(),
+            mosfet: MosfetModel::industry_45nm(),
+            rho: ResistivityModel::intel_45nm(),
+        }
+    }
+
+    /// The stage table.
+    #[must_use]
+    pub fn stages(&self) -> &[RouterStage] {
+        &self.stages
+    }
+
+    /// Intra-router wires are short local/semi-global runs; their delay
+    /// factor at `t` relative to 300 K.
+    fn wire_factor(&self, t: Temperature) -> f64 {
+        let wire = Wire::new(WireClass::Local, 200.0);
+        wire.unrepeated_delay_ps(&self.mosfet, &self.rho, t)
+            / wire.unrepeated_delay_ps(&self.mosfet, &self.rho, Temperature::ambient())
+    }
+
+    /// Maximum clock frequency at `t`, nominal voltage, GHz.
+    ///
+    /// # Panics
+    ///
+    /// Never panics for temperatures in the validated range.
+    #[must_use]
+    pub fn frequency_ghz(&self, t: Temperature) -> f64 {
+        let tf = self
+            .mosfet
+            .nominal_state(GateStyle::ComplexLogic, t)
+            .expect("nominal point feasible")
+            .delay_factor;
+        let wf = self.wire_factor(t);
+        let max = self
+            .stages
+            .iter()
+            .map(|s| s.transistor_ps * tf + s.wire_ps * wf)
+            .fold(0.0, f64::max);
+        1_000.0 / max
+    }
+
+    /// Maximum clock at `t` with a voltage-scaled operating point, GHz
+    /// (Table 4's 77 K NoC domain: 0.55 V / 0.225 V).
+    ///
+    /// # Panics
+    ///
+    /// Panics for infeasible voltage points.
+    #[must_use]
+    pub fn frequency_ghz_at(&self, t: Temperature, point: OperatingPoint) -> f64 {
+        let nominal = self
+            .mosfet
+            .nominal_state(GateStyle::ComplexLogic, t)
+            .expect("nominal point feasible")
+            .delay_factor;
+        let scaled = self
+            .mosfet
+            .state(t, point.v_dd, point.v_th)
+            .expect("feasible operating point")
+            .delay_factor;
+        self.frequency_ghz(t) * nominal / scaled
+    }
+}
+
+impl Default for RouterTimingModel {
+    fn default() -> Self {
+        RouterTimingModel::eva_like()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_300k_clock_is_4ghz() {
+        let m = RouterTimingModel::eva_like();
+        let f = m.frequency_ghz(Temperature::ambient());
+        assert!((f - 4.0).abs() < 0.05, "300 K router clock = {f} GHz");
+    }
+
+    #[test]
+    fn paper_anchor_9_percent_at_77k() {
+        // Section 5.1: router frequency improves only ~9.3 % at 77 K
+        // without voltage scaling.
+        let m = RouterTimingModel::eva_like();
+        let gain = m.frequency_ghz(Temperature::liquid_nitrogen())
+            / m.frequency_ghz(Temperature::ambient());
+        assert!(
+            (gain - 1.093).abs() < 0.035,
+            "77 K router frequency gain = {gain} (paper 1.093)"
+        );
+    }
+
+    #[test]
+    fn table4_voltage_scaled_mesh_clock() {
+        // Table 4: the 77 K mesh runs at 5.44 GHz in the 0.55 V / 0.225 V
+        // domain. Our model should land within ~10 %.
+        let m = RouterTimingModel::eva_like();
+        let f = m.frequency_ghz_at(Temperature::liquid_nitrogen(), OperatingPoint::noc_77k());
+        assert!(
+            (f - 5.44).abs() / 5.44 < 0.12,
+            "voltage-scaled 77 K router clock = {f} GHz (Table 4: 5.44)"
+        );
+    }
+
+    #[test]
+    fn allocators_bound_the_clock() {
+        // The critical stage must be allocation logic, not the crossbar
+        // wires — that is *why* cooling barely helps.
+        let stages = eva_router_stages();
+        let max = stages
+            .iter()
+            .max_by(|a, b| a.total_ps().total_cmp(&b.total_ps()))
+            .unwrap();
+        assert!(max.name.contains("allocation"));
+        assert!(max.wire_ps / max.total_ps() < 0.10);
+    }
+
+    #[test]
+    fn deep_cooling_wins_despite_the_mild_cooling_dip() {
+        // The compact MOSFET calibration (only +8 % logic speed-up at
+        // 77 K, driven by a linear V_th rise) implies a slight slowdown
+        // around 200–250 K before mobility wins — a known artifact of
+        // fitting both anchors. What matters for the paper: 77 K is the
+        // fastest point and clearly beats 300 K.
+        let m = RouterTimingModel::eva_like();
+        let f300 = m.frequency_ghz(Temperature::ambient());
+        let f135 = m.frequency_ghz(Temperature::validation_point());
+        let f77 = m.frequency_ghz(Temperature::liquid_nitrogen());
+        assert!(f77 > f135);
+        assert!(f77 > f300);
+        for k in [100.0, 135.0, 200.0, 250.0] {
+            assert!(m.frequency_ghz(Temperature::new(k).unwrap()) <= f77);
+        }
+    }
+}

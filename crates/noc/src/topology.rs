@@ -1,0 +1,256 @@
+//! Topology descriptors for the evaluated NoCs (Fig. 15).
+
+use std::fmt;
+
+use crate::error::NocError;
+
+/// The NoC designs evaluated by the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum NocKind {
+    /// 8x8 2D mesh with XY routing (Fig. 15a).
+    Mesh,
+    /// Concentrated mesh: 4 cores per router on a 4x4 mesh (Fig. 15c).
+    CMesh,
+    /// Flattened butterfly: 4-core concentration, routers fully connected
+    /// per row and per column (Fig. 15b).
+    FlattenedButterfly,
+    /// Conventional bidirectional snooping bus scaled to 64 cores
+    /// (Fig. 15d).
+    SharedBus,
+    /// H-tree-shaped bus without the dynamic link connection (the 300 K
+    /// H-tree of Fig. 20).
+    HTreeBus,
+    /// The paper's CryoBus: H-tree bus + dynamic link connection.
+    CryoBus,
+}
+
+impl NocKind {
+    /// All evaluated kinds.
+    pub const ALL: [NocKind; 6] = [
+        NocKind::Mesh,
+        NocKind::CMesh,
+        NocKind::FlattenedButterfly,
+        NocKind::SharedBus,
+        NocKind::HTreeBus,
+        NocKind::CryoBus,
+    ];
+
+    /// Whether this NoC uses routers (directory coherence) or a bus
+    /// (snooping).
+    #[must_use]
+    pub fn is_bus(self) -> bool {
+        matches!(
+            self,
+            NocKind::SharedBus | NocKind::HTreeBus | NocKind::CryoBus
+        )
+    }
+}
+
+impl fmt::Display for NocKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            NocKind::Mesh => "Mesh",
+            NocKind::CMesh => "CMesh",
+            NocKind::FlattenedButterfly => "Flattened Butterfly",
+            NocKind::SharedBus => "Shared bus",
+            NocKind::HTreeBus => "H-tree bus",
+            NocKind::CryoBus => "CryoBus",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Grid geometry of an n-core die and distance helpers (2 mm tile pitch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Topology {
+    nodes: usize,
+    side: usize,
+}
+
+impl Topology {
+    /// Creates a square-grid topology for `nodes` cores.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError::InvalidNodeCount`] unless `nodes` is a nonzero
+    /// perfect square.
+    pub fn square(nodes: usize) -> Result<Self, NocError> {
+        let side = (nodes as f64).sqrt().round() as usize;
+        if nodes == 0 || side * side != nodes {
+            return Err(NocError::InvalidNodeCount {
+                nodes,
+                requirement: "square grid requires a nonzero perfect square",
+            });
+        }
+        Ok(Topology { nodes, side })
+    }
+
+    /// The paper's 64-core die.
+    ///
+    /// # Panics
+    ///
+    /// Never panics (64 is a perfect square).
+    #[must_use]
+    pub fn c64() -> Self {
+        Topology::square(64).expect("64 is a perfect square")
+    }
+
+    /// Total node count.
+    #[must_use]
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Grid side length.
+    #[must_use]
+    pub fn side(&self) -> usize {
+        self.side
+    }
+
+    /// Grid coordinates of node `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of range.
+    #[must_use]
+    pub fn coords(&self, n: usize) -> (usize, usize) {
+        assert!(n < self.nodes, "node {n} out of range");
+        (n % self.side, n / self.side)
+    }
+
+    /// Node at grid coordinates `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of range.
+    #[must_use]
+    pub fn node_at(&self, x: usize, y: usize) -> usize {
+        assert!(x < self.side && y < self.side, "({x},{y}) out of range");
+        y * self.side + x
+    }
+
+    /// Manhattan hop distance between two nodes (1 hop = one 2 mm tile).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is out of range.
+    #[must_use]
+    pub fn manhattan_hops(&self, a: usize, b: usize) -> usize {
+        let (ax, ay) = self.coords(a);
+        let (bx, by) = self.coords(b);
+        ax.abs_diff(bx) + ay.abs_diff(by)
+    }
+
+    /// Hop distance from node `n` to the die center (where CryoBus's
+    /// arbiter sits).
+    #[must_use]
+    pub fn hops_to_center(&self, n: usize) -> usize {
+        let (x, y) = self.coords(n);
+        // Center of an even-sided grid sits between tiles; use the
+        // nearer of the two central columns/rows.
+        let c_lo = self.side / 2 - 1;
+        let c_hi = self.side / 2;
+        let dx = x.abs_diff(c_lo).min(x.abs_diff(c_hi));
+        let dy = y.abs_diff(c_lo).min(y.abs_diff(c_hi));
+        dx + dy
+    }
+
+    /// Maximum snake-order distance on the bidirectional shared bus: the
+    /// bus wires snake across the grid but the paper's scaled conventional
+    /// bus routes as a balanced spine, giving a ~30-hop maximum span on
+    /// the 64-core die (Section 5.2.1).
+    #[must_use]
+    pub fn shared_bus_max_hops(&self) -> usize {
+        // Balanced spine: half the perimeter plus spine length.
+        // For 8x8 this is 30, matching the paper.
+        self.side * 4 - 2
+    }
+
+    /// Maximum core-to-core distance on the H-tree bus: 12 hops on the
+    /// 64-core die (Section 5.2.1).
+    #[must_use]
+    pub fn htree_max_hops(&self) -> usize {
+        // Up the H-tree to the root and back down: ~1.5 × side.
+        (3 * self.side) / 2
+    }
+
+    /// Maximum core-to-arbiter distance on the H-tree (half the broadcast
+    /// span).
+    #[must_use]
+    pub fn htree_to_center_hops(&self) -> usize {
+        self.htree_max_hops() / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn c64_is_8x8() {
+        let t = Topology::c64();
+        assert_eq!(t.nodes(), 64);
+        assert_eq!(t.side(), 8);
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        assert!(Topology::square(63).is_err());
+        assert!(Topology::square(0).is_err());
+        assert!(Topology::square(65).is_err());
+        assert!(Topology::square(49).is_ok());
+    }
+
+    #[test]
+    fn coords_roundtrip() {
+        let t = Topology::c64();
+        for n in 0..64 {
+            let (x, y) = t.coords(n);
+            assert_eq!(t.node_at(x, y), n);
+        }
+    }
+
+    #[test]
+    fn manhattan_is_symmetric_and_triangle() {
+        let t = Topology::c64();
+        for a in 0..64 {
+            for b in 0..64 {
+                assert_eq!(t.manhattan_hops(a, b), t.manhattan_hops(b, a));
+            }
+        }
+        assert_eq!(t.manhattan_hops(0, 63), 14);
+        assert_eq!(t.manhattan_hops(5, 5), 0);
+    }
+
+    #[test]
+    fn paper_anchor_shared_bus_30_hops() {
+        // Section 5.2.1: "maximum distance between the cores is ... 30 hops
+        // in the baseline Shared bus".
+        assert_eq!(Topology::c64().shared_bus_max_hops(), 30);
+    }
+
+    #[test]
+    fn paper_anchor_htree_12_hops() {
+        // Section 5.2.1: "only 12 hops in CryoBus".
+        assert_eq!(Topology::c64().htree_max_hops(), 12);
+    }
+
+    #[test]
+    fn center_distance_bounded() {
+        let t = Topology::c64();
+        for n in 0..64 {
+            assert!(t.hops_to_center(n) <= 7);
+        }
+        // Corner nodes are farthest.
+        assert_eq!(t.hops_to_center(0), 6);
+    }
+
+    #[test]
+    fn kind_classification() {
+        assert!(NocKind::CryoBus.is_bus());
+        assert!(NocKind::SharedBus.is_bus());
+        assert!(!NocKind::Mesh.is_bus());
+        assert_eq!(NocKind::Mesh.to_string(), "Mesh");
+    }
+}

@@ -1,0 +1,317 @@
+//! Set-associative caches with LRU replacement, and a two-level private
+//! hierarchy for the core simulator.
+//!
+//! The plain trace generator pre-rolls load latencies statistically; this
+//! module replaces that with address-driven behaviour: loads carry
+//! addresses from a working-set model, and a simulated L1/L2 hierarchy
+//! decides hits and misses — so capacity effects (Table 3's halved
+//! structures, cache-size what-ifs) emerge instead of being assumed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Geometry of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Capacity in KiB.
+    pub size_kib: usize,
+    /// Line size in bytes.
+    pub line_bytes: usize,
+    /// Associativity.
+    pub ways: usize,
+}
+
+impl CacheConfig {
+    /// Table 4's 32 KiB, 8-way L1 with 64 B lines.
+    #[must_use]
+    pub fn l1_32k() -> Self {
+        CacheConfig {
+            size_kib: 32,
+            line_bytes: 64,
+            ways: 8,
+        }
+    }
+
+    /// Table 4's 256 KiB, 8-way private L2.
+    #[must_use]
+    pub fn l2_256k() -> Self {
+        CacheConfig {
+            size_kib: 256,
+            line_bytes: 64,
+            ways: 8,
+        }
+    }
+
+    /// Number of sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics for degenerate geometry.
+    #[must_use]
+    pub fn sets(&self) -> usize {
+        let lines = self.size_kib * 1024 / self.line_bytes;
+        assert!(
+            lines >= self.ways && self.ways > 0,
+            "cache must hold at least one set"
+        );
+        lines / self.ways
+    }
+}
+
+/// A set-associative cache with true-LRU replacement.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    /// Per set: (tag, last-use stamp), most recent stamp wins.
+    sets: Vec<Vec<(u64, u64)>>,
+    stamp: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    #[must_use]
+    pub fn new(config: CacheConfig) -> Self {
+        Cache {
+            config,
+            sets: vec![Vec::new(); config.sets()],
+            stamp: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn index_tag(&self, addr: u64) -> (usize, u64) {
+        let line = addr / self.config.line_bytes as u64;
+        let idx = (line % self.sets.len() as u64) as usize;
+        let tag = line / self.sets.len() as u64;
+        (idx, tag)
+    }
+
+    /// Accesses `addr`; returns true on hit. Misses allocate (LRU
+    /// eviction).
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let ways = self.config.ways;
+        let (idx, tag) = self.index_tag(addr);
+        let set = &mut self.sets[idx];
+        if let Some(entry) = set.iter_mut().find(|(t, _)| *t == tag) {
+            entry.1 = stamp;
+            self.hits += 1;
+            return true;
+        }
+        self.misses += 1;
+        if set.len() < ways {
+            set.push((tag, stamp));
+        } else {
+            let lru = set
+                .iter_mut()
+                .min_by_key(|(_, s)| *s)
+                .expect("set is non-empty");
+            *lru = (tag, stamp);
+        }
+        false
+    }
+
+    /// Miss ratio so far.
+    #[must_use]
+    pub fn miss_ratio(&self) -> f64 {
+        self.misses as f64 / (self.hits + self.misses).max(1) as f64
+    }
+
+    /// (hits, misses).
+    #[must_use]
+    pub fn counters(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+/// A private L1+L2 hierarchy with per-level latencies and a beyond-L2
+/// (L3/NoC) latency for the rest.
+#[derive(Debug, Clone)]
+pub struct CacheHierarchy {
+    l1: Cache,
+    l2: Cache,
+    /// L1 hit latency, cycles.
+    pub l1_latency: u32,
+    /// L2 hit latency, cycles.
+    pub l2_latency: u32,
+    /// Latency beyond L2 (shared L3 + interconnect average), cycles.
+    pub beyond_latency: u32,
+}
+
+impl CacheHierarchy {
+    /// Table 4's private hierarchy at the 300 K latencies.
+    #[must_use]
+    pub fn table4_300k() -> Self {
+        CacheHierarchy {
+            l1: Cache::new(CacheConfig::l1_32k()),
+            l2: Cache::new(CacheConfig::l2_256k()),
+            l1_latency: 4,
+            l2_latency: 12,
+            beyond_latency: 44, // L3 + NoC average
+        }
+    }
+
+    /// Table 4's hierarchy at the 77 K latencies.
+    #[must_use]
+    pub fn table4_77k() -> Self {
+        CacheHierarchy {
+            l1: Cache::new(CacheConfig::l1_32k()),
+            l2: Cache::new(CacheConfig::l2_256k()),
+            l1_latency: 2,
+            l2_latency: 6,
+            beyond_latency: 18,
+        }
+    }
+
+    /// Custom geometry at the 300 K latencies.
+    #[must_use]
+    pub fn custom(l1: CacheConfig, l2: CacheConfig) -> Self {
+        CacheHierarchy {
+            l1: Cache::new(l1),
+            l2: Cache::new(l2),
+            ..CacheHierarchy::table4_300k()
+        }
+    }
+
+    /// Load latency for `addr`, cycles (walks L1 → L2 → beyond).
+    pub fn load_latency(&mut self, addr: u64) -> u32 {
+        if self.l1.access(addr) {
+            return self.l1_latency;
+        }
+        if self.l2.access(addr) {
+            return self.l2_latency;
+        }
+        self.beyond_latency
+    }
+
+    /// (L1 miss ratio, L2 local miss ratio).
+    #[must_use]
+    pub fn miss_ratios(&self) -> (f64, f64) {
+        (self.l1.miss_ratio(), self.l2.miss_ratio())
+    }
+}
+
+/// Working-set address generator: a hot region that fits (or not) in L1
+/// plus a cold streaming scan.
+#[derive(Debug, Clone)]
+pub struct AddressModel {
+    /// Bytes in the hot region.
+    pub hot_bytes: u64,
+    /// Probability a load hits the hot region.
+    pub hot_fraction: f64,
+    /// Stride of the cold scan, bytes.
+    pub scan_stride: u64,
+    scan_pos: u64,
+    rng: StdRng,
+}
+
+impl AddressModel {
+    /// Creates the model.
+    #[must_use]
+    pub fn new(hot_bytes: u64, hot_fraction: f64, seed: u64) -> Self {
+        AddressModel {
+            hot_bytes,
+            hot_fraction,
+            scan_stride: 64,
+            scan_pos: 1 << 30,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Next load address (not an `Iterator`: the stream is infinite and
+    /// stateful by design).
+    pub fn next_addr(&mut self) -> u64 {
+        if self.rng.gen::<f64>() < self.hot_fraction {
+            self.rng.gen_range(0..self.hot_bytes.max(64)) & !63
+        } else {
+            self.scan_pos += self.scan_stride;
+            self.scan_pos
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry() {
+        assert_eq!(CacheConfig::l1_32k().sets(), 64);
+        assert_eq!(CacheConfig::l2_256k().sets(), 512);
+    }
+
+    #[test]
+    fn lru_keeps_recent_lines() {
+        let mut c = Cache::new(CacheConfig {
+            size_kib: 1,
+            line_bytes: 64,
+            ways: 2,
+        }); // 8 sets × 2 ways
+            // Three lines mapping to the same set: 0, 8·64, 16·64.
+        let s = 8 * 64;
+        assert!(!c.access(0));
+        assert!(!c.access(s));
+        assert!(c.access(0)); // hit, refreshes 0
+        assert!(!c.access(2 * s)); // evicts LRU = s
+        assert!(c.access(0)); // 0 survived
+        assert!(!c.access(s)); // s was evicted
+    }
+
+    #[test]
+    fn hot_set_that_fits_l1_mostly_hits() {
+        let mut h = CacheHierarchy::table4_300k();
+        let mut addrs = AddressModel::new(16 * 1024, 1.0, 1);
+        // Warm up, then measure.
+        for _ in 0..50_000 {
+            h.load_latency(addrs.next_addr());
+        }
+        let (l1_miss, _) = h.miss_ratios();
+        assert!(l1_miss < 0.05, "hot-fit L1 miss ratio = {l1_miss}");
+    }
+
+    #[test]
+    fn streaming_scan_misses_everywhere() {
+        let mut h = CacheHierarchy::table4_300k();
+        let mut addrs = AddressModel::new(1024, 0.0, 2);
+        let mut total = 0u64;
+        for _ in 0..20_000 {
+            total += u64::from(h.load_latency(addrs.next_addr()));
+        }
+        let avg = total as f64 / 20_000.0;
+        assert!(
+            avg > 40.0,
+            "streaming loads should pay the beyond-L2 latency, avg = {avg}"
+        );
+    }
+
+    #[test]
+    fn working_set_sweep_shows_capacity_cliffs() {
+        // Miss ratio must step up as the hot set outgrows L1 then L2.
+        let miss_at = |hot_kib: u64| {
+            let mut h = CacheHierarchy::table4_300k();
+            let mut addrs = AddressModel::new(hot_kib * 1024, 1.0, 3);
+            for _ in 0..120_000 {
+                h.load_latency(addrs.next_addr());
+            }
+            h.miss_ratios().0
+        };
+        let fits_l1 = miss_at(16);
+        let fits_l2 = miss_at(128);
+        let fits_nothing = miss_at(4_096);
+        assert!(fits_l1 < fits_l2, "{fits_l1} !< {fits_l2}");
+        assert!(fits_l2 < fits_nothing, "{fits_l2} !< {fits_nothing}");
+        assert!(fits_nothing > 0.5);
+    }
+
+    #[test]
+    fn cold_hierarchy_latency_ordering() {
+        let mut h300 = CacheHierarchy::table4_300k();
+        let mut h77 = CacheHierarchy::table4_77k();
+        // Same cold access: 77 K pays less.
+        assert!(h77.load_latency(0x5000) < h300.load_latency(0x5000));
+    }
+}

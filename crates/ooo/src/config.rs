@@ -1,0 +1,116 @@
+//! Core configurations matching Table 3's microarchitectures.
+
+/// Structural and pipeline parameters of the simulated core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreConfig {
+    /// Fetch/rename/commit width.
+    pub width: usize,
+    /// Reorder-buffer entries.
+    pub rob: usize,
+    /// Issue-queue entries.
+    pub issue_queue: usize,
+    /// Load-queue entries.
+    pub load_queue: usize,
+    /// Store-queue entries.
+    pub store_queue: usize,
+    /// Frontend depth in cycles from fetch to rename (the misprediction
+    /// refill path; +3 for the CryoSP superpipeline).
+    pub frontend_depth: u32,
+    /// Result-bypass latency between dependent instructions: 1 = true
+    /// back-to-back execution; 2+ models pipelined backend forwarding
+    /// stages (the thing the paper says you must not do).
+    pub bypass_cycles: u32,
+    /// Extra bubble cycles when the backup predictor overrides the fast
+    /// one.
+    pub override_bubble: u32,
+}
+
+impl CoreConfig {
+    /// Table 3's 8-wide Skylake-like baseline (300 K Baseline).
+    #[must_use]
+    pub fn skylake_8_wide() -> Self {
+        CoreConfig {
+            width: 8,
+            rob: 224,
+            issue_queue: 97,
+            load_queue: 72,
+            store_queue: 56,
+            frontend_depth: 6,
+            bypass_cycles: 1,
+            override_bubble: 2,
+        }
+    }
+
+    /// Table 3's CryoCore-style 4-wide core (CHP-core).
+    #[must_use]
+    pub fn cryocore_4_wide() -> Self {
+        CoreConfig {
+            width: 4,
+            rob: 96,
+            issue_queue: 72,
+            load_queue: 24,
+            store_queue: 24,
+            frontend_depth: 6,
+            bypass_cycles: 1,
+            override_bubble: 2,
+        }
+    }
+
+    /// CryoSP: CryoCore structures with the superpipelined (+3 stage)
+    /// frontend.
+    #[must_use]
+    pub fn cryosp() -> Self {
+        CoreConfig {
+            frontend_depth: 9,
+            ..CoreConfig::cryocore_4_wide()
+        }
+    }
+
+    /// The paper's 77K Superpipeline column: 8-wide with the deeper
+    /// frontend.
+    #[must_use]
+    pub fn superpipelined_8_wide() -> Self {
+        CoreConfig {
+            frontend_depth: 9,
+            ..CoreConfig::skylake_8_wide()
+        }
+    }
+
+    /// Variant with extra frontend stages.
+    #[must_use]
+    pub fn with_frontend_depth(mut self, depth: u32) -> Self {
+        self.frontend_depth = depth;
+        self
+    }
+
+    /// Variant with a different bypass latency (the backend-pipelining
+    /// what-if).
+    #[must_use]
+    pub fn with_bypass_cycles(mut self, cycles: u32) -> Self {
+        self.bypass_cycles = cycles;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_structures() {
+        let b = CoreConfig::skylake_8_wide();
+        assert_eq!((b.width, b.rob, b.issue_queue), (8, 224, 97));
+        assert_eq!((b.load_queue, b.store_queue), (72, 56));
+        let c = CoreConfig::cryocore_4_wide();
+        assert_eq!((c.width, c.rob, c.issue_queue), (4, 96, 72));
+        assert_eq!((c.load_queue, c.store_queue), (24, 24));
+    }
+
+    #[test]
+    fn cryosp_is_cryocore_plus_three_stages() {
+        let c = CoreConfig::cryocore_4_wide();
+        let s = CoreConfig::cryosp();
+        assert_eq!(s.frontend_depth, c.frontend_depth + 3);
+        assert_eq!(s.width, c.width);
+    }
+}

@@ -1,0 +1,68 @@
+//! Simulation results.
+
+/// Metrics of one core-simulation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoreMetrics {
+    /// Instructions committed.
+    pub instructions: u64,
+    /// Total cycles until the last commit.
+    pub cycles: u64,
+    /// Branches executed.
+    pub branches: u64,
+    /// Full mispredictions (pipeline refills).
+    pub mispredicts: u64,
+    /// Fast-predictor overrides (small bubbles).
+    pub overrides: u64,
+}
+
+impl CoreMetrics {
+    /// Instructions per cycle.
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        self.instructions as f64 / self.cycles.max(1) as f64
+    }
+
+    /// Misprediction rate over executed branches.
+    #[must_use]
+    pub fn mispredict_rate(&self) -> f64 {
+        self.mispredicts as f64 / self.branches.max(1) as f64
+    }
+
+    /// Mispredictions per kilo-instruction.
+    #[must_use]
+    pub fn mpki(&self) -> f64 {
+        1_000.0 * self.mispredicts as f64 / self.instructions.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_rates() {
+        let m = CoreMetrics {
+            instructions: 1_000,
+            cycles: 500,
+            branches: 100,
+            mispredicts: 5,
+            overrides: 10,
+        };
+        assert!((m.ipc() - 2.0).abs() < 1e-12);
+        assert!((m.mispredict_rate() - 0.05).abs() < 1e-12);
+        assert!((m.mpki() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_division_guarded() {
+        let m = CoreMetrics {
+            instructions: 0,
+            cycles: 0,
+            branches: 0,
+            mispredicts: 0,
+            overrides: 0,
+        };
+        assert_eq!(m.ipc(), 0.0);
+        assert_eq!(m.mispredict_rate(), 0.0);
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based invariants of the out-of-order core simulator.
+
+use cryowire_ooo::{Cache, CacheConfig, CoreConfig, CoreSimulator, GShare, TraceConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn ipc_bounded_by_width(width in 1usize..=8, seed in 0u64..500) {
+        let trace = TraceConfig::parsec_like().generate(8_000, seed);
+        let cfg = CoreConfig {
+            width,
+            ..CoreConfig::skylake_8_wide()
+        };
+        let m = CoreSimulator::new(cfg).run(&trace);
+        prop_assert!(m.ipc() > 0.0);
+        prop_assert!(m.ipc() <= width as f64 + 1e-9);
+    }
+
+    #[test]
+    fn wider_is_never_slower(seed in 0u64..200) {
+        let trace = TraceConfig::parsec_like().generate(8_000, seed);
+        let narrow = CoreSimulator::new(CoreConfig {
+            width: 2,
+            ..CoreConfig::skylake_8_wide()
+        })
+        .run(&trace);
+        let wide = CoreSimulator::new(CoreConfig::skylake_8_wide()).run(&trace);
+        prop_assert!(wide.ipc() >= narrow.ipc() - 1e-9);
+    }
+
+    #[test]
+    fn deeper_frontend_never_faster(extra in 0u32..8, seed in 0u64..200) {
+        let trace = TraceConfig::parsec_like().generate(8_000, seed);
+        let base = CoreSimulator::new(CoreConfig::skylake_8_wide()).run(&trace);
+        let deep = CoreSimulator::new(
+            CoreConfig::skylake_8_wide().with_frontend_depth(6 + extra),
+        )
+        .run(&trace);
+        prop_assert!(deep.ipc() <= base.ipc() + 1e-9);
+    }
+
+    #[test]
+    fn slower_bypass_never_faster(bypass in 1u32..=4, seed in 0u64..200) {
+        let trace = TraceConfig::parsec_like().generate(8_000, seed);
+        let fast = CoreSimulator::new(CoreConfig::skylake_8_wide()).run(&trace);
+        let slow = CoreSimulator::new(
+            CoreConfig::skylake_8_wide().with_bypass_cycles(bypass),
+        )
+        .run(&trace);
+        prop_assert!(slow.ipc() <= fast.ipc() + 1e-9);
+    }
+
+    #[test]
+    fn mispredicts_never_exceed_branches(seed in 0u64..300) {
+        let trace = TraceConfig::parsec_like().generate(6_000, seed);
+        let m = CoreSimulator::new(CoreConfig::cryocore_4_wide()).run(&trace);
+        prop_assert!(m.mispredicts <= m.branches);
+        prop_assert!(m.overrides <= m.branches);
+    }
+
+    #[test]
+    fn cache_hit_after_access(addr in 0u64..1_000_000) {
+        let mut c = Cache::new(CacheConfig::l1_32k());
+        let addr = addr & !63;
+        c.access(addr);
+        prop_assert!(c.access(addr), "immediate re-access must hit");
+    }
+
+    #[test]
+    fn cache_counters_consistent(seed in 0u64..300, n in 100usize..2_000) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut c = Cache::new(CacheConfig {
+            size_kib: 4,
+            line_bytes: 64,
+            ways: 4,
+        });
+        for _ in 0..n {
+            c.access(rng.gen_range(0u64..1 << 20));
+        }
+        let (h, m) = c.counters();
+        prop_assert_eq!(h + m, n as u64);
+    }
+
+    #[test]
+    fn gshare_history_only_shifts(pc in 0u64..1_000_000, outcomes in proptest::collection::vec(any::<bool>(), 1..64)) {
+        // Training must never panic and predictions stay boolean-valued
+        // for arbitrary streams.
+        let mut g = GShare::new(10, 6);
+        for &taken in &outcomes {
+            let _ = g.predict(pc);
+            g.update(pc, taken);
+        }
+        let _ = g.predict(pc);
+    }
+}

@@ -1,0 +1,79 @@
+//! Error types for the pipeline-model crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by pipeline models.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PipelineError {
+    /// A stage-splitting request targeted a stage the paper (and IPC
+    /// analysis) marks as un-pipelinable.
+    UnpipelinableStage {
+        /// Display name of the offending stage.
+        stage: &'static str,
+    },
+    /// The requested core configuration is internally inconsistent
+    /// (e.g. zero issue width).
+    InvalidCoreConfig {
+        /// Explanation of the inconsistency.
+        reason: String,
+    },
+    /// A device-model error surfaced while evaluating the pipeline.
+    Device(cryowire_device::DeviceError),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::UnpipelinableStage { stage } => {
+                write!(
+                    f,
+                    "stage `{stage}` cannot be pipelined without breaking back-to-back execution"
+                )
+            }
+            PipelineError::InvalidCoreConfig { reason } => {
+                write!(f, "invalid core configuration: {reason}")
+            }
+            PipelineError::Device(e) => write!(f, "device model error: {e}"),
+        }
+    }
+}
+
+impl Error for PipelineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PipelineError::Device(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<cryowire_device::DeviceError> for PipelineError {
+    fn from(e: cryowire_device::DeviceError) -> Self {
+        PipelineError::Device(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = PipelineError::UnpipelinableStage {
+            stage: "execute bypass",
+        };
+        assert!(e.to_string().contains("execute bypass"));
+    }
+
+    #[test]
+    fn device_error_wraps_with_source() {
+        let inner = cryowire_device::DeviceError::InvalidVoltage {
+            v_dd: 1.0,
+            v_th: 2.0,
+        };
+        let e = PipelineError::from(inner);
+        assert!(Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,43 @@
+//! # cryowire-pipeline
+//!
+//! Cryogenic CPU-pipeline performance modelling and the CryoSP design
+//! (Sections 3 and 4 of the paper).
+//!
+//! The crate models the 13 representative stages of the BOOM/Skylake-like
+//! out-of-order pipeline (Fig. 11), decomposing each stage's critical path
+//! into a transistor and a wire component. Cooling scales the two
+//! components differently (transistors ~8 %, semi-global forwarding wires
+//! ~2.8x at 77 K), which moves the frequency bottleneck from the backend
+//! data-forwarding stages to the frontend — the key observation enabling
+//! the frontend superpipelining that defines CryoSP.
+//!
+//! ```
+//! use cryowire_device::Temperature;
+//! use cryowire_pipeline::{CriticalPathModel, Superpipeliner};
+//!
+//! let model = CriticalPathModel::boom_skylake();
+//! let base_300 = model.frequency_ghz(Temperature::ambient());
+//! let sp = Superpipeliner::new(&model).superpipeline(Temperature::liquid_nitrogen());
+//! assert!(sp.frequency_ghz / base_300 > 1.5); // ~+61 % (Section 4.4)
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cores;
+pub mod critical_path;
+pub mod depth_optimizer;
+pub mod error;
+pub mod ipc;
+pub mod stages;
+pub mod superpipeline;
+pub mod validation;
+
+pub use cores::{CoreDesign, CoreSpec};
+pub use critical_path::{CriticalPathModel, StageDelayReport};
+pub use depth_optimizer::{optimal_depth, sweep_depths, DepthPoint};
+pub use error::PipelineError;
+pub use ipc::IpcModel;
+pub use stages::{Stage, StageId, StageKind};
+pub use superpipeline::{SuperpipelineResult, Superpipeliner};
+pub use validation::{NodeScaling, TechnologyNode, ValidationHarness, ValidationReport};

@@ -1,0 +1,257 @@
+//! The 13 representative BOOM pipeline stages and their 300 K critical-path
+//! decomposition (Fig. 11 / Fig. 12).
+//!
+//! Each stage carries a transistor-delay and a wire-delay component at
+//! 300 K and nominal voltage. The decomposition is calibrated to the
+//! paper's published observations:
+//!
+//! * the three longest stages are the backend forwarding stages
+//!   (*execute bypass*, *writeback*, *data read from bypass*), with
+//!   ~57.6 % average wire portion (Fig. 2);
+//! * backend stages average ~45 % wire portion, frontend ~19 % (300 K
+//!   Observation #1);
+//! * at 77 K the transistor-dominant frontend (*fetch1*, *fetch3*,
+//!   *decode & rename*) becomes the bottleneck (77 K Observation #1).
+//!
+//! The 300 K maximum stage delay is 250 ps, i.e. the paper's 4.0 GHz
+//! Skylake-like baseline.
+
+use std::fmt;
+
+/// Whether a stage belongs to the frontend or the backend of Fig. 11.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StageKind {
+    /// Fetch/decode/rename stages (upper half of Fig. 11).
+    Frontend,
+    /// Issue/execute/memory stages (lower half of Fig. 11).
+    Backend,
+}
+
+/// Identifier of one of the 13 representative stages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum StageId {
+    /// BTB access + fast 1-cycle branch prediction.
+    Fetch1,
+    /// Instruction-cache access.
+    Fetch2,
+    /// Branch checking (branch decoder + address checker).
+    Fetch3,
+    /// Instruction decode + rename dependency check.
+    DecodeRename,
+    /// Rename map-table access + dispatch.
+    RenameDispatch,
+    /// Integer issue-queue wakeup & select (CAM).
+    WakeupSelectInt,
+    /// Floating-point issue-queue wakeup & select.
+    WakeupSelectFp,
+    /// Operand read from register file/bypass network.
+    DataReadFromBypass,
+    /// Execute + bypass of the result to dependents.
+    ExecuteBypass,
+    /// Result write-back over the forwarding wires to the register file.
+    Writeback,
+    /// Wakeup of waiting instructions from write-back.
+    WakeupFromWriteback,
+    /// Load-store-queue search (CAM).
+    Lsq,
+    /// Data-cache access.
+    DCacheAccess,
+}
+
+impl StageId {
+    /// All 13 stages in pipeline order.
+    pub const ALL: [StageId; 13] = [
+        StageId::Fetch1,
+        StageId::Fetch2,
+        StageId::Fetch3,
+        StageId::DecodeRename,
+        StageId::RenameDispatch,
+        StageId::WakeupSelectInt,
+        StageId::WakeupSelectFp,
+        StageId::DataReadFromBypass,
+        StageId::ExecuteBypass,
+        StageId::Writeback,
+        StageId::WakeupFromWriteback,
+        StageId::Lsq,
+        StageId::DCacheAccess,
+    ];
+
+    /// Human-readable name matching the paper's figures.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            StageId::Fetch1 => "fetch1",
+            StageId::Fetch2 => "fetch2",
+            StageId::Fetch3 => "fetch3",
+            StageId::DecodeRename => "decode & rename",
+            StageId::RenameDispatch => "rename & dispatch",
+            StageId::WakeupSelectInt => "wakeup & select (int)",
+            StageId::WakeupSelectFp => "wakeup & select (fp)",
+            StageId::DataReadFromBypass => "data read from bypass",
+            StageId::ExecuteBypass => "execute bypass",
+            StageId::Writeback => "writeback",
+            StageId::WakeupFromWriteback => "wakeup from writeback",
+            StageId::Lsq => "LSQ",
+            StageId::DCacheAccess => "D-cache access",
+        }
+    }
+}
+
+impl fmt::Display for StageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One pipeline stage with its 300 K critical-path decomposition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stage {
+    /// Which stage this is.
+    pub id: StageId,
+    /// Frontend or backend.
+    pub kind: StageKind,
+    /// Transistor (logic) component of the 300 K critical path, ps.
+    pub transistor_ps: f64,
+    /// Wire component of the 300 K critical path, ps.
+    pub wire_ps: f64,
+    /// Whether further pipelining of this stage is possible without
+    /// breaking back-to-back execution of dependent instructions
+    /// (300 K Observation #2).
+    pub pipelinable: bool,
+    /// Whether the stage's wire component is the long data-forwarding wire
+    /// spanning the ALU/register-file column.
+    pub uses_forwarding_wire: bool,
+}
+
+impl Stage {
+    /// Total 300 K critical-path delay, ps.
+    #[must_use]
+    pub fn total_ps(&self) -> f64 {
+        self.transistor_ps + self.wire_ps
+    }
+
+    /// Wire fraction of the 300 K critical path (0..1).
+    #[must_use]
+    pub fn wire_fraction(&self) -> f64 {
+        self.wire_ps / self.total_ps()
+    }
+}
+
+/// Builds the calibrated 13-stage baseline table.
+///
+/// Delays are in picoseconds at 300 K, nominal voltage; the 250 ps maximum
+/// (execute bypass) corresponds to the 4.0 GHz baseline of Table 3.
+#[must_use]
+pub fn boom_baseline_stages() -> Vec<Stage> {
+    let mk = |id, kind, total: f64, wire_frac: f64, pipelinable, fwd| Stage {
+        id,
+        kind,
+        transistor_ps: total * (1.0 - wire_frac),
+        wire_ps: total * wire_frac,
+        pipelinable,
+        uses_forwarding_wire: fwd,
+    };
+    use StageId as S;
+    use StageKind::{Backend, Frontend};
+    vec![
+        mk(S::Fetch1, Frontend, 232.5, 0.12, true, false),
+        mk(S::Fetch2, Frontend, 200.0, 0.30, true, false),
+        mk(S::Fetch3, Frontend, 240.0, 0.10, true, false),
+        mk(S::DecodeRename, Frontend, 237.5, 0.08, true, false),
+        mk(S::RenameDispatch, Frontend, 212.5, 0.45, true, false),
+        mk(S::WakeupSelectInt, Backend, 220.0, 0.42, false, false),
+        mk(S::WakeupSelectFp, Backend, 205.0, 0.42, false, false),
+        mk(S::DataReadFromBypass, Backend, 242.5, 0.58, false, true),
+        mk(S::ExecuteBypass, Backend, 250.0, 0.55, false, true),
+        mk(S::Writeback, Backend, 245.0, 0.60, false, true),
+        mk(S::WakeupFromWriteback, Backend, 225.0, 0.46, false, true),
+        mk(S::Lsq, Backend, 215.0, 0.44, false, false),
+        mk(S::DCacheAccess, Backend, 200.0, 0.30, true, false),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thirteen_stages() {
+        assert_eq!(boom_baseline_stages().len(), 13);
+        assert_eq!(StageId::ALL.len(), 13);
+    }
+
+    #[test]
+    fn max_delay_is_250ps_execute_bypass() {
+        // 250 ps ⇒ the paper's 4.0 GHz 300 K baseline.
+        let stages = boom_baseline_stages();
+        let max = stages
+            .iter()
+            .max_by(|a, b| a.total_ps().total_cmp(&b.total_ps()))
+            .unwrap();
+        assert_eq!(max.id, StageId::ExecuteBypass);
+        assert!((max.total_ps() - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fig2_forwarding_stages_wire_portion() {
+        // Fig. 2: writeback / execute bypass / data read from bypass carry
+        // ~57.6 % wire on average.
+        let stages = boom_baseline_stages();
+        let pick = [
+            StageId::Writeback,
+            StageId::ExecuteBypass,
+            StageId::DataReadFromBypass,
+        ];
+        let avg: f64 = stages
+            .iter()
+            .filter(|s| pick.contains(&s.id))
+            .map(Stage::wire_fraction)
+            .sum::<f64>()
+            / 3.0;
+        assert!((avg - 0.576).abs() < 0.02, "avg wire fraction = {avg}");
+    }
+
+    #[test]
+    fn backend_wire_portion_exceeds_frontend() {
+        // 300 K Observation #1: backend ~45 %, frontend ~19 %.
+        let stages = boom_baseline_stages();
+        let avg = |kind: StageKind| {
+            let v: Vec<f64> = stages
+                .iter()
+                .filter(|s| s.kind == kind)
+                .map(Stage::wire_fraction)
+                .collect();
+            v.iter().sum::<f64>() / v.len() as f64
+        };
+        let fe = avg(StageKind::Frontend);
+        let be = avg(StageKind::Backend);
+        assert!((fe - 0.19).abs() < 0.035, "frontend wire portion = {fe}");
+        assert!((be - 0.45).abs() < 0.035, "backend wire portion = {be}");
+    }
+
+    #[test]
+    fn backend_forwarding_stages_are_the_300k_bottleneck() {
+        // 300 K Observation #2.
+        let stages = boom_baseline_stages();
+        let mut sorted: Vec<&Stage> = stages.iter().collect();
+        sorted.sort_by(|a, b| b.total_ps().total_cmp(&a.total_ps()));
+        let top3: Vec<StageId> = sorted.iter().take(3).map(|s| s.id).collect();
+        assert!(top3.contains(&StageId::ExecuteBypass));
+        assert!(top3.contains(&StageId::Writeback));
+        assert!(top3.contains(&StageId::DataReadFromBypass));
+    }
+
+    #[test]
+    fn forwarding_stages_marked_unpipelinable() {
+        for s in boom_baseline_stages() {
+            if s.uses_forwarding_wire {
+                assert!(
+                    !s.pipelinable,
+                    "{} uses forwarding wires and must stay single-cycle",
+                    s.id
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! Core power model (McPAT substitute, Table 3's power rows).
+//!
+//! Normalized to the 300 K baseline core's device power = 1.0:
+//!
+//! * dynamic ∝ `C_eff · (V/1.25)² · (f/4 GHz)`, where `C_eff` captures the
+//!   microarchitecture (superpipelining adds flip-flops, CryoCore halves
+//!   the width and shrinks the OoO structures — Table 3 implies
+//!   `C_CryoCore ≈ 0.222`),
+//! * static ∝ leakage(T, V, V_th), which vanishes at 77 K,
+//! * total = device × (1 + CO(T)) from the cooling model.
+
+use cryowire_device::{CoolingModel, MosfetModel, OperatingPoint, Temperature};
+use cryowire_pipeline::CoreDesign;
+
+/// Dynamic share of the 300 K baseline core's device power. Table 3's own
+/// chain (1.61 = the 4 → 6.4 GHz frequency ratio for the superpipelined
+/// core) implies the paper's McPAT core power is essentially
+/// dynamic-dominated, so we calibrate a 94/6 split.
+const CORE_DYN_FRACTION_300K: f64 = 0.94;
+
+/// Extra switched capacitance from the three superpipeline flip-flop
+/// ranks (calibrated so 77K-Superpipeline core power lands on Table 3's
+/// 1.61 = (4 → 6.4 GHz) × 1.07).
+const SUPERPIPELINE_CAP: f64 = 1.07;
+
+/// Switched-capacitance factor of the CryoCore width/structure halving
+/// (Table 3: 0.3575 / 1.61 ≈ 0.222).
+const CRYOCORE_CAP: f64 = 0.222;
+
+/// Device/cooling/total decomposition, normalized to the 300 K baseline
+/// device power.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerBreakdown {
+    /// Dynamic device power.
+    pub dynamic: f64,
+    /// Static (leakage) device power.
+    pub static_: f64,
+    /// Cooling power (CO × device).
+    pub cooling: f64,
+}
+
+impl PowerBreakdown {
+    /// Device power (dynamic + static).
+    #[must_use]
+    pub fn device(&self) -> f64 {
+        self.dynamic + self.static_
+    }
+
+    /// Total power including cooling.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.device() + self.cooling
+    }
+}
+
+/// The core power model.
+#[derive(Debug, Clone)]
+pub struct CorePowerModel {
+    mosfet: MosfetModel,
+    cooling: CoolingModel,
+}
+
+impl CorePowerModel {
+    /// Creates the model with the paper's device and cooling models.
+    #[must_use]
+    pub fn new() -> Self {
+        CorePowerModel {
+            mosfet: MosfetModel::industry_45nm(),
+            cooling: CoolingModel::paper_default(),
+        }
+    }
+
+    /// Switched-capacitance factor of a core design.
+    #[must_use]
+    pub fn capacitance_factor(design: CoreDesign) -> f64 {
+        match design {
+            CoreDesign::Baseline300K => 1.0,
+            CoreDesign::Superpipeline77K => SUPERPIPELINE_CAP,
+            CoreDesign::SuperpipelineCryoCore77K | CoreDesign::CryoSp => {
+                SUPERPIPELINE_CAP * CRYOCORE_CAP
+            }
+            CoreDesign::ChpCore => CRYOCORE_CAP,
+        }
+    }
+
+    /// Power of a core design at its Table 3 operating point and clock.
+    #[must_use]
+    pub fn power(&self, design: CoreDesign) -> PowerBreakdown {
+        let spec = design.spec();
+        let t = Temperature::new(spec.temperature_k).expect("Table 3 temperatures are valid");
+        self.power_at(
+            design,
+            t,
+            OperatingPoint {
+                v_dd: spec.v_dd,
+                v_th: spec.v_th,
+            },
+            spec.frequency_ghz,
+        )
+    }
+
+    /// Power of `design`'s microarchitecture at an arbitrary temperature,
+    /// voltage point and clock (used by the Fig. 27 temperature sweep).
+    #[must_use]
+    pub fn power_at(
+        &self,
+        design: CoreDesign,
+        t: Temperature,
+        point: OperatingPoint,
+        frequency_ghz: f64,
+    ) -> PowerBreakdown {
+        let cap = Self::capacitance_factor(design);
+        let v_ratio = point.v_dd / self.mosfet.v_dd_nominal();
+        let dynamic = CORE_DYN_FRACTION_300K * cap * v_ratio * v_ratio * (frequency_ghz / 4.0);
+        let leak = self.mosfet.leakage_factor(t, point.v_dd, point.v_th);
+        let static_ = (1.0 - CORE_DYN_FRACTION_300K) * cap * leak * v_ratio;
+        let device = dynamic + static_;
+        PowerBreakdown {
+            dynamic,
+            static_,
+            cooling: self.cooling.overhead(t) * device,
+        }
+    }
+}
+
+impl Default for CorePowerModel {
+    fn default() -> Self {
+        CorePowerModel::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> CorePowerModel {
+        CorePowerModel::new()
+    }
+
+    #[test]
+    fn baseline_device_power_is_unity() {
+        let p = model().power(CoreDesign::Baseline300K);
+        assert!(
+            (p.device() - 1.0).abs() < 1e-9,
+            "baseline device = {}",
+            p.device()
+        );
+        assert_eq!(p.cooling, 0.0);
+    }
+
+    #[test]
+    fn superpipeline_core_power_matches_table3() {
+        // Table 3: 1.61 (and 17.15 total with cooling).
+        let p = model().power(CoreDesign::Superpipeline77K);
+        assert!(
+            (p.device() - 1.61).abs() < 0.15,
+            "superpipeline device power = {}",
+            p.device()
+        );
+        assert!((p.total() - 17.15).abs() < 1.6, "total = {}", p.total());
+    }
+
+    #[test]
+    fn cryocore_halving_matches_table3() {
+        // Table 3: 0.3575.
+        let p = model().power(CoreDesign::SuperpipelineCryoCore77K);
+        assert!(
+            (p.device() - 0.3575).abs() < 0.04,
+            "superpipeline+CryoCore device power = {}",
+            p.device()
+        );
+    }
+
+    #[test]
+    fn cryosp_device_power_near_table3() {
+        // Table 3: 0.093 (total 1.0). Our V² dynamic model lands ~0.115;
+        // the paper's McPAT runs see extra savings (activity/short-circuit)
+        // we do not model — documented in EXPERIMENTS.md.
+        let p = model().power(CoreDesign::CryoSp);
+        assert!(
+            (p.device() - 0.093).abs() < 0.035,
+            "CryoSP device power = {}",
+            p.device()
+        );
+        assert!(p.total() < 1.7, "CryoSP total = {}", p.total());
+    }
+
+    #[test]
+    fn chp_device_power_near_table3() {
+        let p = model().power(CoreDesign::ChpCore);
+        assert!(
+            (p.device() - 0.093).abs() < 0.04,
+            "CHP device power = {}",
+            p.device()
+        );
+    }
+
+    #[test]
+    fn leakage_vanishes_at_77k() {
+        for d in [
+            CoreDesign::CryoSp,
+            CoreDesign::ChpCore,
+            CoreDesign::Superpipeline77K,
+        ] {
+            let p = model().power(d);
+            assert!(p.static_ < 1e-6, "{:?} static = {}", d, p.static_);
+        }
+    }
+
+    #[test]
+    fn cooling_is_9_65x_device_at_77k() {
+        let p = model().power(CoreDesign::CryoSp);
+        assert!((p.cooling / p.device() - 9.65).abs() < 0.01);
+    }
+
+    #[test]
+    fn low_vth_at_300k_explodes_static_power() {
+        let m = model();
+        let p = m.power_at(
+            CoreDesign::ChpCore,
+            Temperature::ambient(),
+            OperatingPoint::chp_core(),
+            6.1,
+        );
+        assert!(p.static_ > 1.0, "300 K low-Vth static = {}", p.static_);
+    }
+}

@@ -1,0 +1,31 @@
+//! # cryowire-power
+//!
+//! Power modelling for cores and NoCs at 300 K and 77 K — the
+//! McPAT + Orion 2.0 + cryo-MOSFET substitute (Section 6.1.2, Fig. 22,
+//! Table 3's power rows).
+//!
+//! Dynamic power follows `C·V²·f` with per-design switched-capacitance
+//! factors; static power follows the MOSFET leakage model (collapsing
+//! exponentially at 77 K); and every cryogenic watt pays the cooling
+//! overhead `CO(T)` of the device crate's [`cryowire_device::CoolingModel`].
+//!
+//! ```
+//! use cryowire_power::{NocDesignPower, NocPowerModel};
+//! let model = NocPowerModel::new();
+//! let mesh300 = model.total_power(NocDesignPower::Mesh300K);
+//! let cryobus = model.total_power(NocDesignPower::CryoBus77K);
+//! assert!(cryobus < mesh300 * 0.5); // Fig. 22: −57.2 % incl. cooling
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod core_power;
+pub mod noc_power;
+pub mod orion;
+pub mod tco;
+
+pub use core_power::{CorePowerModel, PowerBreakdown};
+pub use noc_power::{NocDesignPower, NocPowerModel};
+pub use orion::{noc_area_mm2, router_budget, Component, RouterBudget};
+pub use tco::{TcoAssumptions, TcoBreakdown, TcoModel};

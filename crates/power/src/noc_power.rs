@@ -1,0 +1,272 @@
+//! NoC power model (Orion 2.0 substitute, Fig. 22).
+//!
+//! Dynamic energy per memory access is built structurally from
+//! per-component energies (link hops, router traversals, arbitration,
+//! CryoBus's cross-link control), then scaled by `V²·f`. Static power is
+//! router-transistor-dominated at 300 K and collapses at 77 K; cryogenic
+//! designs pay the cooling overhead on every watt.
+//!
+//! Component energy units (relative to one 2 mm link hop):
+//!
+//! | component | energy | rationale |
+//! |---|---|---|
+//! | link hop | 1.0 | 2 mm global wire charge |
+//! | router traversal | 4.6 | buffers + crossbar + allocators per hop |
+//! | bus arbitration | 5.0 | request/grant wires + matrix arbiter |
+//! | CryoBus control | 20.0 | cross-link switch programming across the die |
+//!
+//! With the Fig. 15 path lengths (mesh ≈ 5.33 hops × 2 packets, shared-bus
+//! broadcast 30 hops × 2 transfers, CryoBus 12-hop broadcast + ~6-hop
+//! directed response) these reproduce Fig. 22's reductions: CryoBus
+//! −57.2 % vs 300 K Mesh, −40.5 % vs 77 K Mesh, −30.7 % vs 77 K Shared
+//! bus, all including cooling.
+
+use cryowire_device::{CoolingModel, MosfetModel, OperatingPoint, Temperature};
+
+/// Dynamic share of the 300 K mesh NoC's device power. Orion-era 45 nm
+/// router power is strongly leakage-dominated at 300 K, which is what
+/// lets the paper say the "300K-dominant static power is almost
+/// eliminated" at 77 K.
+const NOC_DYN_FRACTION_300K: f64 = 0.164;
+
+/// Energy of one router traversal relative to a link hop.
+const ROUTER_ENERGY: f64 = 4.6;
+
+/// Energy of one bus arbitration relative to a link hop.
+const ARBITER_ENERGY: f64 = 5.0;
+
+/// Energy of one CryoBus cross-link control broadcast.
+const CONTROL_ENERGY: f64 = 20.0;
+
+/// Static-power capacitance factors relative to the mesh's 64 routers.
+const STATIC_CAP_MESH: f64 = 1.0;
+const STATIC_CAP_SHARED_BUS: f64 = 0.15;
+const STATIC_CAP_CRYOBUS: f64 = 0.20;
+
+/// The Fig. 22 NoC design points (voltage optimization applied at 77 K).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NocDesignPower {
+    /// 64-core mesh at 300 K, 4 GHz, 1.0 V / 0.468 V.
+    Mesh300K,
+    /// 64-core mesh at 77 K, 5.44 GHz, 0.55 V / 0.225 V.
+    Mesh77K,
+    /// Conventional shared bus at 77 K, 4 GHz domain.
+    SharedBus77K,
+    /// CryoBus at 77 K, 4 GHz domain.
+    CryoBus77K,
+}
+
+impl NocDesignPower {
+    /// All Fig. 22 designs in figure order.
+    pub const ALL: [NocDesignPower; 4] = [
+        NocDesignPower::Mesh300K,
+        NocDesignPower::Mesh77K,
+        NocDesignPower::SharedBus77K,
+        NocDesignPower::CryoBus77K,
+    ];
+
+    /// Display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            NocDesignPower::Mesh300K => "300K Mesh",
+            NocDesignPower::Mesh77K => "77K Mesh",
+            NocDesignPower::SharedBus77K => "77K Shared bus",
+            NocDesignPower::CryoBus77K => "CryoBus",
+        }
+    }
+
+    fn temperature(self) -> Temperature {
+        match self {
+            NocDesignPower::Mesh300K => Temperature::ambient(),
+            _ => Temperature::liquid_nitrogen(),
+        }
+    }
+
+    fn operating_point(self) -> OperatingPoint {
+        match self {
+            NocDesignPower::Mesh300K => OperatingPoint {
+                v_dd: 1.0,
+                v_th: 0.468,
+            },
+            // Table 4: the 77 K NoC/LLC voltage domain.
+            _ => OperatingPoint::noc_77k(),
+        }
+    }
+
+    fn frequency_ghz(self) -> f64 {
+        match self {
+            NocDesignPower::Mesh77K => 5.44,
+            _ => 4.0,
+        }
+    }
+
+    /// Dynamic energy per memory access in link-hop units, from the
+    /// structural path model.
+    #[must_use]
+    pub fn dynamic_energy_units(self) -> f64 {
+        match self {
+            // Request + response packets, 5.33 average hops each, paying a
+            // router and a link per hop.
+            NocDesignPower::Mesh300K | NocDesignPower::Mesh77K => {
+                2.0 * 5.33 * (1.0 + ROUTER_ENERGY)
+            }
+            // Request broadcast + data broadcast over the 30-hop spine,
+            // plus two arbitrations.
+            NocDesignPower::SharedBus77K => 2.0 * 30.0 + 2.0 * ARBITER_ENERGY,
+            // 12-hop request broadcast, ~6-hop directed data response
+            // (dynamic link connection avoids wasteful broadcasting),
+            // two arbitrations + control distribution.
+            NocDesignPower::CryoBus77K => 12.0 + 6.0 + 2.0 * ARBITER_ENERGY + CONTROL_ENERGY,
+        }
+    }
+
+    fn static_cap(self) -> f64 {
+        match self {
+            NocDesignPower::Mesh300K | NocDesignPower::Mesh77K => STATIC_CAP_MESH,
+            NocDesignPower::SharedBus77K => STATIC_CAP_SHARED_BUS,
+            NocDesignPower::CryoBus77K => STATIC_CAP_CRYOBUS,
+        }
+    }
+}
+
+/// The NoC power model, normalized so the 300 K mesh totals 1.0.
+#[derive(Debug, Clone)]
+pub struct NocPowerModel {
+    mosfet: MosfetModel,
+    cooling: CoolingModel,
+}
+
+impl NocPowerModel {
+    /// Creates the model.
+    #[must_use]
+    pub fn new() -> Self {
+        NocPowerModel {
+            mosfet: MosfetModel::industry_45nm(),
+            cooling: CoolingModel::paper_default(),
+        }
+    }
+
+    /// Device power (dynamic + static), normalized to the 300 K mesh.
+    #[must_use]
+    pub fn device_power(&self, design: NocDesignPower) -> f64 {
+        let ref_design = NocDesignPower::Mesh300K;
+        let dyn_ref = ref_design.dynamic_energy_units();
+        let point = design.operating_point();
+        let ref_point = ref_design.operating_point();
+
+        let v_ratio = point.v_dd / ref_point.v_dd;
+        let dynamic = NOC_DYN_FRACTION_300K
+            * (design.dynamic_energy_units() / dyn_ref)
+            * v_ratio
+            * v_ratio
+            * (design.frequency_ghz() / ref_design.frequency_ghz());
+
+        let leak_ref =
+            self.mosfet
+                .leakage_factor(ref_design.temperature(), ref_point.v_dd, ref_point.v_th);
+        let leak = self
+            .mosfet
+            .leakage_factor(design.temperature(), point.v_dd, point.v_th);
+        let static_ =
+            (1.0 - NOC_DYN_FRACTION_300K) * design.static_cap() * (leak / leak_ref) * v_ratio;
+
+        dynamic + static_
+    }
+
+    /// Total power including the cooling overhead, normalized to the
+    /// 300 K mesh's total.
+    #[must_use]
+    pub fn total_power(&self, design: NocDesignPower) -> f64 {
+        self.device_power(design) * self.cooling.total_power_multiplier(design.temperature())
+    }
+}
+
+impl Default for NocPowerModel {
+    fn default() -> Self {
+        NocPowerModel::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> NocPowerModel {
+        NocPowerModel::new()
+    }
+
+    #[test]
+    fn mesh_300k_is_the_unit() {
+        let p = model().total_power(NocDesignPower::Mesh300K);
+        assert!((p - 1.0).abs() < 1e-9, "300 K mesh total = {p}");
+    }
+
+    #[test]
+    fn fig22_cryobus_vs_300k_mesh() {
+        // Paper: CryoBus consumes 57.2 % less power than 300 K Mesh.
+        let m = model();
+        let reduction = 1.0 - m.total_power(NocDesignPower::CryoBus77K);
+        assert!(
+            (reduction - 0.572).abs() < 0.06,
+            "CryoBus reduction vs 300 K mesh = {reduction}"
+        );
+    }
+
+    #[test]
+    fn fig22_cryobus_vs_77k_mesh() {
+        // Paper: 40.5 % less than 77 K Mesh.
+        let m = model();
+        let reduction = 1.0
+            - m.total_power(NocDesignPower::CryoBus77K) / m.total_power(NocDesignPower::Mesh77K);
+        assert!(
+            (reduction - 0.405).abs() < 0.06,
+            "CryoBus reduction vs 77 K mesh = {reduction}"
+        );
+    }
+
+    #[test]
+    fn fig22_cryobus_vs_77k_shared_bus() {
+        // Paper: 30.7 % less than the 77 K Shared bus.
+        let m = model();
+        let reduction = 1.0
+            - m.total_power(NocDesignPower::CryoBus77K)
+                / m.total_power(NocDesignPower::SharedBus77K);
+        assert!(
+            (reduction - 0.307).abs() < 0.06,
+            "CryoBus reduction vs 77 K shared bus = {reduction}"
+        );
+    }
+
+    #[test]
+    fn static_power_eliminated_at_77k() {
+        // Section 5.2.3: "the 300K-dominant static power is almost
+        // eliminated at 77K".
+        let m = model();
+        let mesh77 = m.device_power(NocDesignPower::Mesh77K);
+        let dyn_only = NOC_DYN_FRACTION_300K * (0.55_f64 / 1.0).powi(2) * (5.44 / 4.0);
+        assert!(
+            (mesh77 - dyn_only).abs() / mesh77 < 0.02,
+            "77 K mesh should be essentially all-dynamic"
+        );
+    }
+
+    #[test]
+    fn cryobus_has_lowest_total() {
+        let m = model();
+        let cryo = m.total_power(NocDesignPower::CryoBus77K);
+        for d in NocDesignPower::ALL {
+            assert!(m.total_power(d) >= cryo, "{} below CryoBus", d.name());
+        }
+    }
+
+    #[test]
+    fn dynamic_energy_ordering_is_structural() {
+        // Directed CryoBus transfers switch less wire than the
+        // broadcast-everything shared bus.
+        assert!(
+            NocDesignPower::CryoBus77K.dynamic_energy_units()
+                < NocDesignPower::SharedBus77K.dynamic_energy_units()
+        );
+    }
+}

@@ -1,0 +1,284 @@
+//! The evaluated system designs (Table 4, "Evaluation setup").
+
+use cryowire_device::Temperature;
+use cryowire_memory::MemoryDesign;
+use cryowire_noc::{CryoBus, Network, NocKind, RouterClass, RouterNetwork, SharedBus};
+use cryowire_pipeline::CoreDesign;
+
+/// The interconnect of a system design, with its clock domain.
+#[derive(Debug, Clone)]
+pub enum SystemNoc {
+    /// Router-based mesh (directory coherence) at a given temperature and
+    /// NoC clock (Table 4: 4 GHz at 300 K, 5.44 GHz at 77 K).
+    Mesh {
+        /// The network.
+        network: RouterNetwork,
+        /// NoC clock, GHz.
+        clock_ghz: f64,
+    },
+    /// Conventional shared snooping bus (4 GHz domain).
+    SharedBus {
+        /// The bus.
+        bus: SharedBus,
+    },
+    /// CryoBus (optionally interleaved), 4 GHz domain.
+    CryoBus {
+        /// The bus.
+        bus: CryoBus,
+    },
+    /// Ideal zero-latency, contention-free snooping NoC (Fig. 17's
+    /// normalisation).
+    Ideal,
+}
+
+impl SystemNoc {
+    /// The mesh of Table 4 at temperature `t`.
+    #[must_use]
+    pub fn mesh(t: Temperature) -> Self {
+        let clock_ghz = if t.is_cryogenic() { 5.44 } else { 4.0 };
+        SystemNoc::Mesh {
+            network: RouterNetwork::new(NocKind::Mesh, 64, RouterClass::OneCycle, t)
+                .expect("64-core mesh is valid"),
+            clock_ghz,
+        }
+    }
+
+    /// NoC clock in GHz.
+    #[must_use]
+    pub fn clock_ghz(&self) -> f64 {
+        match self {
+            SystemNoc::Mesh { clock_ghz, .. } => *clock_ghz,
+            SystemNoc::SharedBus { bus } => bus.clock_ghz(),
+            SystemNoc::CryoBus { bus } => bus.clock_ghz(),
+            SystemNoc::Ideal => 4.0,
+        }
+    }
+
+    /// Whether the design snoops (bus) or uses a directory (mesh).
+    #[must_use]
+    pub fn is_snooping(&self) -> bool {
+        !matches!(self, SystemNoc::Mesh { .. })
+    }
+
+    /// The underlying [`Network`] for contention estimation, if any
+    /// (`None` for the ideal NoC).
+    #[must_use]
+    pub fn network(&self) -> Option<&dyn Network> {
+        match self {
+            SystemNoc::Mesh { network, .. } => Some(network),
+            SystemNoc::SharedBus { bus } => Some(bus),
+            SystemNoc::CryoBus { bus } => Some(bus),
+            SystemNoc::Ideal => None,
+        }
+    }
+
+    /// Display name.
+    #[must_use]
+    pub fn name(&self) -> String {
+        match self {
+            SystemNoc::Mesh { network, .. } => network.name(),
+            SystemNoc::SharedBus { bus } => bus.name(),
+            SystemNoc::CryoBus { bus } => bus.name(),
+            SystemNoc::Ideal => "Ideal NoC".to_string(),
+        }
+    }
+}
+
+/// A full system design: core + NoC + memory (one Table 4 row).
+#[derive(Debug, Clone)]
+pub struct SystemDesign {
+    /// Display name (Table 4 row label).
+    pub name: String,
+    /// The core design.
+    pub core: CoreDesign,
+    /// The interconnect.
+    pub noc: SystemNoc,
+    /// The memory hierarchy.
+    pub memory: MemoryDesign,
+    /// Number of cores.
+    pub cores: usize,
+    /// Optional core-clock override, GHz (used by the Fig. 27 temperature
+    /// sweep, which scales the CryoSP clock with temperature).
+    pub frequency_override: Option<f64>,
+}
+
+impl SystemDesign {
+    /// Baseline (300K, Mesh): 300 K cores, mesh, 300 K memory.
+    #[must_use]
+    pub fn baseline_300k() -> Self {
+        SystemDesign {
+            name: "Baseline (300K, Mesh)".into(),
+            core: CoreDesign::Baseline300K,
+            noc: SystemNoc::mesh(Temperature::ambient()),
+            memory: MemoryDesign::mem_300k(),
+            cores: 64,
+            frequency_override: None,
+        }
+    }
+
+    /// CHP-core (77K, Mesh): the state-of-the-art cryogenic baseline.
+    #[must_use]
+    pub fn chp_mesh() -> Self {
+        SystemDesign {
+            name: "CHP-core (77K, Mesh)".into(),
+            core: CoreDesign::ChpCore,
+            noc: SystemNoc::mesh(Temperature::liquid_nitrogen()),
+            memory: MemoryDesign::mem_77k(),
+            cores: 64,
+            frequency_override: None,
+        }
+    }
+
+    /// CryoSP (77K, Mesh).
+    #[must_use]
+    pub fn cryosp_mesh() -> Self {
+        SystemDesign {
+            name: "CryoSP (77K, Mesh)".into(),
+            core: CoreDesign::CryoSp,
+            noc: SystemNoc::mesh(Temperature::liquid_nitrogen()),
+            memory: MemoryDesign::mem_77k(),
+            cores: 64,
+            frequency_override: None,
+        }
+    }
+
+    /// CHP-core (77K, CryoBus).
+    #[must_use]
+    pub fn chp_cryobus() -> Self {
+        SystemDesign {
+            name: "CHP-core (77K, CryoBus)".into(),
+            core: CoreDesign::ChpCore,
+            noc: SystemNoc::CryoBus {
+                bus: CryoBus::new(64, Temperature::liquid_nitrogen()),
+            },
+            memory: MemoryDesign::mem_77k(),
+            cores: 64,
+            frequency_override: None,
+        }
+    }
+
+    /// CryoSP (77K, CryoBus): the paper's full proposal.
+    #[must_use]
+    pub fn cryosp_cryobus() -> Self {
+        SystemDesign {
+            name: "CryoSP (77K, CryoBus)".into(),
+            core: CoreDesign::CryoSp,
+            noc: SystemNoc::CryoBus {
+                bus: CryoBus::new(64, Temperature::liquid_nitrogen()),
+            },
+            memory: MemoryDesign::mem_77k(),
+            cores: 64,
+            frequency_override: None,
+        }
+    }
+
+    /// CryoSP (77K, CryoBus, 2-way): Section 7.1's interleaved variant.
+    #[must_use]
+    pub fn cryosp_cryobus_2way() -> Self {
+        SystemDesign {
+            name: "CryoSP (77K, CryoBus, 2-way)".into(),
+            core: CoreDesign::CryoSp,
+            noc: SystemNoc::CryoBus {
+                bus: CryoBus::two_way(64, Temperature::liquid_nitrogen()),
+            },
+            memory: MemoryDesign::mem_77k(),
+            cores: 64,
+            frequency_override: None,
+        }
+    }
+
+    /// The five Table 4 evaluation rows (Fig. 23's x-axis).
+    #[must_use]
+    pub fn evaluation_set() -> Vec<SystemDesign> {
+        vec![
+            SystemDesign::baseline_300k(),
+            SystemDesign::chp_mesh(),
+            SystemDesign::cryosp_mesh(),
+            SystemDesign::chp_cryobus(),
+            SystemDesign::cryosp_cryobus(),
+        ]
+    }
+
+    /// Variant of a design with the shared bus instead (for Fig. 17).
+    #[must_use]
+    pub fn with_shared_bus(mut self, t: Temperature) -> Self {
+        self.noc = SystemNoc::SharedBus {
+            bus: SharedBus::new(self.cores, t),
+        };
+        self.name = format!("{} + shared bus", self.name);
+        self
+    }
+
+    /// Variant with the ideal NoC (Fig. 17's reference).
+    #[must_use]
+    pub fn with_ideal_noc(mut self) -> Self {
+        self.noc = SystemNoc::Ideal;
+        self.name = format!("{} + ideal NoC", self.name);
+        self
+    }
+
+    /// Core clock frequency, GHz (Table 3 spec unless overridden).
+    #[must_use]
+    pub fn core_frequency_ghz(&self) -> f64 {
+        self.frequency_override
+            .unwrap_or_else(|| self.core.spec().frequency_ghz)
+    }
+
+    /// Overrides the core clock (Fig. 27 sweep).
+    #[must_use]
+    pub fn with_core_frequency(mut self, ghz: f64) -> Self {
+        self.frequency_override = Some(ghz);
+        self
+    }
+
+    /// Replaces the memory hierarchy (Fig. 27 sweep).
+    #[must_use]
+    pub fn with_memory(mut self, memory: MemoryDesign) -> Self {
+        self.memory = memory;
+        self
+    }
+
+    /// Replaces the interconnect (Fig. 27 sweep).
+    #[must_use]
+    pub fn with_noc(mut self, noc: SystemNoc) -> Self {
+        self.noc = noc;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evaluation_set_matches_table4() {
+        let set = SystemDesign::evaluation_set();
+        assert_eq!(set.len(), 5);
+        assert_eq!(set[0].core_frequency_ghz(), 4.0);
+        assert_eq!(set[1].core_frequency_ghz(), 6.1);
+        assert_eq!(set[4].core_frequency_ghz(), 7.84);
+        assert!(set[4].noc.is_snooping());
+        assert!(!set[0].noc.is_snooping());
+    }
+
+    #[test]
+    fn mesh_clock_follows_table4() {
+        assert_eq!(SystemNoc::mesh(Temperature::ambient()).clock_ghz(), 4.0);
+        assert_eq!(
+            SystemNoc::mesh(Temperature::liquid_nitrogen()).clock_ghz(),
+            5.44
+        );
+    }
+
+    #[test]
+    fn ideal_noc_has_no_network() {
+        assert!(SystemNoc::Ideal.network().is_none());
+        assert!(SystemNoc::mesh(Temperature::ambient()).network().is_some());
+    }
+
+    #[test]
+    fn variants_rename() {
+        let d = SystemDesign::chp_mesh().with_ideal_noc();
+        assert!(d.name.contains("ideal"));
+    }
+}

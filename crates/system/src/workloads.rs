@@ -1,0 +1,216 @@
+//! Workload profiles — the PARSEC 2.1 and SPEC CPU2006/2017 stand-ins.
+//!
+//! Each profile is the parameter vector our system model needs; values are
+//! calibrated so the model reproduces the paper's published observations
+//! (Fig. 3 CPI stacks, Fig. 18 injection bands, the per-workload speed-ups
+//! discussed in Section 6.2 and 7.1). They are *characterisations* of the
+//! real benchmarks, not the benchmarks themselves — see DESIGN.md's
+//! substitution table.
+
+/// Which benchmark suite a workload belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Suite {
+    /// PARSEC 2.1 multi-threaded workloads (Fig. 3 / 17 / 23).
+    Parsec,
+    /// SPEC CPU2006 rate-mode copies (Fig. 24).
+    Spec2006,
+    /// SPEC CPU2017 rate-mode copies (Fig. 24).
+    Spec2017,
+    /// CloudSuite scale-out services (the top injection band of Fig. 18).
+    CloudSuite,
+}
+
+/// A workload profile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Workload {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Suite.
+    pub suite: Suite,
+    /// Core-bound CPI (no memory or sync stalls) of the 8-wide baseline.
+    pub base_cpi: f64,
+    /// L2 misses per kilo-instruction (traffic that reaches the NoC).
+    pub l2_mpki: f64,
+    /// Fraction of L3 accesses that miss to DRAM.
+    pub l3_miss_ratio: f64,
+    /// Synchronisation events per kilo-instruction: barriers, lock
+    /// acquisitions, and shared-line ping-pongs — everything whose cost is
+    /// a serialized coherence operation across the cores.
+    pub barriers_per_kinst: f64,
+    /// Memory-level parallelism: outstanding misses that overlap
+    /// (divides exposed memory latency).
+    pub mlp: f64,
+}
+
+impl Workload {
+    /// The 13 PARSEC 2.1 workloads used throughout the evaluation.
+    #[must_use]
+    pub fn parsec() -> Vec<Workload> {
+        let mk = |name, base_cpi, l2_mpki, l3_miss_ratio, barriers, mlp| Workload {
+            name,
+            suite: Suite::Parsec,
+            base_cpi,
+            l2_mpki,
+            l3_miss_ratio,
+            barriers_per_kinst: barriers,
+            mlp,
+        };
+        vec![
+            mk("blackscholes", 0.80, 1.5, 0.30, 0.10, 2.5),
+            mk("bodytrack", 0.90, 4.5, 0.55, 0.27, 2.0),
+            mk("canneal", 1.20, 4.5, 0.60, 0.18, 1.8),
+            mk("dedup", 0.90, 3.0, 0.40, 0.20, 2.2),
+            mk("facesim", 1.00, 3.0, 0.40, 0.25, 2.2),
+            mk("ferret", 0.90, 4.8, 0.45, 0.43, 1.9),
+            mk("fluidanimate", 0.90, 2.5, 0.35, 0.30, 2.2),
+            mk("freqmine", 1.00, 2.0, 0.30, 0.12, 2.4),
+            mk("raytrace", 0.90, 1.8, 0.30, 0.15, 2.4),
+            mk("streamcluster", 0.80, 3.5, 0.40, 1.50, 2.0),
+            mk("swaptions", 0.85, 5.0, 0.50, 1.09, 1.8),
+            mk("vips", 0.95, 2.5, 0.35, 0.18, 2.3),
+            mk("x264", 0.90, 4.6, 0.60, 0.22, 2.0),
+        ]
+    }
+
+    /// The SPEC rate-mode workloads of Fig. 24 (64 copies, aggressive
+    /// stride prefetcher). The prefetcher multiplies NoC traffic; see
+    /// [`Workload::with_prefetcher`].
+    #[must_use]
+    pub fn spec() -> Vec<Workload> {
+        let mk = |name, suite, base_cpi, l2_mpki, l3_miss_ratio| Workload {
+            name,
+            suite,
+            base_cpi,
+            l2_mpki,
+            l3_miss_ratio,
+            barriers_per_kinst: 0.0,
+            mlp: 2.2,
+        };
+        vec![
+            mk("perlbench", Suite::Spec2006, 0.80, 2.0, 0.30),
+            mk("bzip2", Suite::Spec2006, 0.90, 3.0, 0.35),
+            mk("gcc", Suite::Spec2006, 0.95, 14.0, 0.45),
+            mk("mcf", Suite::Spec2006, 1.40, 7.0, 0.65),
+            mk("cactusADM", Suite::Spec2006, 1.10, 15.0, 0.60),
+            mk("libquantum", Suite::Spec2006, 0.90, 16.0, 0.70),
+            mk("omnetpp", Suite::Spec2006, 1.10, 6.0, 0.50),
+            mk("xalancbmk", Suite::Spec2006, 1.00, 13.0, 0.45),
+            mk("lbm", Suite::Spec2017, 1.00, 7.0, 0.70),
+            mk("x264_r", Suite::Spec2017, 0.85, 3.0, 0.45),
+            mk("deepsjeng", Suite::Spec2017, 0.90, 2.0, 0.35),
+            mk("mcf_r", Suite::Spec2017, 1.30, 6.5, 0.60),
+        ]
+    }
+
+    /// Applies the Section 7.1 aggressive stride prefetcher: prefetches
+    /// fire even on cache hits, multiplying NoC traffic by `factor`
+    /// (the useless-prefetch amplification) while hiding a share of the
+    /// remaining memory latency (higher effective MLP).
+    #[must_use]
+    pub fn with_prefetcher(mut self, factor: f64) -> Self {
+        self.l2_mpki *= factor;
+        self.mlp *= 1.3;
+        self
+    }
+
+    /// The CloudSuite scale-out services of Fig. 18's highest injection
+    /// band: request-serving workloads with large instruction footprints
+    /// and heavy last-level-cache traffic (Ferdman et al., ASPLOS'12).
+    #[must_use]
+    pub fn cloudsuite() -> Vec<Workload> {
+        let mk = |name, base_cpi, l2_mpki, l3_miss_ratio, sync| Workload {
+            name,
+            suite: Suite::CloudSuite,
+            base_cpi,
+            l2_mpki,
+            l3_miss_ratio,
+            barriers_per_kinst: sync,
+            mlp: 1.8,
+        };
+        vec![
+            mk("data-serving", 1.3, 14.0, 0.55, 0.05),
+            mk("web-search", 1.2, 12.0, 0.45, 0.04),
+            mk("media-streaming", 1.0, 16.0, 0.60, 0.02),
+            mk("data-analytics", 1.1, 13.0, 0.50, 0.10),
+        ]
+    }
+
+    /// Look up a PARSEC workload by name.
+    #[must_use]
+    pub fn parsec_by_name(name: &str) -> Option<Workload> {
+        Workload::parsec().into_iter().find(|w| w.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thirteen_parsec_workloads() {
+        assert_eq!(Workload::parsec().len(), 13);
+    }
+
+    #[test]
+    fn streamcluster_is_barrier_heavy() {
+        // Section 6.2: streamcluster contains a large number of barriers.
+        let sc = Workload::parsec_by_name("streamcluster").unwrap();
+        let max_other = Workload::parsec()
+            .iter()
+            .filter(|w| w.name != "streamcluster")
+            .map(|w| w.barriers_per_kinst)
+            .fold(0.0, f64::max);
+        assert!(sc.barriers_per_kinst > max_other);
+    }
+
+    #[test]
+    fn memory_bound_workloads_have_high_mpki() {
+        // Section 6.2 singles out bodytrack, ferret, swaptions as
+        // cache/memory-access-heavy and bodytrack, x264 as memory-bounded.
+        let parsec = Workload::parsec();
+        let avg: f64 = parsec.iter().map(|w| w.l2_mpki).sum::<f64>() / parsec.len() as f64;
+        for name in ["bodytrack", "ferret", "swaptions", "x264"] {
+            let w = Workload::parsec_by_name(name).unwrap();
+            assert!(w.l2_mpki > avg, "{name} should be above-average traffic");
+        }
+    }
+
+    #[test]
+    fn profiles_are_physical() {
+        for w in Workload::parsec().into_iter().chain(Workload::spec()) {
+            assert!(w.base_cpi > 0.0);
+            assert!(w.l2_mpki >= 0.0);
+            assert!((0.0..=1.0).contains(&w.l3_miss_ratio));
+            assert!(w.mlp >= 1.0);
+        }
+    }
+
+    #[test]
+    fn prefetcher_amplifies_traffic() {
+        let w = Workload::spec()[0].clone();
+        let p = w.clone().with_prefetcher(2.0);
+        assert!((p.l2_mpki - 2.0 * w.l2_mpki).abs() < 1e-12);
+        assert!(p.mlp > w.mlp);
+    }
+
+    #[test]
+    fn cloudsuite_is_the_heaviest_band() {
+        // Fig. 18 orders the bands PARSEC < SPEC < CloudSuite by
+        // injection; the profiles must respect that ordering on average.
+        let avg = |ws: &[Workload]| ws.iter().map(|w| w.l2_mpki).sum::<f64>() / ws.len() as f64;
+        let parsec = Workload::parsec();
+        let cloud = Workload::cloudsuite();
+        assert!(avg(&cloud) > 3.0 * avg(&parsec));
+        assert_eq!(cloud.len(), 4);
+    }
+
+    #[test]
+    fn spec_has_the_contention_bound_four() {
+        // Section 7.1 names cactusADM, gcc, xalancbmk, libquantum as the
+        // workloads where CryoBus contention shows.
+        let names: Vec<&str> = Workload::spec().iter().map(|w| w.name).collect();
+        for n in ["cactusADM", "gcc", "xalancbmk", "libquantum"] {
+            assert!(names.contains(&n), "{n} missing");
+        }
+    }
+}

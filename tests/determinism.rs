@@ -1,0 +1,74 @@
+//! Every experiment is a pure function of its inputs: rerunning any of
+//! them must reproduce byte-identical reports. This is what makes
+//! EXPERIMENTS.md auditable.
+
+use cryowire::experiments::{self, Fidelity};
+
+#[test]
+fn analytic_experiments_are_deterministic() {
+    assert_eq!(
+        experiments::fig05_wire_speedup(),
+        experiments::fig05_wire_speedup()
+    );
+    assert_eq!(
+        experiments::fig12_critical_path_300k(),
+        experiments::fig12_critical_path_300k()
+    );
+    assert_eq!(
+        experiments::tab03_core_specs(),
+        experiments::tab03_core_specs()
+    );
+    assert_eq!(
+        experiments::fig22_noc_power(),
+        experiments::fig22_noc_power()
+    );
+    assert_eq!(
+        experiments::fig27_temperature_sweep(),
+        experiments::fig27_temperature_sweep()
+    );
+}
+
+#[test]
+fn simulation_experiments_are_deterministic() {
+    // Seeded RNGs everywhere: same fidelity ⇒ same curves.
+    assert_eq!(
+        experiments::fig18_bus_load_latency(Fidelity::Quick),
+        experiments::fig18_bus_load_latency(Fidelity::Quick)
+    );
+    assert_eq!(
+        experiments::fig23_system_performance(Fidelity::Quick),
+        experiments::fig23_system_performance(Fidelity::Quick)
+    );
+    assert_eq!(
+        experiments::ipc_cross_validation(),
+        experiments::ipc_cross_validation()
+    );
+    assert_eq!(
+        experiments::coherence_cross_validation(),
+        experiments::coherence_cross_validation()
+    );
+}
+
+#[test]
+fn parallel_sweep_matches_serial() {
+    // The crossbeam fan-out must not change results, only wall time.
+    use cryowire::device::Temperature;
+    use cryowire::noc::{CryoBus, LoadLatencySweep, Network, SharedBus, SimConfig, TrafficPattern};
+    let sweep = LoadLatencySweep::new(vec![0.001, 0.004, 0.008]).with_config(SimConfig {
+        cycles: 6_000,
+        warmup: 1_500,
+        ..SimConfig::default()
+    });
+    let t77 = Temperature::liquid_nitrogen();
+    let bus = SharedBus::new(64, t77);
+    let cryo = CryoBus::new(64, t77);
+    let nets: Vec<&(dyn Network + Sync)> = vec![&bus, &cryo];
+    let parallel = sweep
+        .run_many(&nets, TrafficPattern::UniformRandom)
+        .unwrap();
+    let serial = vec![
+        sweep.run(&bus, TrafficPattern::UniformRandom).unwrap(),
+        sweep.run(&cryo, TrafficPattern::UniformRandom).unwrap(),
+    ];
+    assert_eq!(parallel, serial);
+}

@@ -1,0 +1,67 @@
+//! Smoke tests: every experiment renders a non-empty, well-formed report
+//! (this is the API the benches and EXPERIMENTS.md rely on).
+
+use cryowire::experiments::{self, Fidelity};
+
+#[test]
+fn all_analytic_reports_render() {
+    let reports = vec![
+        experiments::fig02_stage_breakdown().report(),
+        experiments::fig05_wire_speedup().report(),
+        experiments::fig09_validation().report(),
+        experiments::fig10_link_validation().report(),
+        experiments::fig12_critical_path_300k().report(),
+        experiments::fig13_critical_path_77k().report(),
+        experiments::fig14_superpipelined().report(),
+        experiments::tab01_floorplan().report(),
+        experiments::tab03_core_specs().report(),
+        experiments::fig16_llc_latency().report(),
+        experiments::fig20_bus_latency_breakdown().report(),
+        experiments::fig22_noc_power().report(),
+        experiments::tab04_setup(),
+        experiments::fig03_cpi_stacks().report(),
+        experiments::fig17_bus_vs_mesh().report(),
+    ];
+    for r in reports {
+        assert!(!r.is_empty(), "[{}] report must have rows", r.id);
+        let rendered = r.to_string();
+        assert!(rendered.contains(r.id), "[{}] header missing", r.id);
+        assert!(rendered.lines().count() >= 3, "[{}] too short", r.id);
+    }
+}
+
+#[test]
+fn simulation_backed_reports_render_quickly() {
+    let reports = vec![
+        experiments::fig18_bus_load_latency(Fidelity::Quick).report(),
+        experiments::fig23_system_performance(Fidelity::Quick).report(),
+        experiments::fig24_spec_prefetch(Fidelity::Quick).report(),
+        experiments::fig27_temperature_sweep().report(),
+    ];
+    for r in reports {
+        assert!(!r.is_empty(), "[{}] report must have rows", r.id);
+    }
+}
+
+#[test]
+fn fig23_report_has_13_workloads_and_5_designs() {
+    let r = experiments::fig23_system_performance(Fidelity::Quick);
+    assert_eq!(r.rows.len(), 13);
+    assert_eq!(r.designs.len(), 5);
+    let report = r.report();
+    assert_eq!(report.headers.len(), 6); // workload + 5 designs
+}
+
+#[test]
+fn fig24_report_has_12_workloads_and_4_designs() {
+    let r = experiments::fig24_spec_prefetch(Fidelity::Quick);
+    assert_eq!(r.rows.len(), 12);
+    assert_eq!(r.designs.len(), 4);
+}
+
+#[test]
+fn fig27_report_has_8_temperatures() {
+    let r = experiments::fig27_temperature_sweep();
+    assert_eq!(r.points.len(), 8);
+    assert_eq!(r.report().len(), 8);
+}
