@@ -1,0 +1,86 @@
+//! Bench target measuring harness sweep scaling: the same SweepSpec run
+//! on 1 vs 2 vs 4 executor threads.
+//!
+//! Two workloads:
+//! * `latency-bound`: every point blocks ~2 ms (stand-in for a
+//!   simulation that waits on anything other than this CPU). Threads
+//!   overlap the blocking, so the speedup shows up even on a single
+//!   core — this is the scaling guarantee the executor itself makes.
+//! * `depth-grid`: the real 64-point temperature × depth compute grid;
+//!   its scaling additionally depends on how many cores the host has.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use cryowire::experiments::{self, SweepOptions};
+use cryowire_harness::{Sweep, SweepSpec};
+use serde_json::Value;
+use std::time::{Duration, Instant};
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+fn latency_bound_artifact(threads: usize) -> cryowire_harness::RunArtifact {
+    let spec = SweepSpec::new("latency-bound").axis("i", 0..16i64);
+    Sweep::new(spec)
+        .eval_tag("bench/latency-bound")
+        .threads(threads)
+        .run(|point, _seed| {
+            std::thread::sleep(Duration::from_millis(2));
+            Value::Int(point.i64("i"))
+        })
+}
+
+fn depth_grid_artifact(threads: usize) -> cryowire_harness::RunArtifact {
+    experiments::depth_sweep_artifact(
+        experiments::depth_grid_spec(&experiments::linspace_temperatures(16), 4),
+        SweepOptions::threaded(threads),
+    )
+}
+
+fn time_of(mut f: impl FnMut()) -> Duration {
+    // Median of five, after one warm-up.
+    f();
+    let mut samples: Vec<Duration> = (0..5)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed()
+        })
+        .collect();
+    samples.sort();
+    samples[2]
+}
+
+fn bench(c: &mut Criterion) {
+    for (name, run) in [
+        (
+            "latency-bound",
+            &latency_bound_artifact as &dyn Fn(usize) -> cryowire_harness::RunArtifact,
+        ),
+        ("depth-grid", &depth_grid_artifact),
+    ] {
+        let serial = time_of(|| {
+            black_box(run(1));
+        });
+        for threads in THREAD_COUNTS {
+            let t = time_of(|| {
+                black_box(run(threads));
+            });
+            println!(
+                "abl_sweep_scaling/{name}: {threads} thread(s) {t:?} \
+                 (speedup vs 1 thread: {:.2}x)",
+                serial.as_secs_f64() / t.as_secs_f64()
+            );
+        }
+    }
+
+    let mut group = c.benchmark_group("abl_sweep_scaling");
+    group.sample_size(10);
+    for threads in THREAD_COUNTS {
+        group.bench_function(format!("depth_grid_{threads}_threads"), |b| {
+            b.iter(|| black_box(depth_grid_artifact(threads)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

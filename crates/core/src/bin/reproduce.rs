@@ -1,114 +1,141 @@
 //! Prints every reproduced table and figure in paper order.
 //!
 //! ```sh
-//! cargo run --release --bin reproduce [--full] [--json]
+//! cargo run --release --bin reproduce [--full] [--json] [--threads N] [--out FILE]
 //! ```
 //!
 //! `--json` emits every report as a JSON array instead of tables.
+//! `--threads N` generates the reports through the harness executor on
+//! `N` worker threads (output order stays paper order). `--out FILE`
+//! writes the output to a file instead of stdout.
 
 use cryowire::experiments::{self, Fidelity};
 use cryowire::Report;
+use cryowire_harness::Executor;
+
+/// A report plus an optional free-form summary line (text mode only).
+type Section = (Report, Option<String>);
+type Task = Box<dyn Fn() -> Section + Sync>;
+
+fn only(report: Report) -> Section {
+    (report, None)
+}
+
+fn tasks(fidelity: Fidelity) -> Vec<Task> {
+    vec![
+        Box::new(|| only(experiments::fig02_stage_breakdown().report())),
+        Box::new(|| only(experiments::fig03_cpi_stacks().report())),
+        Box::new(|| only(experiments::fig05_wire_speedup().report())),
+        Box::new(|| only(experiments::fig09_validation().report())),
+        Box::new(|| only(experiments::fig10_link_validation().report())),
+        Box::new(|| only(experiments::fig12_critical_path_300k().report())),
+        Box::new(|| only(experiments::fig13_critical_path_77k().report())),
+        Box::new(|| only(experiments::fig14_superpipelined().report())),
+        Box::new(|| only(experiments::tab01_floorplan().report())),
+        Box::new(|| only(experiments::tab03_core_specs().report())),
+        Box::new(|| only(experiments::tab04_setup())),
+        Box::new(|| only(experiments::fig16_llc_latency().report())),
+        Box::new(|| only(experiments::fig17_bus_vs_mesh().report())),
+        Box::new(move || only(experiments::fig18_bus_load_latency(fidelity).report())),
+        Box::new(|| only(experiments::fig20_bus_latency_breakdown().report())),
+        Box::new(move || only(experiments::fig21_noc_load_latency(fidelity).report())),
+        Box::new(|| only(experiments::fig22_noc_power().report())),
+        Box::new(move || {
+            let fig23 = experiments::fig23_system_performance(fidelity);
+            let summary = format!(
+                "fig23 summary: {:.2}x vs CHP (paper 2.53), {:.2}x vs 300K (paper 3.82), \
+                 CryoSP-only {:.3} (paper 1.161), CryoBus-only {:.2} (paper ~2.1), \
+                 best case {} at {:.2}x (paper: streamcluster 5.74)\n",
+                fig23.average_speedup_vs_chp,
+                fig23.average_speedup_vs_300k,
+                fig23.cryosp_only_speedup,
+                fig23.cryobus_only_speedup,
+                fig23.best_case.0,
+                fig23.best_case.1
+            );
+            (fig23.report(), Some(summary))
+        }),
+        Box::new(move || {
+            let fig24 = experiments::fig24_spec_prefetch(fidelity);
+            let summary = format!(
+                "fig24 summary: {:.2}x vs 300K (paper 2.11), {:.2}x vs CHP (paper 1.372), \
+                 2-way {:.2}x vs 300K (paper 2.34); contention-bound: {:?}\n",
+                fig24.cryobus_vs_300k,
+                fig24.cryobus_vs_chp,
+                fig24.cryobus2_vs_300k,
+                fig24.contention_bound
+            );
+            (fig24.report(), Some(summary))
+        }),
+        Box::new(move || only(experiments::fig25_traffic_patterns(fidelity).report())),
+        Box::new(move || only(experiments::fig26_hybrid_256(fidelity).report())),
+        Box::new(|| only(experiments::fig27_temperature_sweep().report())),
+        Box::new(|| only(experiments::ablation_bus_topology().report())),
+        Box::new(|| only(experiments::ablation_interleaving().report())),
+        Box::new(|| only(experiments::ablation_ff_overhead().report())),
+        Box::new(|| only(experiments::ablation_alu_count().report())),
+        Box::new(|| only(experiments::ablation_wire_thickness().report())),
+        Box::new(|| only(experiments::ablation_depth_sweep().report())),
+        Box::new(|| only(experiments::ablation_engine_comparison().report())),
+        Box::new(|| only(experiments::ipc_cross_validation().report())),
+        Box::new(|| only(experiments::coherence_cross_validation().report())),
+        Box::new(move || only(experiments::headline_summary(fidelity).report())),
+    ]
+}
 
 fn main() {
-    let fidelity = if std::env::args().any(|a| a == "--full") {
-        Fidelity::Full
-    } else {
-        Fidelity::Quick
-    };
-    if std::env::args().any(|a| a == "--json") {
-        let reports: Vec<Report> = vec![
-            experiments::fig02_stage_breakdown().report(),
-            experiments::fig03_cpi_stacks().report(),
-            experiments::fig05_wire_speedup().report(),
-            experiments::fig09_validation().report(),
-            experiments::fig10_link_validation().report(),
-            experiments::fig12_critical_path_300k().report(),
-            experiments::fig13_critical_path_77k().report(),
-            experiments::fig14_superpipelined().report(),
-            experiments::tab01_floorplan().report(),
-            experiments::tab03_core_specs().report(),
-            experiments::tab04_setup(),
-            experiments::fig16_llc_latency().report(),
-            experiments::fig17_bus_vs_mesh().report(),
-            experiments::fig18_bus_load_latency(fidelity).report(),
-            experiments::fig20_bus_latency_breakdown().report(),
-            experiments::fig21_noc_load_latency(fidelity).report(),
-            experiments::fig22_noc_power().report(),
-            experiments::fig23_system_performance(fidelity).report(),
-            experiments::fig24_spec_prefetch(fidelity).report(),
-            experiments::fig25_traffic_patterns(fidelity).report(),
-            experiments::fig26_hybrid_256(fidelity).report(),
-            experiments::fig27_temperature_sweep().report(),
-            experiments::ablation_bus_topology().report(),
-            experiments::ablation_interleaving().report(),
-            experiments::ablation_ff_overhead().report(),
-            experiments::ablation_alu_count().report(),
-            experiments::ablation_wire_thickness().report(),
-            experiments::ablation_depth_sweep().report(),
-            experiments::ablation_engine_comparison().report(),
-            experiments::ipc_cross_validation().report(),
-            experiments::coherence_cross_validation().report(),
-            experiments::headline_summary(fidelity).report(),
-        ];
-        println!(
-            "{}",
-            serde_json::to_string_pretty(&reports).expect("reports serialize")
-        );
-        return;
+    let mut fidelity = Fidelity::Quick;
+    let mut json = false;
+    let mut threads = 1usize;
+    let mut out: Option<String> = None;
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--full" => fidelity = Fidelity::Full,
+            "--json" => json = true,
+            "--threads" => {
+                let v = iter
+                    .next()
+                    .unwrap_or_else(|| die("--threads requires a value"));
+                threads = v
+                    .parse()
+                    .unwrap_or_else(|_| die(&format!("invalid thread count `{v}`")));
+            }
+            "--out" => out = Some(iter.next().unwrap_or_else(|| die("--out requires a value"))),
+            other => die(&format!("unknown argument `{other}`")),
+        }
     }
 
-    println!("{}", experiments::fig02_stage_breakdown().report());
-    println!("{}", experiments::fig03_cpi_stacks().report());
-    println!("{}", experiments::fig05_wire_speedup().report());
-    println!("{}", experiments::fig09_validation().report());
-    println!("{}", experiments::fig10_link_validation().report());
-    println!("{}", experiments::fig12_critical_path_300k().report());
-    println!("{}", experiments::fig13_critical_path_77k().report());
-    println!("{}", experiments::fig14_superpipelined().report());
-    println!("{}", experiments::tab01_floorplan().report());
-    println!("{}", experiments::tab03_core_specs().report());
-    println!("{}", experiments::tab04_setup());
-    println!("{}", experiments::fig16_llc_latency().report());
-    println!("{}", experiments::fig17_bus_vs_mesh().report());
-    println!("{}", experiments::fig18_bus_load_latency(fidelity).report());
-    println!("{}", experiments::fig20_bus_latency_breakdown().report());
-    println!("{}", experiments::fig21_noc_load_latency(fidelity).report());
-    println!("{}", experiments::fig22_noc_power().report());
+    let tasks = tasks(fidelity);
+    // The harness executor preserves paper order regardless of thread
+    // count; with --threads 1 this is the plain serial loop.
+    let sections = Executor::new(threads).run(&tasks, |_, task| task());
 
-    let fig23 = experiments::fig23_system_performance(fidelity);
-    println!("{}", fig23.report());
-    println!(
-        "fig23 summary: {:.2}x vs CHP (paper 2.53), {:.2}x vs 300K (paper 3.82), \
-         CryoSP-only {:.3} (paper 1.161), CryoBus-only {:.2} (paper ~2.1), \
-         best case {} at {:.2}x (paper: streamcluster 5.74)\n",
-        fig23.average_speedup_vs_chp,
-        fig23.average_speedup_vs_300k,
-        fig23.cryosp_only_speedup,
-        fig23.cryobus_only_speedup,
-        fig23.best_case.0,
-        fig23.best_case.1
-    );
+    let output = if json {
+        let reports: Vec<Report> = sections.iter().map(|(r, _)| r.clone()).collect();
+        let mut s = serde_json::to_string_pretty(&reports).expect("reports serialize");
+        s.push('\n');
+        s
+    } else {
+        let mut s = String::new();
+        for (report, summary) in &sections {
+            s.push_str(&report.to_string());
+            s.push('\n');
+            if let Some(summary) = summary {
+                s.push_str(summary);
+                s.push('\n');
+            }
+        }
+        s
+    };
+    match out {
+        Some(path) => std::fs::write(&path, output)
+            .unwrap_or_else(|e| die(&format!("cannot write `{path}`: {e}"))),
+        None => print!("{output}"),
+    }
+}
 
-    let fig24 = experiments::fig24_spec_prefetch(fidelity);
-    println!("{}", fig24.report());
-    println!(
-        "fig24 summary: {:.2}x vs 300K (paper 2.11), {:.2}x vs CHP (paper 1.372), \
-         2-way {:.2}x vs 300K (paper 2.34); contention-bound: {:?}\n",
-        fig24.cryobus_vs_300k, fig24.cryobus_vs_chp, fig24.cryobus2_vs_300k, fig24.contention_bound
-    );
-
-    println!("{}", experiments::fig25_traffic_patterns(fidelity).report());
-    println!("{}", experiments::fig26_hybrid_256(fidelity).report());
-    println!("{}", experiments::fig27_temperature_sweep().report());
-
-    println!("{}", experiments::ablation_bus_topology().report());
-    println!("{}", experiments::ablation_interleaving().report());
-    println!("{}", experiments::ablation_ff_overhead().report());
-    println!("{}", experiments::ablation_alu_count().report());
-    println!("{}", experiments::ablation_wire_thickness().report());
-    println!("{}", experiments::ablation_depth_sweep().report());
-    println!("{}", experiments::ablation_engine_comparison().report());
-    println!("{}", experiments::ipc_cross_validation().report());
-    println!("{}", experiments::coherence_cross_validation().report());
-    println!("{}", experiments::headline_summary(fidelity).report());
+fn die(msg: &str) -> ! {
+    eprintln!("reproduce: {msg}");
+    std::process::exit(2);
 }

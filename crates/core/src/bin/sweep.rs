@@ -1,0 +1,128 @@
+//! Parallel, cached design-space sweeps with JSON run artifacts.
+//!
+//! ```sh
+//! cargo run --release --bin sweep -- [--sweep depth|fig27|fig21] \
+//!     [--threads N] [--out FILE] [--cache-dir DIR] \
+//!     [--temps N] [--max-split K] [--full]
+//! ```
+//!
+//! The default sweep is the temperature × pipeline-depth grid
+//! (16 temperatures × 4 split factors = 64 points). `--out` writes the
+//! full artifact (per-point parameters, seeds, cache provenance, timing
+//! and values) as pretty JSON; without it the artifact goes to stdout.
+//! `--cache-dir` persists point results content-addressed on disk, so
+//! re-runs and overlapping grids only evaluate new points.
+
+use cryowire::experiments::{self, Fidelity, SweepOptions};
+use cryowire_harness::{ResultCache, RunArtifact};
+
+struct Args {
+    sweep: String,
+    threads: usize,
+    out: Option<String>,
+    cache_dir: Option<String>,
+    temps: usize,
+    max_split: i64,
+    fidelity: Fidelity,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        sweep: "depth".to_string(),
+        threads: 0,
+        out: None,
+        cache_dir: None,
+        temps: 16,
+        max_split: 4,
+        fidelity: Fidelity::Quick,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next()
+                .unwrap_or_else(|| die(&format!("{name} requires a value")))
+        };
+        match arg.as_str() {
+            "--sweep" => args.sweep = value("--sweep"),
+            "--threads" => args.threads = parse(&value("--threads"), "--threads"),
+            "--out" => args.out = Some(value("--out")),
+            "--cache-dir" => args.cache_dir = Some(value("--cache-dir")),
+            "--temps" => args.temps = parse(&value("--temps"), "--temps"),
+            "--max-split" => args.max_split = parse(&value("--max-split"), "--max-split"),
+            "--full" => args.fidelity = Fidelity::Full,
+            "--help" | "-h" => {
+                println!(
+                    "usage: sweep [--sweep depth|fig27|fig21] [--threads N] [--out FILE]\n\
+                     \x20            [--cache-dir DIR] [--temps N] [--max-split K] [--full]"
+                );
+                std::process::exit(0);
+            }
+            other => die(&format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    if args.temps < 2 {
+        die("--temps must be at least 2 (the 77 K and 300 K endpoints)");
+    }
+    if args.max_split < 1 {
+        die("--max-split must be at least 1");
+    }
+    args
+}
+
+fn parse<T: std::str::FromStr>(s: &str, name: &str) -> T {
+    s.parse()
+        .unwrap_or_else(|_| die(&format!("invalid value `{s}` for {name}")))
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("sweep: {msg}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args = parse_args();
+    let cache = args.cache_dir.as_ref().map(|dir| {
+        ResultCache::with_dir(dir)
+            .unwrap_or_else(|e| die(&format!("cannot open cache dir `{dir}`: {e}")))
+    });
+    // threads == 0 means one worker per CPU (the SweepOptions default).
+    let mut opts = SweepOptions::threaded(args.threads);
+    if let Some(cache) = cache.as_ref() {
+        opts = opts.with_cache(cache);
+    }
+
+    let artifact: RunArtifact = match args.sweep.as_str() {
+        "depth" => experiments::depth_sweep_artifact(
+            experiments::depth_grid_spec(
+                &experiments::linspace_temperatures(args.temps),
+                args.max_split,
+            ),
+            opts,
+        ),
+        "fig27" => experiments::fig27_sweep_artifact(opts),
+        "fig21" => experiments::fig21_sweep_artifact(args.fidelity, opts),
+        other => die(&format!("unknown sweep `{other}` (depth, fig27, fig21)")),
+    };
+
+    eprintln!(
+        "sweep `{}`: {} points ({} evaluated, {} cached) on {} thread(s) in {:.1} ms",
+        artifact.sweep,
+        artifact.stats.points,
+        artifact.stats.evaluated,
+        artifact.stats.cache_hits,
+        artifact.stats.threads,
+        artifact.stats.wall_ms
+    );
+    match args.out {
+        Some(path) => {
+            artifact
+                .write_json(&path)
+                .unwrap_or_else(|e| die(&format!("cannot write `{path}`: {e}")));
+            eprintln!("artifact written to {path}");
+        }
+        None => println!(
+            "{}",
+            serde_json::to_string_pretty(&artifact).expect("artifact serializes")
+        ),
+    }
+}

@@ -12,6 +12,7 @@ mod ipc_validation;
 mod noc_figs;
 mod pipeline_figs;
 mod summary;
+mod sweeps;
 mod system_figs;
 mod temperature;
 mod wires;
@@ -36,9 +37,17 @@ pub use pipeline_figs::{
     Fig14Result, Tab01Result, Tab03Result,
 };
 pub use summary::{headline_summary, HeadlineSummary};
+pub use sweeps::{
+    ablation_depth_spec, depth_ablation_from_artifact, depth_grid_eval, depth_grid_spec,
+    depth_sweep_artifact, fig21_from_artifact, fig21_spec, fig21_sweep_artifact,
+    fig27_from_artifact, fig27_spec, fig27_sweep_artifact, linspace_temperatures, SweepOptions,
+    FIG21_NETWORKS,
+};
 pub use system_figs::{
     fig03_cpi_stacks, fig17_bus_vs_mesh, fig23_system_performance, fig24_spec_prefetch,
     tab04_setup, Fig03Result, Fig17Result, Fig23Result, Fig24Result,
 };
-pub use temperature::{fig27_temperature_sweep, Fig27Result};
+pub use temperature::{
+    fig27_point, fig27_temperature_sweep, Fig27Result, TemperaturePoint, FIG27_TEMPERATURES,
+};
 pub use wires::{fig05_wire_speedup, fig10_link_validation, Fig05Result, Fig10Result};

@@ -11,7 +11,7 @@ use cryowire_power::{NocDesignPower, NocPowerModel};
 use crate::report::{fmt2, fmt3, Report};
 use crate::Fidelity;
 
-fn sweep(fidelity: Fidelity, rates: Vec<f64>) -> LoadLatencySweep {
+pub(crate) fn sweep(fidelity: Fidelity, rates: Vec<f64>) -> LoadLatencySweep {
     let config = match fidelity {
         Fidelity::Quick => SimConfig {
             cycles: 8_000,
@@ -391,11 +391,15 @@ pub fn fig25_traffic_patterns(fidelity: Fidelity) -> Fig25Result {
     }
 }
 
-fn run_pattern(fidelity: Fidelity, pattern: TrafficPattern, name: &str) -> Fig21Result {
-    let rates = vec![
+/// The Fig. 21/25 injection-rate grid.
+pub(crate) fn fig21_rates() -> Vec<f64> {
+    vec![
         0.001, 0.002, 0.004, 0.006, 0.008, 0.010, 0.012, 0.014, 0.018, 0.024, 0.032, 0.05, 0.08,
-    ];
-    let s = sweep(fidelity, rates);
+    ]
+}
+
+fn run_pattern(fidelity: Fidelity, pattern: TrafficPattern, name: &str) -> Fig21Result {
+    let s = sweep(fidelity, fig21_rates());
     let nets = all_nocs_77k();
     let refs: Vec<&(dyn Network + Sync)> = nets.iter().map(AsRef::as_ref).collect();
     let curves = s.run_many(&refs, pattern).expect("valid sweep");

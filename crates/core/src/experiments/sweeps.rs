@@ -1,0 +1,392 @@
+//! Harness-backed design-space sweeps.
+//!
+//! The grid-shaped experiments of the paper — the Fig. 21 load–latency
+//! fan-out, the Fig. 27 temperature sweep and the depth-sweep ablation —
+//! re-expressed as [`SweepSpec`]s evaluated through
+//! [`cryowire_harness`]: parallel over points, content-addressed cached,
+//! and serialized as [`RunArtifact`]s. Each port decodes its artifact
+//! back into the experiment's typed result, so the legacy single-thread
+//! functions and these harness runs are comparable value-for-value
+//! (asserted in `tests/determinism.rs`).
+
+use cryowire_device::Temperature;
+use cryowire_harness::{Point, ResultCache, RunArtifact, Sweep, SweepSpec};
+use cryowire_noc::{
+    CryoBus, LoadLatencyCurve, LoadLatencyPoint, Network, NocKind, RouterClass, RouterNetwork,
+    SharedBus, TrafficPattern,
+};
+use cryowire_pipeline::{sweep_depths, CriticalPathModel, DepthPoint};
+use serde_json::Value;
+
+use super::noc_figs;
+use super::temperature::{fig27_point, FIG27_TEMPERATURES};
+use super::{DepthSweepAblation, Fig21Result, Fig27Result, TemperaturePoint};
+use crate::Fidelity;
+
+/// Knobs shared by every harness-backed sweep.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SweepOptions<'c> {
+    /// Worker threads (0 ⇒ one per CPU).
+    pub threads: usize,
+    /// Optional shared result cache.
+    pub cache: Option<&'c ResultCache>,
+}
+
+impl<'c> SweepOptions<'c> {
+    /// Serial, uncached.
+    #[must_use]
+    pub fn serial() -> Self {
+        SweepOptions {
+            threads: 1,
+            cache: None,
+        }
+    }
+
+    /// `threads` workers, uncached.
+    #[must_use]
+    pub fn threaded(threads: usize) -> Self {
+        SweepOptions {
+            threads,
+            cache: None,
+        }
+    }
+
+    /// Attaches a cache.
+    #[must_use]
+    pub fn with_cache(mut self, cache: &'c ResultCache) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    fn build(self, spec: SweepSpec, tag: &str, seed: u64) -> Sweep<'c> {
+        let mut sweep = Sweep::new(spec).eval_tag(tag).base_seed(seed);
+        sweep = if self.threads == 0 {
+            sweep.executor(cryowire_harness::Executor::per_cpu())
+        } else {
+            sweep.threads(self.threads)
+        };
+        if let Some(cache) = self.cache {
+            sweep = sweep.cache(cache);
+        }
+        sweep
+    }
+}
+
+// ---------------------------------------------------------------- fig27
+
+/// The Fig. 27 grid: one axis over the paper's eight temperatures.
+#[must_use]
+pub fn fig27_spec() -> SweepSpec {
+    SweepSpec::new("fig27-temperature").axis("temperature_k", FIG27_TEMPERATURES)
+}
+
+fn temperature_point_value(p: &TemperaturePoint) -> Value {
+    Value::Object(vec![
+        ("temperature_k".into(), Value::Float(p.temperature_k)),
+        ("frequency_ghz".into(), Value::Float(p.frequency_ghz)),
+        ("v_dd".into(), Value::Float(p.v_dd)),
+        ("device_power".into(), Value::Float(p.device_power)),
+        ("cooling_overhead".into(), Value::Float(p.cooling_overhead)),
+        ("total_power".into(), Value::Float(p.total_power)),
+        ("performance".into(), Value::Float(p.performance)),
+        ("perf_per_power".into(), Value::Float(p.perf_per_power)),
+    ])
+}
+
+fn f64_field(v: &Value, name: &str) -> f64 {
+    v.get(name)
+        .and_then(Value::as_f64)
+        .unwrap_or_else(|| panic!("artifact value lacks float field `{name}`"))
+}
+
+fn temperature_point_from(v: &Value) -> TemperaturePoint {
+    TemperaturePoint {
+        temperature_k: f64_field(v, "temperature_k"),
+        frequency_ghz: f64_field(v, "frequency_ghz"),
+        v_dd: f64_field(v, "v_dd"),
+        device_power: f64_field(v, "device_power"),
+        cooling_overhead: f64_field(v, "cooling_overhead"),
+        total_power: f64_field(v, "total_power"),
+        performance: f64_field(v, "performance"),
+        perf_per_power: f64_field(v, "perf_per_power"),
+    }
+}
+
+/// Runs Fig. 27 through the harness.
+#[must_use]
+pub fn fig27_sweep_artifact(opts: SweepOptions<'_>) -> RunArtifact {
+    opts.build(fig27_spec(), "fig27/v1", 0)
+        .run(|point, _seed| temperature_point_value(&fig27_point(point.f64("temperature_k"))))
+}
+
+/// Decodes a [`fig27_sweep_artifact`] run back into the typed result.
+#[must_use]
+pub fn fig27_from_artifact(artifact: &RunArtifact) -> Fig27Result {
+    Fig27Result {
+        points: artifact
+            .points
+            .iter()
+            .map(|r| temperature_point_from(&r.value))
+            .collect(),
+    }
+}
+
+// ------------------------------------------------------------ depth grid
+
+/// Linearly spaced temperatures spanning 77 K .. 300 K.
+#[must_use]
+pub fn linspace_temperatures(n: usize) -> Vec<f64> {
+    assert!(n >= 2, "need at least the two endpoints");
+    (0..n)
+        .map(|i| 77.0 + (300.0 - 77.0) * i as f64 / (n - 1) as f64)
+        .collect()
+}
+
+/// A temperature × pipeline-depth grid over the generalized Section 4.4
+/// depth transform.
+#[must_use]
+pub fn depth_grid_spec(temperatures: &[f64], max_split: i64) -> SweepSpec {
+    SweepSpec::new("depth-temperature")
+        .axis("temperature_k", temperatures.iter().copied())
+        .axis("max_split", 1..=max_split)
+}
+
+fn depth_point_value(p: &DepthPoint) -> Value {
+    Value::Object(vec![
+        ("max_split".into(), Value::UInt(p.max_split as u64)),
+        ("added_stages".into(), Value::UInt(p.added_stages as u64)),
+        ("frequency_ghz".into(), Value::Float(p.frequency_ghz)),
+        ("ipc_factor".into(), Value::Float(p.ipc_factor)),
+        ("net_performance".into(), Value::Float(p.net_performance)),
+    ])
+}
+
+fn depth_point_from(v: &Value) -> DepthPoint {
+    let uint = |name: &str| {
+        v.get(name)
+            .and_then(Value::as_u64)
+            .unwrap_or_else(|| panic!("artifact value lacks integer field `{name}`"))
+            as usize
+    };
+    DepthPoint {
+        max_split: uint("max_split"),
+        added_stages: uint("added_stages"),
+        frequency_ghz: f64_field(v, "frequency_ghz"),
+        ipc_factor: f64_field(v, "ipc_factor"),
+        net_performance: f64_field(v, "net_performance"),
+    }
+}
+
+/// The per-point evaluator of the depth grid: the [`DepthPoint`] at
+/// (`temperature_k`, `max_split`), matching `sweep_depths`'s entry for
+/// that split exactly.
+///
+/// # Panics
+///
+/// Panics if the point's temperature is outside the device model.
+#[must_use]
+pub fn depth_grid_eval(point: &Point) -> Value {
+    let t = Temperature::new(point.f64("temperature_k")).expect("valid sweep temperature");
+    let split = usize::try_from(point.i64("max_split")).expect("positive split");
+    let model = CriticalPathModel::boom_skylake();
+    let pt = sweep_depths(&model, t, split)
+        .pop()
+        .expect("non-empty depth sweep");
+    depth_point_value(&pt)
+}
+
+/// Runs a depth grid through the harness. The evaluator tag is shared by
+/// every depth grid, so e.g. the ablation's {77 K, 300 K} points and a
+/// 16-temperature binary sweep hit the same cache entries.
+#[must_use]
+pub fn depth_sweep_artifact(spec: SweepSpec, opts: SweepOptions<'_>) -> RunArtifact {
+    opts.build(spec, "depth-grid/v1", 0)
+        .run(|point, _seed| depth_grid_eval(point))
+}
+
+/// The depth-sweep ablation's grid: {77 K, 300 K} × splits 1..=4.
+#[must_use]
+pub fn ablation_depth_spec() -> SweepSpec {
+    depth_grid_spec(&[77.0, 300.0], 4)
+}
+
+/// Decodes an [`ablation_depth_spec`] artifact into the ablation result.
+#[must_use]
+pub fn depth_ablation_from_artifact(artifact: &RunArtifact) -> DepthSweepAblation {
+    let collect = |kelvin: f64| {
+        artifact
+            .points
+            .iter()
+            .filter(|r| (r.params.f64("temperature_k") - kelvin).abs() < 1e-9)
+            .map(|r| depth_point_from(&r.value))
+            .collect()
+    };
+    DepthSweepAblation {
+        at_77k: collect(77.0),
+        at_300k: collect(300.0),
+    }
+}
+
+// ----------------------------------------------------------------- fig21
+
+/// Stable identifiers for the nine Fig. 21 networks, in figure order.
+pub const FIG21_NETWORKS: [&str; 9] = [
+    "mesh-r1",
+    "mesh-r3",
+    "cmesh-r1",
+    "cmesh-r3",
+    "fbfly-r1",
+    "fbfly-r3",
+    "bus",
+    "cryobus",
+    "cryobus-2way",
+];
+
+fn network_77k(id: &str) -> Box<dyn Network + Sync> {
+    let t77 = Temperature::liquid_nitrogen();
+    let mk = |kind, class| -> Box<dyn Network + Sync> {
+        Box::new(RouterNetwork::new(kind, 64, class, t77).expect("valid 64-core networks"))
+    };
+    match id {
+        "mesh-r1" => mk(NocKind::Mesh, RouterClass::OneCycle),
+        "mesh-r3" => mk(NocKind::Mesh, RouterClass::ThreeCycle),
+        "cmesh-r1" => mk(NocKind::CMesh, RouterClass::OneCycle),
+        "cmesh-r3" => mk(NocKind::CMesh, RouterClass::ThreeCycle),
+        "fbfly-r1" => mk(NocKind::FlattenedButterfly, RouterClass::OneCycle),
+        "fbfly-r3" => mk(NocKind::FlattenedButterfly, RouterClass::ThreeCycle),
+        "bus" => Box::new(SharedBus::new(64, t77)),
+        "cryobus" => Box::new(CryoBus::new(64, t77)),
+        "cryobus-2way" => Box::new(CryoBus::two_way(64, t77)),
+        other => panic!("unknown fig21 network id `{other}`"),
+    }
+}
+
+fn curve_value(c: &LoadLatencyCurve) -> Value {
+    Value::Object(vec![
+        ("network".into(), Value::String(c.network.clone())),
+        (
+            "points".into(),
+            Value::Array(
+                c.points
+                    .iter()
+                    .map(|p| {
+                        Value::Object(vec![
+                            ("rate".into(), Value::Float(p.rate)),
+                            ("latency".into(), Value::Float(p.latency)),
+                            ("saturated".into(), Value::Bool(p.saturated)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn curve_from(v: &Value) -> LoadLatencyCurve {
+    LoadLatencyCurve {
+        network: v
+            .get("network")
+            .and_then(Value::as_str)
+            .expect("curve has a network name")
+            .to_string(),
+        points: v
+            .get("points")
+            .and_then(Value::as_array)
+            .expect("curve has points")
+            .iter()
+            .map(|p| LoadLatencyPoint {
+                rate: f64_field(p, "rate"),
+                latency: f64_field(p, "latency"),
+                saturated: p
+                    .get("saturated")
+                    .and_then(Value::as_bool)
+                    .expect("point has saturation flag"),
+            })
+            .collect(),
+    }
+}
+
+/// The Fig. 21 grid: one text axis over the network identifiers. Each
+/// point's value is that network's full load–latency curve.
+#[must_use]
+pub fn fig21_spec() -> SweepSpec {
+    SweepSpec::new("fig21-load-latency").axis("network", FIG21_NETWORKS)
+}
+
+/// Runs Fig. 21 (uniform random, 77 K) through the harness.
+#[must_use]
+pub fn fig21_sweep_artifact(fidelity: Fidelity, opts: SweepOptions<'_>) -> RunArtifact {
+    let tag = match fidelity {
+        Fidelity::Quick => "fig21/quick/v1",
+        Fidelity::Full => "fig21/full/v1",
+    };
+    opts.build(fig21_spec(), tag, 0).run(move |point, _seed| {
+        let net = network_77k(point.str("network"));
+        let curve = noc_figs::sweep(fidelity, noc_figs::fig21_rates())
+            .run(net.as_ref(), TrafficPattern::UniformRandom)
+            .expect("valid sweep");
+        curve_value(&curve)
+    })
+}
+
+/// Decodes a [`fig21_sweep_artifact`] run back into the typed result.
+#[must_use]
+pub fn fig21_from_artifact(artifact: &RunArtifact) -> Fig21Result {
+    Fig21Result {
+        pattern: "uniform random".to_string(),
+        curves: artifact
+            .points
+            .iter()
+            .map(|r| curve_from(&r.value))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig27_port_matches_legacy() {
+        let ported = fig27_from_artifact(&fig27_sweep_artifact(SweepOptions::serial()));
+        let legacy = super::super::fig27_temperature_sweep();
+        assert_eq!(ported, legacy);
+    }
+
+    #[test]
+    fn depth_port_matches_legacy() {
+        let artifact = depth_sweep_artifact(ablation_depth_spec(), SweepOptions::threaded(2));
+        let ported = depth_ablation_from_artifact(&artifact);
+        let legacy = super::super::ablation_depth_sweep();
+        assert_eq!(ported, legacy);
+    }
+
+    #[test]
+    fn fig21_port_matches_legacy_curves() {
+        let artifact = fig21_sweep_artifact(Fidelity::Quick, SweepOptions::threaded(4));
+        let ported = fig21_from_artifact(&artifact);
+        let legacy = super::super::fig21_noc_load_latency(Fidelity::Quick);
+        assert_eq!(ported.curves, legacy.curves);
+    }
+
+    #[test]
+    fn depth_grid_caches_across_specs() {
+        let cache = ResultCache::new();
+        let opts = SweepOptions::serial().with_cache(&cache);
+        let first = depth_sweep_artifact(ablation_depth_spec(), opts);
+        assert_eq!(first.stats.evaluated, 8);
+        // A wider grid that contains the ablation's endpoints reuses them.
+        let wide = depth_sweep_artifact(depth_grid_spec(&[77.0, 150.0, 300.0], 4), opts);
+        assert_eq!(wide.stats.cache_hits, 8);
+        assert_eq!(wide.stats.evaluated, 4);
+    }
+
+    #[test]
+    fn linspace_spans_endpoints() {
+        let t = linspace_temperatures(16);
+        assert_eq!(t.len(), 16);
+        assert!((t[0] - 77.0).abs() < 1e-12);
+        assert!((t[15] - 300.0).abs() < 1e-12);
+        assert_eq!(depth_grid_spec(&t, 4).len(), 64);
+    }
+}

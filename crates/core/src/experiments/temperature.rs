@@ -93,9 +93,20 @@ impl Fig27Result {
     }
 }
 
-/// Runs the Fig. 27 temperature sweep.
+/// The temperatures Fig. 27 plots, coldest first.
+pub const FIG27_TEMPERATURES: [f64; 8] = [77.0, 100.0, 125.0, 150.0, 175.0, 200.0, 250.0, 300.0];
+
+/// Evaluates one temperature point of the Fig. 27 sweep.
+///
+/// Pure function of `kelvin`, so it can serve as a harness sweep
+/// evaluator (see `experiments::sweeps`); [`fig27_temperature_sweep`]
+/// is exactly this mapped over [`FIG27_TEMPERATURES`].
+///
+/// # Panics
+///
+/// Panics if `kelvin` is outside the device model's valid range.
 #[must_use]
-pub fn fig27_temperature_sweep() -> Fig27Result {
+pub fn fig27_point(kelvin: f64) -> TemperaturePoint {
     let sim = SystemSimulator::new();
     let power_model = CorePowerModel::new();
     let cooling = CoolingModel::paper_default();
@@ -110,70 +121,65 @@ pub fn fig27_temperature_sweep() -> Fig27Result {
         geomean(&v)
     };
 
-    // 300 K reference: the Baseline (300K, Mesh) system at device power 1.
-    let base_design = SystemDesign::baseline_300k();
-    let base_perf = perf_of(&base_design);
-
     let cryo_spec = CoreDesign::CryoSp.spec();
     let base_spec = CoreDesign::Baseline300K.spec();
+    let k = kelvin;
+    if k >= 300.0 {
+        // The 300 K end is the baseline system itself.
+        return TemperaturePoint {
+            temperature_k: k,
+            frequency_ghz: base_spec.frequency_ghz,
+            v_dd: base_spec.v_dd,
+            device_power: 1.0,
+            cooling_overhead: 0.0,
+            total_power: 1.0,
+            performance: 1.0,
+            perf_per_power: 1.0,
+        };
+    }
+
+    let t = Temperature::new(k).expect("sweep temperatures are valid");
+    // 300 K reference: the Baseline (300K, Mesh) system at device power 1.
+    let base_perf = perf_of(&SystemDesign::baseline_300k());
     let lerp = |t: f64, cold: f64, hot: f64| {
         cold + (hot - cold) * ((t - 77.0) / (300.0 - 77.0)).clamp(0.0, 1.0)
     };
-
-    let mut points = Vec::new();
-    for k in [77.0, 100.0, 125.0, 150.0, 175.0, 200.0, 250.0, 300.0] {
-        let t = Temperature::new(k).expect("sweep temperatures are valid");
-        let point = TemperaturePoint {
-            temperature_k: k,
-            ..if k >= 300.0 {
-                // The 300 K end is the baseline system itself.
-                TemperaturePoint {
-                    temperature_k: k,
-                    frequency_ghz: base_spec.frequency_ghz,
-                    v_dd: base_spec.v_dd,
-                    device_power: 1.0,
-                    cooling_overhead: 0.0,
-                    total_power: 1.0,
-                    performance: 1.0,
-                    perf_per_power: 1.0,
-                }
-            } else {
-                let f = lerp(k, cryo_spec.frequency_ghz, base_spec.frequency_ghz);
-                let v_dd = lerp(k, cryo_spec.v_dd, base_spec.v_dd);
-                let v_th = lerp(k, cryo_spec.v_th, base_spec.v_th);
-                // Temperature-optimal bus clock: scale the 77 K 4 GHz bus
-                // clock with the wire speed so the broadcast stays one
-                // cycle (the paper's "linearly scaled with temperature"
-                // assumption applied to the NoC domain).
-                let link = LinkModel::new();
-                let bus_clock =
-                    4.0 * link.speedup(t) / link.speedup(Temperature::liquid_nitrogen());
-                let design = SystemDesign::cryosp_cryobus()
-                    .with_core_frequency(f)
-                    .with_memory(MemoryDesign::interpolated(t))
-                    .with_noc(SystemNoc::CryoBus {
-                        bus: CryoBus::try_new_at_clock(64, t, 1, bus_clock)
-                            .expect("valid sweep CryoBus"),
-                    });
-                let perf = perf_of(&design) / base_perf;
-                let p =
-                    power_model.power_at(CoreDesign::CryoSp, t, OperatingPoint { v_dd, v_th }, f);
-                let total = p.total();
-                TemperaturePoint {
-                    temperature_k: k,
-                    frequency_ghz: f,
-                    v_dd,
-                    device_power: p.device(),
-                    cooling_overhead: cooling.overhead(t),
-                    total_power: total,
-                    performance: perf,
-                    perf_per_power: perf / total,
-                }
-            }
-        };
-        points.push(point);
+    let f = lerp(k, cryo_spec.frequency_ghz, base_spec.frequency_ghz);
+    let v_dd = lerp(k, cryo_spec.v_dd, base_spec.v_dd);
+    let v_th = lerp(k, cryo_spec.v_th, base_spec.v_th);
+    // Temperature-optimal bus clock: scale the 77 K 4 GHz bus
+    // clock with the wire speed so the broadcast stays one
+    // cycle (the paper's "linearly scaled with temperature"
+    // assumption applied to the NoC domain).
+    let link = LinkModel::new();
+    let bus_clock = 4.0 * link.speedup(t) / link.speedup(Temperature::liquid_nitrogen());
+    let design = SystemDesign::cryosp_cryobus()
+        .with_core_frequency(f)
+        .with_memory(MemoryDesign::interpolated(t))
+        .with_noc(SystemNoc::CryoBus {
+            bus: CryoBus::try_new_at_clock(64, t, 1, bus_clock).expect("valid sweep CryoBus"),
+        });
+    let perf = perf_of(&design) / base_perf;
+    let p = power_model.power_at(CoreDesign::CryoSp, t, OperatingPoint { v_dd, v_th }, f);
+    let total = p.total();
+    TemperaturePoint {
+        temperature_k: k,
+        frequency_ghz: f,
+        v_dd,
+        device_power: p.device(),
+        cooling_overhead: cooling.overhead(t),
+        total_power: total,
+        performance: perf,
+        perf_per_power: perf / total,
     }
-    Fig27Result { points }
+}
+
+/// Runs the Fig. 27 temperature sweep.
+#[must_use]
+pub fn fig27_temperature_sweep() -> Fig27Result {
+    Fig27Result {
+        points: FIG27_TEMPERATURES.iter().map(|&k| fig27_point(k)).collect(),
+    }
 }
 
 #[cfg(test)]

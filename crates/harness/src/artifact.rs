@@ -1,0 +1,231 @@
+//! Structured run artifacts: every sweep serializes to one JSON
+//! document with per-point parameters, seeds, cache provenance, timing
+//! and the evaluated value.
+
+use crate::cache::CacheStats;
+use crate::spec::Point;
+use serde_json::Value;
+use std::io;
+use std::path::Path;
+
+/// One evaluated point in an artifact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointRecord {
+    /// Enumeration index within the sweep.
+    pub index: usize,
+    /// The point's parameters.
+    pub params: Point,
+    /// Content-address key (cache filename).
+    pub key: String,
+    /// Deterministic RNG seed handed to the evaluator.
+    pub seed: u64,
+    /// Whether the value came from the cache.
+    pub cached: bool,
+    /// Evaluation wall time, ms (0 for cache hits).
+    pub eval_ms: f64,
+    /// The evaluated result.
+    pub value: Value,
+}
+
+/// Aggregate counters of one sweep run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunStats {
+    /// Points enumerated.
+    pub points: usize,
+    /// Points answered from cache.
+    pub cache_hits: usize,
+    /// Points actually evaluated.
+    pub evaluated: usize,
+    /// Worker threads used.
+    pub threads: usize,
+    /// End-to-end wall time, ms.
+    pub wall_ms: f64,
+}
+
+/// The serialized output of one sweep run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunArtifact {
+    /// Sweep name (from the spec).
+    pub sweep: String,
+    /// Evaluator tag (cache namespace / version).
+    pub eval_tag: String,
+    /// Base seed the per-point seeds derive from.
+    pub base_seed: u64,
+    /// Per-point records, in enumeration order.
+    pub points: Vec<PointRecord>,
+    /// Run counters.
+    pub stats: RunStats,
+}
+
+impl RunArtifact {
+    /// The deterministic portion of the artifact: everything except
+    /// timing and cache provenance. Two runs of the same spec —
+    /// whatever their thread counts or cache states — produce
+    /// identical canonical values.
+    #[must_use]
+    pub fn canonical_value(&self) -> Value {
+        Value::Object(vec![
+            ("sweep".into(), Value::String(self.sweep.clone())),
+            ("eval_tag".into(), Value::String(self.eval_tag.clone())),
+            ("base_seed".into(), Value::UInt(self.base_seed)),
+            (
+                "points".into(),
+                Value::Array(
+                    self.points
+                        .iter()
+                        .map(|p| {
+                            Value::Object(vec![
+                                ("params".into(), p.params.to_json()),
+                                ("key".into(), Value::String(p.key.clone())),
+                                ("seed".into(), Value::UInt(p.seed)),
+                                ("value".into(), p.value.clone()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Canonical JSON text (see [`RunArtifact::canonical_value`]).
+    #[must_use]
+    pub fn canonical_json(&self) -> String {
+        let mut out = String::new();
+        self.canonical_value().write_json_pretty(&mut out, 0);
+        out
+    }
+
+    /// The full artifact document, timing and provenance included.
+    #[must_use]
+    pub fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("sweep".into(), Value::String(self.sweep.clone())),
+            ("eval_tag".into(), Value::String(self.eval_tag.clone())),
+            ("base_seed".into(), Value::UInt(self.base_seed)),
+            (
+                "stats".into(),
+                Value::Object(vec![
+                    ("points".into(), Value::UInt(self.stats.points as u64)),
+                    (
+                        "cache_hits".into(),
+                        Value::UInt(self.stats.cache_hits as u64),
+                    ),
+                    ("evaluated".into(), Value::UInt(self.stats.evaluated as u64)),
+                    ("threads".into(), Value::UInt(self.stats.threads as u64)),
+                    ("wall_ms".into(), Value::Float(self.stats.wall_ms)),
+                ]),
+            ),
+            (
+                "points".into(),
+                Value::Array(
+                    self.points
+                        .iter()
+                        .map(|p| {
+                            Value::Object(vec![
+                                ("index".into(), Value::UInt(p.index as u64)),
+                                ("params".into(), p.params.to_json()),
+                                ("key".into(), Value::String(p.key.clone())),
+                                ("seed".into(), Value::UInt(p.seed)),
+                                ("cached".into(), Value::Bool(p.cached)),
+                                ("eval_ms".into(), Value::Float(p.eval_ms)),
+                                ("value".into(), p.value.clone()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Writes the full artifact as pretty JSON to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_json(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let mut out = String::new();
+        self.to_value().write_json_pretty(&mut out, 0);
+        out.push('\n');
+        std::fs::write(path, out)
+    }
+
+    /// Looks a point up by predicate over its parameters.
+    #[must_use]
+    pub fn find(&self, pred: impl Fn(&Point) -> bool) -> Option<&PointRecord> {
+        self.points.iter().find(|p| pred(&p.params))
+    }
+
+    /// Cache stats implied by the per-point records.
+    #[must_use]
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.stats.cache_hits as u64,
+            misses: self.stats.evaluated as u64,
+        }
+    }
+}
+
+impl serde::Serialize for RunArtifact {
+    fn serialize_value(&self) -> Value {
+        self.to_value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Point;
+
+    fn artifact(threads: usize, cached: bool, eval_ms: f64) -> RunArtifact {
+        RunArtifact {
+            sweep: "s".into(),
+            eval_tag: "t/v1".into(),
+            base_seed: 1,
+            points: vec![PointRecord {
+                index: 0,
+                params: Point::from_pairs([("x", 1i64)]),
+                key: "ab".into(),
+                seed: 9,
+                cached,
+                eval_ms,
+                value: Value::Float(2.5),
+            }],
+            stats: RunStats {
+                points: 1,
+                cache_hits: usize::from(cached),
+                evaluated: usize::from(!cached),
+                threads,
+                wall_ms: eval_ms,
+            },
+        }
+    }
+
+    #[test]
+    fn canonical_ignores_timing_and_provenance() {
+        let fresh = artifact(1, false, 12.0);
+        let cached = artifact(8, true, 0.0);
+        assert_eq!(fresh.canonical_json(), cached.canonical_json());
+        assert_ne!(
+            serde_json::to_string(&fresh).unwrap(),
+            serde_json::to_string(&cached).unwrap(),
+            "full artifacts do record provenance"
+        );
+    }
+
+    #[test]
+    fn full_document_round_trips() {
+        let a = artifact(2, false, 3.5);
+        let text = serde_json::to_string_pretty(&a).unwrap();
+        let doc = serde_json::from_str(&text).unwrap();
+        assert_eq!(doc.get("sweep").and_then(Value::as_str), Some("s"));
+        let pts = doc.get("points").and_then(Value::as_array).unwrap();
+        assert_eq!(pts.len(), 1);
+        assert_eq!(
+            pts[0]
+                .get("params")
+                .and_then(|p| p.get("x"))
+                .and_then(Value::as_i64),
+            Some(1)
+        );
+    }
+}

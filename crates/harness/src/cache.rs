@@ -1,0 +1,206 @@
+//! Content-addressed result cache.
+//!
+//! Evaluated point results are stored under their
+//! [`content_key`](crate::hash::content_key) in a process-wide memory
+//! map and, optionally, one JSON file per key in a cache directory.
+//! Repeated points — across sweeps in one process, or across processes
+//! sharing a directory — are evaluated once (e.g. the 300 K baseline
+//! shared by fig17/fig23/fig27).
+//!
+//! Concurrency model: lookups don't hold locks across evaluation, so
+//! two threads racing the *same* key may both evaluate it; both writes
+//! store the identical (deterministic) value, so the race is benign.
+//! Points within one sweep are unique, making this rare by
+//! construction.
+
+use parking_lot::RwLock;
+use serde_json::Value;
+use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Hit/miss counters of one cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from memory or disk.
+    pub hits: u64,
+    /// Lookups that evaluated the point.
+    pub misses: u64,
+}
+
+/// Content-addressed in-memory + on-disk result store.
+#[derive(Debug, Default)]
+pub struct ResultCache {
+    mem: RwLock<HashMap<String, Value>>,
+    dir: Option<PathBuf>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ResultCache {
+    /// A memory-only cache.
+    #[must_use]
+    pub fn new() -> Self {
+        ResultCache::default()
+    }
+
+    /// A cache that also persists each result to `dir/<key>.json`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error from creating `dir` if it does not exist and
+    /// cannot be created.
+    pub fn with_dir(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(ResultCache {
+            dir: Some(dir),
+            ..ResultCache::default()
+        })
+    }
+
+    /// The on-disk location, if persistent.
+    #[must_use]
+    pub fn dir(&self) -> Option<&Path> {
+        self.dir.as_deref()
+    }
+
+    /// Looks `key` up (memory, then disk); on miss, evaluates `compute`
+    /// and stores the result. Returns the value and whether it was a
+    /// cache hit.
+    pub fn get_or_compute(&self, key: &str, compute: impl FnOnce() -> Value) -> (Value, bool) {
+        if let Some(v) = self.mem.read().get(key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return (v.clone(), true);
+        }
+        if let Some(v) = self.read_disk(key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.mem.write().insert(key.to_string(), v.clone());
+            return (v, true);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let v = compute();
+        self.mem.write().insert(key.to_string(), v.clone());
+        self.write_disk(key, &v);
+        (v, false)
+    }
+
+    /// Direct lookup without evaluation.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<Value> {
+        if let Some(v) = self.mem.read().get(key) {
+            return Some(v.clone());
+        }
+        self.read_disk(key)
+    }
+
+    /// Counter snapshot.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of entries held in memory.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.mem.read().len()
+    }
+
+    /// True if no entries are held in memory.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn path_for(&self, key: &str) -> Option<PathBuf> {
+        // Keys are lowercase hex by construction; reject anything else
+        // rather than risk path tricks from a corrupted artifact.
+        if !key.chars().all(|c| c.is_ascii_hexdigit()) {
+            return None;
+        }
+        self.dir.as_ref().map(|d| d.join(format!("{key}.json")))
+    }
+
+    fn read_disk(&self, key: &str) -> Option<Value> {
+        let path = self.path_for(key)?;
+        let text = std::fs::read_to_string(path).ok()?;
+        serde_json::from_str(&text).ok()
+    }
+
+    fn write_disk(&self, key: &str, value: &Value) {
+        // Persistence is best-effort: a read-only or full disk
+        // degrades to memory-only caching rather than failing the
+        // sweep.
+        if let Some(path) = self.path_for(key) {
+            let mut text = String::new();
+            value.write_json(&mut text);
+            let tmp = path.with_extension("json.tmp");
+            if std::fs::write(&tmp, &text).is_ok() {
+                let _ = std::fs::rename(&tmp, &path);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unique_dir(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "cryowire-harness-test-{tag}-{}",
+            std::process::id()
+        ))
+    }
+
+    #[test]
+    fn memory_hits_skip_compute() {
+        let cache = ResultCache::new();
+        let mut calls = 0;
+        let (v1, hit1) = cache.get_or_compute("aa", || {
+            calls += 1;
+            Value::Int(7)
+        });
+        let (v2, hit2) = cache.get_or_compute("aa", || {
+            calls += 1;
+            Value::Int(8)
+        });
+        assert_eq!((v1, hit1), (Value::Int(7), false));
+        assert_eq!((v2, hit2), (Value::Int(7), true));
+        assert_eq!(calls, 1);
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn disk_survives_cache_instances() {
+        let dir = unique_dir("disk");
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let cache = ResultCache::with_dir(&dir).unwrap();
+            let (_, hit) = cache.get_or_compute("beef", || Value::Float(1.5));
+            assert!(!hit);
+        }
+        {
+            let cache = ResultCache::with_dir(&dir).unwrap();
+            let (v, hit) = cache.get_or_compute("beef", || unreachable!("must hit disk"));
+            assert!(hit);
+            assert_eq!(v, Value::Float(1.5));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn non_hex_keys_never_touch_disk() {
+        let dir = unique_dir("safety");
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = ResultCache::with_dir(&dir).unwrap();
+        let (_, hit) = cache.get_or_compute("../escape", || Value::Bool(true));
+        assert!(!hit);
+        assert!(!dir.join("../escape.json").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,344 @@
+//! Sweep specification: named parameter axes composed into grids.
+//!
+//! A [`SweepSpec`] is a list of dimensions, each either a single
+//! [`Axis`] or a group of axes advanced in lockstep (`zip`). The
+//! enumerated point set is the Cartesian product over dimensions, in
+//! row-major order (last dimension fastest), so enumeration order is
+//! deterministic and independent of the executor's thread count.
+
+use crate::value::ParamValue;
+use serde_json::Value;
+
+/// One named parameter axis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Axis {
+    /// Parameter name ("temperature_k", "depth", "network"...).
+    pub name: String,
+    /// The values the axis takes, in sweep order.
+    pub values: Vec<ParamValue>,
+}
+
+impl Axis {
+    /// Creates an axis from anything convertible to parameter values.
+    pub fn new<V: Into<ParamValue>>(
+        name: impl Into<String>,
+        values: impl IntoIterator<Item = V>,
+    ) -> Self {
+        Axis {
+            name: name.into(),
+            values: values.into_iter().map(Into::into).collect(),
+        }
+    }
+}
+
+/// One dimension of the grid: a free axis or a zipped axis group.
+#[derive(Debug, Clone, PartialEq)]
+enum Dim {
+    Axis(Axis),
+    Zip(Vec<Axis>),
+}
+
+impl Dim {
+    fn len(&self) -> usize {
+        match self {
+            Dim::Axis(a) => a.values.len(),
+            Dim::Zip(axes) => axes.first().map_or(0, |a| a.values.len()),
+        }
+    }
+
+    fn bind(&self, idx: usize, out: &mut Vec<(String, ParamValue)>) {
+        match self {
+            Dim::Axis(a) => out.push((a.name.clone(), a.values[idx].clone())),
+            Dim::Zip(axes) => {
+                for a in axes {
+                    out.push((a.name.clone(), a.values[idx].clone()));
+                }
+            }
+        }
+    }
+}
+
+/// One evaluated configuration: an ordered set of named parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Point {
+    entries: Vec<(String, ParamValue)>,
+}
+
+impl Point {
+    /// Builds a point from explicit (name, value) pairs.
+    pub fn from_pairs<V: Into<ParamValue>>(
+        pairs: impl IntoIterator<Item = (&'static str, V)>,
+    ) -> Self {
+        Point {
+            entries: pairs
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v.into()))
+                .collect(),
+        }
+    }
+
+    /// The parameters in axis order.
+    #[must_use]
+    pub fn entries(&self) -> &[(String, ParamValue)] {
+        &self.entries
+    }
+
+    /// Parameter lookup by name.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&ParamValue> {
+        self.entries.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+
+    /// `f64` parameter (integers widen).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is missing or non-numeric — sweep evaluators
+    /// own their spec, so a miss is a programming error.
+    #[must_use]
+    pub fn f64(&self, name: &str) -> f64 {
+        self.get(name)
+            .and_then(ParamValue::as_f64)
+            .unwrap_or_else(|| panic!("point has no numeric parameter `{name}`"))
+    }
+
+    /// `i64` parameter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is missing or not an integer.
+    #[must_use]
+    pub fn i64(&self, name: &str) -> i64 {
+        self.get(name)
+            .and_then(ParamValue::as_i64)
+            .unwrap_or_else(|| panic!("point has no integer parameter `{name}`"))
+    }
+
+    /// `&str` parameter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is missing or not text.
+    #[must_use]
+    pub fn str(&self, name: &str) -> &str {
+        self.get(name)
+            .and_then(ParamValue::as_str)
+            .unwrap_or_else(|| panic!("point has no text parameter `{name}`"))
+    }
+
+    /// Compact human-readable label: `name=value,name=value`.
+    #[must_use]
+    pub fn label(&self) -> String {
+        self.entries
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+
+    /// Canonical encoding for content addressing (order-, type- and
+    /// bit-exact).
+    #[must_use]
+    pub fn canonical(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in &self.entries {
+            out.push_str(k);
+            out.push('=');
+            v.write_canonical(&mut out);
+            out.push(';');
+        }
+        out
+    }
+
+    /// JSON object rendering of the parameters.
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        Value::Object(
+            self.entries
+                .iter()
+                .map(|(k, v)| (k.clone(), v.to_json()))
+                .collect(),
+        )
+    }
+}
+
+impl serde::Serialize for Point {
+    fn serialize_value(&self) -> Value {
+        self.to_json()
+    }
+}
+
+/// A named sweep over a parameter grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSpec {
+    name: String,
+    dims: Vec<Dim>,
+    explicit: Vec<Point>,
+}
+
+impl SweepSpec {
+    /// An empty spec; add grids with [`SweepSpec::axis`] /
+    /// [`SweepSpec::zip`] or explicit points with
+    /// [`SweepSpec::point`].
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        SweepSpec {
+            name: name.into(),
+            dims: Vec::new(),
+            explicit: Vec::new(),
+        }
+    }
+
+    /// The sweep's name (used in artifacts and cache tags).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a free axis: the grid takes the Cartesian product with it.
+    #[must_use]
+    pub fn axis<V: Into<ParamValue>>(
+        mut self,
+        name: impl Into<String>,
+        values: impl IntoIterator<Item = V>,
+    ) -> Self {
+        self.dims.push(Dim::Axis(Axis::new(name, values)));
+        self
+    }
+
+    /// Adds a group of axes advanced in lockstep (all must have the
+    /// same length): one grid dimension, not a product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the zipped axes differ in length.
+    #[must_use]
+    pub fn zip(mut self, axes: Vec<Axis>) -> Self {
+        if let Some(first) = axes.first() {
+            for a in &axes {
+                assert_eq!(
+                    a.values.len(),
+                    first.values.len(),
+                    "zipped axes must have equal lengths ({} vs {})",
+                    a.name,
+                    first.name
+                );
+            }
+        }
+        self.dims.push(Dim::Zip(axes));
+        self
+    }
+
+    /// Appends one explicit point (enumerated after the grid, in
+    /// insertion order).
+    #[must_use]
+    pub fn point(mut self, point: Point) -> Self {
+        self.explicit.push(point);
+        self
+    }
+
+    /// Number of points the spec enumerates.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        let grid = if self.dims.is_empty() {
+            0
+        } else {
+            self.dims.iter().map(Dim::len).product()
+        };
+        grid + self.explicit.len()
+    }
+
+    /// True if the spec enumerates no points.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enumerates every point, row-major (last dimension fastest),
+    /// explicit points last.
+    #[must_use]
+    pub fn points(&self) -> Vec<Point> {
+        let mut out = Vec::with_capacity(self.len());
+        if !self.dims.is_empty() {
+            let lens: Vec<usize> = self.dims.iter().map(Dim::len).collect();
+            let total: usize = lens.iter().product();
+            for mut flat in 0..total {
+                let mut indices = vec![0usize; lens.len()];
+                for (d, &len) in lens.iter().enumerate().rev() {
+                    indices[d] = flat % len;
+                    flat /= len;
+                }
+                let mut entries = Vec::new();
+                for (dim, &idx) in self.dims.iter().zip(&indices) {
+                    dim.bind(idx, &mut entries);
+                }
+                out.push(Point { entries });
+            }
+        }
+        out.extend(self.explicit.iter().cloned());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cartesian_row_major() {
+        let spec = SweepSpec::new("g")
+            .axis("t", [77.0, 300.0])
+            .axis("depth", [1i64, 2, 3]);
+        let pts = spec.points();
+        assert_eq!(spec.len(), 6);
+        assert_eq!(pts.len(), 6);
+        assert_eq!(pts[0].f64("t"), 77.0);
+        assert_eq!(pts[0].i64("depth"), 1);
+        assert_eq!(pts[1].i64("depth"), 2, "last axis fastest");
+        assert_eq!(pts[3].f64("t"), 300.0);
+    }
+
+    #[test]
+    fn zip_advances_in_lockstep() {
+        let spec = SweepSpec::new("z").zip(vec![
+            Axis::new("f_ghz", [4.0, 6.4]),
+            Axis::new("vdd", [1.0, 0.7]),
+        ]);
+        let pts = spec.points();
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[0].f64("f_ghz"), 4.0);
+        assert_eq!(pts[0].f64("vdd"), 1.0);
+        assert_eq!(pts[1].f64("vdd"), 0.7);
+    }
+
+    #[test]
+    #[should_panic(expected = "zipped axes must have equal lengths")]
+    fn zip_length_mismatch_panics() {
+        let _ = SweepSpec::new("bad").zip(vec![Axis::new("a", [1i64, 2]), Axis::new("b", [1i64])]);
+    }
+
+    #[test]
+    fn explicit_points_follow_grid() {
+        let spec = SweepSpec::new("mix")
+            .axis("x", [1i64, 2])
+            .point(Point::from_pairs([("x", 99i64)]));
+        let pts = spec.points();
+        assert_eq!(pts.len(), 3);
+        assert_eq!(pts[2].i64("x"), 99);
+    }
+
+    #[test]
+    fn canonical_is_stable_and_distinct() {
+        let a = Point::from_pairs([("t", 77.0), ("d", 2.0)]);
+        let b = Point::from_pairs([("t", 77.0), ("d", 2.0)]);
+        let c = Point::from_pairs([("t", 77.0), ("d", 3.0)]);
+        assert_eq!(a.canonical(), b.canonical());
+        assert_ne!(a.canonical(), c.canonical());
+    }
+
+    #[test]
+    fn label_reads_naturally() {
+        let p = Point::from_pairs([("t", ParamValue::Float(77.0))]);
+        assert_eq!(p.label(), "t=77");
+    }
+}

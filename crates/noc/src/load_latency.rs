@@ -129,7 +129,8 @@ impl LoadLatencySweep {
     }
 
     /// Runs the sweep over many networks concurrently, one worker thread
-    /// per network (the Fig. 21/25 fan-out).
+    /// per network (the Fig. 21/25 fan-out), via the
+    /// [`cryowire_harness::Executor`] point executor.
     ///
     /// # Errors
     ///
@@ -139,21 +140,9 @@ impl LoadLatencySweep {
         networks: &[&(dyn Network + Sync)],
         pattern: TrafficPattern,
     ) -> Result<Vec<LoadLatencyCurve>, NocError> {
-        let results = parking_lot::Mutex::new(vec![None; networks.len()]);
-        crossbeam::thread::scope(|scope| {
-            for (i, net) in networks.iter().enumerate() {
-                let results = &results;
-                scope.spawn(move |_| {
-                    let r = self.run(*net, pattern);
-                    results.lock()[i] = Some(r);
-                });
-            }
-        })
-        .expect("sweep workers do not panic");
-        results
-            .into_inner()
+        cryowire_harness::Executor::new(networks.len())
+            .run(networks, |_, net| self.run(*net, pattern))
             .into_iter()
-            .map(|r| r.expect("every worker reports"))
             .collect()
     }
 

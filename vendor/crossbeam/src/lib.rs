@@ -1,0 +1,88 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! The workspace uses exactly one crossbeam facility — `thread::scope`
+//! with `Scope::spawn` — which std has provided natively since 1.63.
+//! This stub adapts the crossbeam call shape (`spawn(|scope| ...)`
+//! closures receiving the scope, `scope(...)` returning a `Result`)
+//! onto [`std::thread::scope`].
+//!
+//! Divergence from upstream: a panicking child thread panics the
+//! calling thread when the scope joins (std semantics) instead of
+//! surfacing as `Err`, so `scope(...)` here always returns `Ok`.
+//! Callers `.expect(...)` the result either way.
+
+#![warn(missing_docs)]
+
+/// Scoped threads (`crossbeam::thread` subset).
+pub mod thread {
+    /// A scope handle; clones of the underlying std scope reference.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a scoped thread.
+    #[derive(Debug)]
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread and returns its result.
+        ///
+        /// # Errors
+        ///
+        /// Returns the child's panic payload if it panicked.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; the closure receives the scope (for
+        /// nested spawns), matching crossbeam's signature.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&scope)),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowing, scoped threads can be
+    /// spawned; joins them all before returning.
+    ///
+    /// # Errors
+    ///
+    /// Never returns `Err` (std join semantics panic instead); the
+    /// `Result` mirrors the upstream signature.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn scoped_threads_borrow_and_join() {
+            let data = [1u64, 2, 3, 4];
+            let results = std::sync::Mutex::new(vec![0u64; data.len()]);
+            super::scope(|scope| {
+                for (i, &x) in data.iter().enumerate() {
+                    let results = &results;
+                    scope.spawn(move |_| {
+                        results.lock().unwrap()[i] = x * 10;
+                    });
+                }
+            })
+            .unwrap();
+            assert_eq!(results.into_inner().unwrap(), vec![10, 20, 30, 40]);
+        }
+    }
+}

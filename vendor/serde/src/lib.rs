@@ -1,0 +1,387 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no crates.io access, so this vendored stub
+//! provides the one capability the workspace needs from serde: a
+//! [`Serialize`] trait (with a derive macro for plain structs) that
+//! lowers values into the JSON-like [`value::Value`] tree consumed by
+//! the vendored `serde_json`.
+
+#![warn(missing_docs)]
+
+#[cfg(feature = "derive")]
+pub use serde_derive::Serialize;
+
+pub mod value {
+    //! The serialized value tree (shared with the vendored `serde_json`).
+
+    use std::fmt::Write as _;
+
+    /// A JSON-like document tree. Object keys keep insertion order so
+    /// serialization is deterministic.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// JSON `null`.
+        Null,
+        /// JSON boolean.
+        Bool(bool),
+        /// Signed integer.
+        Int(i64),
+        /// Unsigned integer (kept separate to round-trip `u64`).
+        UInt(u64),
+        /// Floating-point number.
+        Float(f64),
+        /// String.
+        String(String),
+        /// Array.
+        Array(Vec<Value>),
+        /// Object with insertion-ordered keys.
+        Object(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// The value as `f64` if it is numeric.
+        #[must_use]
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::Int(i) => Some(*i as f64),
+                Value::UInt(u) => Some(*u as f64),
+                Value::Float(f) => Some(*f),
+                _ => None,
+            }
+        }
+
+        /// The value as `i64` if it is an integer.
+        #[must_use]
+        pub fn as_i64(&self) -> Option<i64> {
+            match self {
+                Value::Int(i) => Some(*i),
+                Value::UInt(u) => i64::try_from(*u).ok(),
+                _ => None,
+            }
+        }
+
+        /// The value as `u64` if it is a non-negative integer.
+        #[must_use]
+        pub fn as_u64(&self) -> Option<u64> {
+            match self {
+                Value::Int(i) => u64::try_from(*i).ok(),
+                Value::UInt(u) => Some(*u),
+                _ => None,
+            }
+        }
+
+        /// The value as `bool`.
+        #[must_use]
+        pub fn as_bool(&self) -> Option<bool> {
+            match self {
+                Value::Bool(b) => Some(*b),
+                _ => None,
+            }
+        }
+
+        /// The value as `&str`.
+        #[must_use]
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::String(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// The value as an array slice.
+        #[must_use]
+        pub fn as_array(&self) -> Option<&[Value]> {
+            match self {
+                Value::Array(a) => Some(a),
+                _ => None,
+            }
+        }
+
+        /// The value as object entries.
+        #[must_use]
+        pub fn as_object(&self) -> Option<&[(String, Value)]> {
+            match self {
+                Value::Object(o) => Some(o),
+                _ => None,
+            }
+        }
+
+        /// Object-field lookup (`None` for non-objects/missing keys).
+        #[must_use]
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            self.as_object()?
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+        }
+
+        /// Writes the compact JSON encoding into `out`.
+        pub fn write_json(&self, out: &mut String) {
+            match self {
+                Value::Null => out.push_str("null"),
+                Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+                Value::Int(i) => {
+                    let _ = write!(out, "{i}");
+                }
+                Value::UInt(u) => {
+                    let _ = write!(out, "{u}");
+                }
+                Value::Float(f) => write_f64(out, *f),
+                Value::String(s) => write_escaped(out, s),
+                Value::Array(items) => {
+                    out.push('[');
+                    for (i, item) in items.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        item.write_json(out);
+                    }
+                    out.push(']');
+                }
+                Value::Object(entries) => {
+                    out.push('{');
+                    for (i, (k, v)) in entries.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        write_escaped(out, k);
+                        out.push(':');
+                        v.write_json(out);
+                    }
+                    out.push('}');
+                }
+            }
+        }
+
+        /// Writes the pretty (2-space indented) JSON encoding into `out`.
+        pub fn write_json_pretty(&self, out: &mut String, indent: usize) {
+            let pad = |out: &mut String, n: usize| {
+                for _ in 0..n {
+                    out.push_str("  ");
+                }
+            };
+            match self {
+                Value::Array(items) if !items.is_empty() => {
+                    out.push_str("[\n");
+                    for (i, item) in items.iter().enumerate() {
+                        if i > 0 {
+                            out.push_str(",\n");
+                        }
+                        pad(out, indent + 1);
+                        item.write_json_pretty(out, indent + 1);
+                    }
+                    out.push('\n');
+                    pad(out, indent);
+                    out.push(']');
+                }
+                Value::Object(entries) if !entries.is_empty() => {
+                    out.push_str("{\n");
+                    for (i, (k, v)) in entries.iter().enumerate() {
+                        if i > 0 {
+                            out.push_str(",\n");
+                        }
+                        pad(out, indent + 1);
+                        write_escaped(out, k);
+                        out.push_str(": ");
+                        v.write_json_pretty(out, indent + 1);
+                    }
+                    out.push('\n');
+                    pad(out, indent);
+                    out.push('}');
+                }
+                other => other.write_json(out),
+            }
+        }
+    }
+
+    impl std::fmt::Display for Value {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            let mut s = String::new();
+            self.write_json(&mut s);
+            f.write_str(&s)
+        }
+    }
+
+    fn write_f64(out: &mut String, f: f64) {
+        if f.is_finite() {
+            if f == f.trunc() && f.abs() < 1e15 {
+                // Keep integral floats readable and round-trippable.
+                let _ = write!(out, "{f:.1}");
+            } else {
+                let _ = write!(out, "{f}");
+            }
+        } else {
+            // JSON has no Inf/NaN; match serde_json's lossy `null`.
+            out.push_str("null");
+        }
+    }
+
+    fn write_escaped(out: &mut String, s: &str) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    let _ = write!(out, "\\u{:04x}", c as u32);
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+}
+
+use value::Value;
+
+/// Serialization into the [`Value`] tree.
+///
+/// This replaces upstream serde's visitor machinery with the one
+/// concrete output format the workspace uses (JSON documents).
+pub trait Serialize {
+    /// Lowers `self` into a [`Value`].
+    fn serialize_value(&self) -> Value;
+}
+
+impl Serialize for Value {
+    fn serialize_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::Int(i64::from(*self))
+            }
+        }
+    )*};
+}
+
+impl_serialize_int!(i8, i16, i32, i64, u8, u16, u32);
+
+impl Serialize for u64 {
+    fn serialize_value(&self) -> Value {
+        Value::UInt(*self)
+    }
+}
+
+impl Serialize for usize {
+    fn serialize_value(&self) -> Value {
+        Value::UInt(*self as u64)
+    }
+}
+
+impl Serialize for isize {
+    fn serialize_value(&self) -> Value {
+        Value::Int(*self as i64)
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Serialize for str {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Value {
+        match self {
+            Some(v) => v.serialize_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize_value(&self) -> Value {
+        Value::Array(vec![self.0.serialize_value(), self.1.serialize_value()])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn serialize_value(&self) -> Value {
+        Value::Array(vec![
+            self.0.serialize_value(),
+            self.1.serialize_value(),
+            self.2.serialize_value(),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_serialize() {
+        assert_eq!(true.serialize_value(), Value::Bool(true));
+        assert_eq!(3u64.serialize_value(), Value::UInt(3));
+        assert_eq!((-2i32).serialize_value(), Value::Int(-2));
+        assert_eq!("x".serialize_value(), Value::String("x".into()));
+        assert_eq!(None::<u64>.serialize_value(), Value::Null);
+    }
+
+    #[test]
+    fn compact_json_shape() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::Array(vec![Value::Int(1), Value::Int(2)])),
+            ("b".into(), Value::String("x\"y".into())),
+        ]);
+        let mut s = String::new();
+        v.write_json(&mut s);
+        assert_eq!(s, r#"{"a":[1,2],"b":"x\"y"}"#);
+    }
+}

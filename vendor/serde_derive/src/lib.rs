@@ -1,0 +1,178 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` for the shapes this workspace
+//! actually derives on: non-generic structs with named fields, and
+//! fieldless (unit-variant) enums. The expansion targets the vendored
+//! serde stub's `Serialize` trait (`fn serialize_value(&self) -> Value`).
+//!
+//! Written against `proc_macro` directly — `syn`/`quote` are not
+//! available offline, and the grammar subset we need is tiny.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the vendored `serde::Serialize` for a struct with named
+/// fields or a fieldless enum.
+///
+/// # Panics
+///
+/// Panics at compile time when applied to unsupported shapes
+/// (tuple structs, generic types, enums with payloads).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip attributes (`#[...]`) and visibility.
+    loop {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) if *id.to_string() == *"pub" => {
+                i += 1;
+                // `pub(crate)` etc.
+                if let TokenTree::Group(g) = &tokens[i] {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("derive(Serialize): expected struct/enum, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("derive(Serialize): expected type name, found {other}"),
+    };
+    i += 1;
+
+    // The stub supports only non-generic types.
+    if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == '<') {
+        panic!("derive(Serialize) stub does not support generic types ({name})");
+    }
+
+    let body = match &tokens[i] {
+        TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!("derive(Serialize): expected braced body for {name}, found {other}"),
+    };
+
+    let impl_body = match kind.as_str() {
+        "struct" => {
+            let fields = named_fields(body);
+            assert!(
+                !fields.is_empty(),
+                "derive(Serialize) stub: no named fields found in {name}"
+            );
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!("(\"{f}\".to_string(), serde::Serialize::serialize_value(&self.{f})),")
+                })
+                .collect();
+            format!("serde::value::Value::Object(vec![{entries}])")
+        }
+        "enum" => {
+            let variants = unit_variants(body, &name);
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    format!("{name}::{v} => serde::value::Value::String(\"{v}\".to_string()),")
+                })
+                .collect();
+            format!("match self {{ {arms} }}")
+        }
+        other => panic!("derive(Serialize) stub cannot handle `{other}`"),
+    };
+
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn serialize_value(&self) -> serde::value::Value {{\n\
+                 {impl_body}\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("derive(Serialize): generated impl parses")
+}
+
+/// Extracts field names from a named-field struct body: skips
+/// attributes and visibility, takes the ident before each top-level
+/// `:`, then skips the type up to the next top-level `,`.
+fn named_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip attributes and visibility before the field name.
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2;
+                continue;
+            }
+            TokenTree::Ident(id) if *id.to_string() == *"pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+                continue;
+            }
+            _ => {}
+        }
+        let TokenTree::Ident(id) = &tokens[i] else {
+            panic!(
+                "derive(Serialize): expected field name, found {}",
+                tokens[i]
+            );
+        };
+        fields.push(id.to_string());
+        i += 1;
+        // Expect `:`, then skip the type until a `,` at angle-depth 0.
+        assert!(
+            matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ':'),
+            "derive(Serialize): expected `:` after field name"
+        );
+        i += 1;
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Extracts variant names from a fieldless enum body.
+fn unit_variants(body: TokenStream, name: &str) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    while let Some(tok) = iter.next() {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                iter.next();
+            }
+            TokenTree::Ident(id) => {
+                variants.push(id.to_string());
+                if let Some(TokenTree::Group(_)) = iter.peek() {
+                    panic!("derive(Serialize) stub: enum {name} has a variant with fields");
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => {}
+            other => panic!("derive(Serialize): unexpected token in enum {name}: {other}"),
+        }
+    }
+    variants
+}
