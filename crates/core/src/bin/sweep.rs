@@ -1,9 +1,10 @@
 //! Parallel, cached design-space sweeps with JSON run artifacts.
 //!
 //! ```sh
-//! cargo run --release --bin sweep -- [--sweep depth|fig27|fig21] \
+//! cargo run --release --bin sweep -- [--sweep depth|fig27|fig21|degraded] \
 //!     [--threads N] [--out FILE] [--cache-dir DIR] \
-//!     [--temps N] [--max-split K] [--full]
+//!     [--temps N] [--max-split K] [--full] \
+//!     [--fault-seed N] [--inject-panic] [--canonical]
 //! ```
 //!
 //! The default sweep is the temperature × pipeline-depth grid
@@ -12,6 +13,15 @@
 //! and values) as pretty JSON; without it the artifact goes to stdout.
 //! `--cache-dir` persists point results content-addressed on disk, so
 //! re-runs and overlapping grids only evaluate new points.
+//!
+//! The `degraded` sweep runs the fault-injection scenarios (cooling
+//! transient, CryoBus way loss, both) seeded from `--fault-seed`;
+//! `--inject-panic` appends a deliberately panicking point to exercise
+//! the harness's per-point isolation.
+//!
+//! Exit codes: 0 on success, 2 when the sweep completed but some
+//! points failed (their errors are recorded in the artifact), 1 on
+//! fatal errors (bad arguments, unwritable output).
 
 use cryowire::experiments::{self, Fidelity, SweepOptions};
 use cryowire_harness::{ResultCache, RunArtifact};
@@ -24,6 +34,9 @@ struct Args {
     temps: usize,
     max_split: i64,
     fidelity: Fidelity,
+    fault_seed: u64,
+    inject_panic: bool,
+    canonical: bool,
 }
 
 fn parse_args() -> Args {
@@ -35,7 +48,11 @@ fn parse_args() -> Args {
         temps: 16,
         max_split: 4,
         fidelity: Fidelity::Quick,
+        fault_seed: 0xC0FFEE,
+        inject_panic: false,
+        canonical: false,
     };
+    let mut threads_given = false;
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
         let mut value = |name: &str| {
@@ -44,21 +61,34 @@ fn parse_args() -> Args {
         };
         match arg.as_str() {
             "--sweep" => args.sweep = value("--sweep"),
-            "--threads" => args.threads = parse(&value("--threads"), "--threads"),
+            "--threads" => {
+                args.threads = parse(&value("--threads"), "--threads");
+                threads_given = true;
+            }
             "--out" => args.out = Some(value("--out")),
             "--cache-dir" => args.cache_dir = Some(value("--cache-dir")),
             "--temps" => args.temps = parse(&value("--temps"), "--temps"),
             "--max-split" => args.max_split = parse(&value("--max-split"), "--max-split"),
             "--full" => args.fidelity = Fidelity::Full,
+            "--fault-seed" => args.fault_seed = parse(&value("--fault-seed"), "--fault-seed"),
+            "--inject-panic" => args.inject_panic = true,
+            "--canonical" => args.canonical = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: sweep [--sweep depth|fig27|fig21] [--threads N] [--out FILE]\n\
-                     \x20            [--cache-dir DIR] [--temps N] [--max-split K] [--full]"
+                    "usage: sweep [--sweep depth|fig27|fig21|degraded] [--threads N] [--out FILE]\n\
+                     \x20            [--cache-dir DIR] [--temps N] [--max-split K] [--full]\n\
+                     \x20            [--fault-seed N] [--inject-panic] [--canonical]\n\
+                     --canonical emits only the deterministic portion (no timing or\n\
+                     cache provenance), byte-identical across thread counts.\n\
+                     exit codes: 0 ok, 2 partial point failures, 1 fatal"
                 );
                 std::process::exit(0);
             }
             other => die(&format!("unknown argument `{other}` (try --help)")),
         }
+    }
+    if threads_given && args.threads == 0 {
+        eprintln!("sweep: warning: --threads 0 clamps to one worker per CPU");
     }
     if args.temps < 2 {
         die("--temps must be at least 2 (the 77 K and 300 K endpoints)");
@@ -76,7 +106,7 @@ fn parse<T: std::str::FromStr>(s: &str, name: &str) -> T {
 
 fn die(msg: &str) -> ! {
     eprintln!("sweep: {msg}");
-    std::process::exit(2);
+    std::process::exit(1);
 }
 
 fn main() {
@@ -92,37 +122,63 @@ fn main() {
     }
 
     let artifact: RunArtifact = match args.sweep.as_str() {
-        "depth" => experiments::depth_sweep_artifact(
-            experiments::depth_grid_spec(
+        "depth" => {
+            let spec = experiments::depth_grid_spec(
                 &experiments::linspace_temperatures(args.temps),
                 args.max_split,
-            ),
-            opts,
-        ),
+            );
+            if let Err(msg) = spec.validate() {
+                die(&msg);
+            }
+            experiments::depth_sweep_artifact(spec, opts)
+        }
         "fig27" => experiments::fig27_sweep_artifact(opts),
         "fig21" => experiments::fig21_sweep_artifact(args.fidelity, opts),
-        other => die(&format!("unknown sweep `{other}` (depth, fig27, fig21)")),
+        "degraded" => {
+            experiments::degraded_sweep_artifact(args.fault_seed, args.inject_panic, opts)
+        }
+        other => die(&format!(
+            "unknown sweep `{other}` (depth, fig27, fig21, degraded)"
+        )),
     };
 
     eprintln!(
-        "sweep `{}`: {} points ({} evaluated, {} cached) on {} thread(s) in {:.1} ms",
+        "sweep `{}`: {} points ({} evaluated, {} cached, {} failed) on {} thread(s) in {:.1} ms",
         artifact.sweep,
         artifact.stats.points,
         artifact.stats.evaluated,
         artifact.stats.cache_hits,
+        artifact.stats.failed,
         artifact.stats.threads,
         artifact.stats.wall_ms
     );
+    for bad in artifact.failed_points() {
+        eprintln!(
+            "sweep: point {} ({}) failed: {}",
+            bad.index,
+            bad.params.label(),
+            bad.error.as_deref().unwrap_or("unknown")
+        );
+    }
     match args.out {
         Some(path) => {
-            artifact
-                .write_json(&path)
-                .unwrap_or_else(|e| die(&format!("cannot write `{path}`: {e}")));
+            let result = if args.canonical {
+                std::fs::write(&path, artifact.canonical_json() + "\n")
+            } else {
+                artifact.write_json(&path)
+            };
+            result.unwrap_or_else(|e| die(&format!("cannot write `{path}`: {e}")));
             eprintln!("artifact written to {path}");
         }
+        None if args.canonical => println!("{}", artifact.canonical_json()),
         None => println!(
             "{}",
             serde_json::to_string_pretty(&artifact).expect("artifact serializes")
         ),
+    }
+    if artifact.has_failures() {
+        // Partial failure: the artifact is complete and every healthy
+        // point is recorded, but the run cannot claim full success.
+        std::process::exit(2);
     }
 }

@@ -10,12 +10,14 @@
 //! (asserted in `tests/determinism.rs`).
 
 use cryowire_device::Temperature;
+use cryowire_faults::FaultPlan;
 use cryowire_harness::{Point, ResultCache, RunArtifact, Sweep, SweepSpec};
 use cryowire_noc::{
     CryoBus, LoadLatencyCurve, LoadLatencyPoint, Network, NocKind, RouterClass, RouterNetwork,
     SharedBus, TrafficPattern,
 };
 use cryowire_pipeline::{sweep_depths, CriticalPathModel, DepthPoint};
+use cryowire_system::{EventSimConfig, EventSimulator, SystemDesign, Workload};
 use serde_json::Value;
 
 use super::noc_figs;
@@ -342,6 +344,115 @@ pub fn fig21_from_artifact(artifact: &RunArtifact) -> Fig21Result {
     }
 }
 
+// -------------------------------------------------------------- degraded
+
+/// Scenario identifiers of the degraded-operation sweep, in axis order.
+///
+/// Every scenario runs the closed-loop event simulation of the
+/// CryoSP + 2-way CryoBus system on PARSEC streamcluster; the fault
+/// scenarios degrade it without stopping it:
+///
+/// * `nominal` — no faults, the Fig. 23 baseline.
+/// * `transient-120k` — a cooling transient raises the 77 K operating
+///   point to 120 K for the middle half of the run; the critical-path
+///   and wire-link models re-derive slower clocks.
+/// * `link-loss` — one of the two interleaved CryoBus ways dies; the
+///   dynamic link connection keeps the survivor broadcasting.
+/// * `combined` — both at once.
+pub const DEGRADED_SCENARIOS: [&str; 4] = ["nominal", "transient-120k", "link-loss", "combined"];
+
+/// Horizon of the degraded-operation event simulation, nominal NoC
+/// cycles (20 µs at the 4 GHz NoC clock — the time base fault
+/// schedules are expressed in).
+pub const DEGRADED_HORIZON_CYCLES: u64 = 80_000;
+
+/// The degraded-operation grid: one text axis over the scenarios.
+/// With `inject_panic`, an extra `panic` point is appended whose
+/// evaluator deliberately panics — the harness's per-point isolation
+/// keeps the rest of the run intact (exercised by the sweep binary's
+/// `--inject-panic` and the robustness tests).
+#[must_use]
+pub fn degraded_spec(inject_panic: bool) -> SweepSpec {
+    let mut spec = SweepSpec::new("degraded-operation").axis("scenario", DEGRADED_SCENARIOS);
+    if inject_panic {
+        spec = spec.point(Point::from_pairs([("scenario", "panic")]));
+    }
+    spec
+}
+
+/// The fault plan of one degraded-operation scenario, rooted at `seed`
+/// (the harness's per-point seed, so 1-thread and N-thread runs expand
+/// bit-identical schedules). Resources 0 and 1 are the two interleaved
+/// ways of the 2-way CryoBus.
+#[must_use]
+pub fn degraded_plan(scenario: &str, seed: u64) -> FaultPlan {
+    let plan = FaultPlan::new(seed);
+    match scenario {
+        "nominal" => plan,
+        "transient-120k" => plan.cooling_transient(120.0, 0.25, 0.5),
+        "link-loss" => plan.link_failures(1, &[0, 1]),
+        "combined" => plan
+            .cooling_transient(120.0, 0.25, 0.5)
+            .link_failures(1, &[0, 1]),
+        other => panic!("unknown degraded scenario `{other}`"),
+    }
+}
+
+/// The per-point evaluator of the degraded sweep.
+///
+/// # Panics
+///
+/// Panics on the deliberate `panic` scenario (that is its purpose) and
+/// on unknown scenario names.
+#[must_use]
+pub fn degraded_eval(point: &Point, seed: u64) -> Value {
+    let scenario = point.str("scenario");
+    assert_ne!(
+        scenario, "panic",
+        "injected panic point (--inject-panic): the sweep must survive this"
+    );
+    let schedule = degraded_plan(scenario, seed).schedule(DEGRADED_HORIZON_CYCLES);
+    let sim = EventSimulator::new(EventSimConfig {
+        horizon_ns: 20_000.0,
+        seed,
+        watchdog_blocked_accesses: 2_000,
+    });
+    let workload = Workload::parsec_by_name("streamcluster").expect("known workload");
+    let design = SystemDesign::cryosp_cryobus_2way();
+    match sim.simulate_with_faults(&workload, &design, &schedule) {
+        Ok(m) => Value::Object(vec![
+            ("scenario".into(), Value::String(scenario.to_string())),
+            ("stalled".into(), Value::Bool(false)),
+            ("perf_per_core".into(), Value::Float(m.perf_per_core)),
+            ("instructions".into(), Value::UInt(m.instructions)),
+            ("barriers".into(), Value::UInt(m.barriers)),
+            (
+                "avg_mem_latency_ns".into(),
+                Value::Float(m.avg_mem_latency_ns),
+            ),
+            ("blocked_accesses".into(), Value::UInt(m.blocked_accesses)),
+        ]),
+        Err(e) => Value::Object(vec![
+            ("scenario".into(), Value::String(scenario.to_string())),
+            ("stalled".into(), Value::Bool(true)),
+            ("error".into(), Value::String(e.to_string())),
+        ]),
+    }
+}
+
+/// Runs the degraded-operation sweep through the harness. `fault_seed`
+/// is the sweep's base seed: per-point schedule seeds derive from it
+/// and the point identity, never from thread schedule.
+#[must_use]
+pub fn degraded_sweep_artifact(
+    fault_seed: u64,
+    inject_panic: bool,
+    opts: SweepOptions<'_>,
+) -> RunArtifact {
+    opts.build(degraded_spec(inject_panic), "degraded/v1", fault_seed)
+        .run(degraded_eval)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -379,6 +490,46 @@ mod tests {
         let wide = depth_sweep_artifact(depth_grid_spec(&[77.0, 150.0, 300.0], 4), opts);
         assert_eq!(wide.stats.cache_hits, 8);
         assert_eq!(wide.stats.evaluated, 4);
+    }
+
+    #[test]
+    fn degraded_sweep_completes_and_orders_scenarios() {
+        let artifact = degraded_sweep_artifact(0xC0FFEE, false, SweepOptions::threaded(4));
+        assert_eq!(artifact.stats.points, 4);
+        assert_eq!(artifact.stats.failed, 0);
+        let perf = |scenario: &str| {
+            let r = artifact
+                .find(|p| p.str("scenario") == scenario)
+                .unwrap_or_else(|| panic!("missing scenario {scenario}"));
+            assert_eq!(r.value.get("stalled").and_then(Value::as_bool), Some(false));
+            r.value
+                .get("perf_per_core")
+                .and_then(Value::as_f64)
+                .expect("perf field")
+        };
+        let nominal = perf("nominal");
+        // Every degraded scenario completes, below (or at) nominal.
+        assert!(perf("transient-120k") < nominal);
+        assert!(perf("link-loss") <= nominal);
+        assert!(perf("combined") < nominal);
+    }
+
+    #[test]
+    fn degraded_panic_point_is_isolated() {
+        let faulted = degraded_sweep_artifact(0xC0FFEE, true, SweepOptions::threaded(2));
+        assert_eq!(faulted.stats.points, 5);
+        assert_eq!(faulted.stats.failed, 1);
+        let bad = faulted.find(|p| p.str("scenario") == "panic").unwrap();
+        assert!(bad.failed());
+        // Surviving points match a panic-free run value-for-value.
+        let clean = degraded_sweep_artifact(0xC0FFEE, false, SweepOptions::serial());
+        for r in clean.points.iter() {
+            let f = faulted
+                .find(|p| p.str("scenario") == r.params.str("scenario"))
+                .unwrap();
+            assert_eq!(f.value, r.value);
+            assert_eq!(f.seed, r.seed);
+        }
     }
 
     #[test]

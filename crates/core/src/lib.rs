@@ -17,6 +17,7 @@
 //! | crate | paper role |
 //! |---|---|
 //! | [`device`] | cryo-MOSFET, cryo-wire, repeaters, voltage scaling, cooling |
+//! | [`faults`] | deterministic fault plans/schedules for degraded-operation studies |
 //! | [`floorplan`] | unit geometry & inter-unit wire lengths (Table 1) |
 //! | [`pipeline`] | stage critical paths, superpipelining, CryoSP (Figs. 2, 12–14, Table 3) |
 //! | [`noc`] | cycle-level NoC simulation, CryoBus (Figs. 15, 18–21, 25, 26) |
@@ -44,6 +45,7 @@ pub mod report;
 pub use report::Report;
 
 pub use cryowire_device as device;
+pub use cryowire_faults as faults;
 pub use cryowire_floorplan as floorplan;
 pub use cryowire_memory as memory;
 pub use cryowire_noc as noc;

@@ -1,0 +1,223 @@
+//! Fault event vocabulary: what can go wrong, where, and when.
+
+use std::fmt;
+
+/// What a single fault does while it is active.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum FaultKind {
+    /// A shared interconnect resource (mesh link, injection port, bus
+    /// way) stops serving packets entirely.
+    LinkDead {
+        /// Resource index in the target network's resource space.
+        resource: usize,
+    },
+    /// A resource still works but slower: occupancy and traversal are
+    /// multiplied by `factor` (> 1).
+    LinkDegraded {
+        /// Resource index in the target network's resource space.
+        resource: usize,
+        /// Slowdown multiplier applied to the resource's cycles.
+        factor: f64,
+    },
+    /// A router pipeline stalls: every packet through `resource` (the
+    /// router's injection-port resource) pays `extra_cycles` more.
+    RouterStall {
+        /// The stalled router's injection-port resource index.
+        resource: usize,
+        /// Additional pipeline cycles while the stall is active.
+        extra_cycles: u64,
+    },
+    /// Transient flit loss: each contended leg is lost with
+    /// `probability` and retransmitted (repaying its occupancy) at most
+    /// `max_retransmits` times before the packet is dropped.
+    FlitLoss {
+        /// Per-leg loss probability in `[0, 1)`.
+        probability: f64,
+        /// Bounded retransmit budget per leg.
+        max_retransmits: u32,
+    },
+    /// A cooling transient: the cryo-cooler loses capacity and the
+    /// operating temperature rises to `peak_kelvin` while active, so
+    /// device/wire models must re-derive delays.
+    CoolingTransient {
+        /// Temperature plateau while the transient is active, kelvin.
+        peak_kelvin: f64,
+    },
+    /// A CryoBus H-tree segment dies; the dynamic link connection must
+    /// re-form around it, lengthening the broadcast span.
+    HTreeSegmentDead {
+        /// Tree level of the dead segment (0 = root-adjacent, longest).
+        level: usize,
+        /// Segment index within the level.
+        index: usize,
+    },
+}
+
+impl FaultKind {
+    /// Canonical text encoding (bit-exact for floats) used by schedule
+    /// digests and determinism tests.
+    pub(crate) fn write_canonical(&self, out: &mut String) {
+        use std::fmt::Write;
+        match self {
+            FaultKind::LinkDead { resource } => {
+                let _ = write!(out, "dead:{resource}");
+            }
+            FaultKind::LinkDegraded { resource, factor } => {
+                let _ = write!(out, "slow:{resource}:{:016x}", factor.to_bits());
+            }
+            FaultKind::RouterStall {
+                resource,
+                extra_cycles,
+            } => {
+                let _ = write!(out, "stall:{resource}:{extra_cycles}");
+            }
+            FaultKind::FlitLoss {
+                probability,
+                max_retransmits,
+            } => {
+                let _ = write!(out, "loss:{:016x}:{max_retransmits}", probability.to_bits());
+            }
+            FaultKind::CoolingTransient { peak_kelvin } => {
+                let _ = write!(out, "heat:{:016x}", peak_kelvin.to_bits());
+            }
+            FaultKind::HTreeSegmentDead { level, index } => {
+                let _ = write!(out, "htree:{level}:{index}");
+            }
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::LinkDead { resource } => write!(f, "link {resource} dead"),
+            FaultKind::LinkDegraded { resource, factor } => {
+                write!(f, "link {resource} degraded {factor}x")
+            }
+            FaultKind::RouterStall {
+                resource,
+                extra_cycles,
+            } => write!(f, "router at resource {resource} stalls +{extra_cycles}cy"),
+            FaultKind::FlitLoss {
+                probability,
+                max_retransmits,
+            } => write!(f, "flit loss p={probability} (≤{max_retransmits} retx)"),
+            FaultKind::CoolingTransient { peak_kelvin } => {
+                write!(f, "cooling transient to {peak_kelvin} K")
+            }
+            FaultKind::HTreeSegmentDead { level, index } => {
+                write!(f, "H-tree segment L{level}#{index} dead")
+            }
+        }
+    }
+}
+
+/// One scheduled fault: a kind active over a cycle window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// First cycle the fault is active.
+    pub start_cycle: u64,
+    /// Active duration in cycles; `None` means permanent.
+    pub duration: Option<u64>,
+    /// What the fault does.
+    pub kind: FaultKind,
+}
+
+impl FaultEvent {
+    /// A permanent fault active from `start_cycle` onward.
+    #[must_use]
+    pub fn permanent(start_cycle: u64, kind: FaultKind) -> Self {
+        FaultEvent {
+            start_cycle,
+            duration: None,
+            kind,
+        }
+    }
+
+    /// A transient fault active for `duration` cycles.
+    #[must_use]
+    pub fn transient(start_cycle: u64, duration: u64, kind: FaultKind) -> Self {
+        FaultEvent {
+            start_cycle,
+            duration: Some(duration),
+            kind,
+        }
+    }
+
+    /// True if the fault is active at `cycle`.
+    #[must_use]
+    pub fn active_at(&self, cycle: u64) -> bool {
+        cycle >= self.start_cycle
+            && self
+                .duration
+                .is_none_or(|d| cycle < self.start_cycle.saturating_add(d))
+    }
+
+    pub(crate) fn write_canonical(&self, out: &mut String) {
+        use std::fmt::Write;
+        let _ = write!(out, "@{}", self.start_cycle);
+        match self.duration {
+            Some(d) => {
+                let _ = write!(out, "+{d}");
+            }
+            None => out.push_str("+inf"),
+        }
+        out.push(':');
+        self.kind.write_canonical(out);
+        out.push(';');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn activity_windows() {
+        let e = FaultEvent::transient(10, 5, FaultKind::LinkDead { resource: 3 });
+        assert!(!e.active_at(9));
+        assert!(e.active_at(10));
+        assert!(e.active_at(14));
+        assert!(!e.active_at(15));
+        let p = FaultEvent::permanent(7, FaultKind::LinkDead { resource: 3 });
+        assert!(p.active_at(u64::MAX));
+        assert!(!p.active_at(6));
+    }
+
+    #[test]
+    fn canonical_is_bit_exact() {
+        let mut a = String::new();
+        let mut b = String::new();
+        FaultEvent::transient(
+            1,
+            2,
+            FaultKind::LinkDegraded {
+                resource: 4,
+                factor: 2.5,
+            },
+        )
+        .write_canonical(&mut a);
+        FaultEvent::transient(
+            1,
+            2,
+            FaultKind::LinkDegraded {
+                resource: 4,
+                factor: 2.5,
+            },
+        )
+        .write_canonical(&mut b);
+        assert_eq!(a, b);
+        let mut c = String::new();
+        FaultEvent::transient(
+            1,
+            2,
+            FaultKind::LinkDegraded {
+                resource: 4,
+                factor: 2.5 + 1e-12,
+            },
+        )
+        .write_canonical(&mut c);
+        assert_ne!(a, c, "float encoding must be bit-exact");
+    }
+}

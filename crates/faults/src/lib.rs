@@ -1,0 +1,33 @@
+//! Deterministic fault injection for the CryoWire reproduction.
+//!
+//! Real cryogenic deployments do not stay at the operating point the
+//! models assume: links die, cryo-coolers lose capacity, and routers
+//! stall. This crate provides the *fault vocabulary* shared by the NoC
+//! and system simulators and the sweep harness:
+//!
+//! - [`FaultKind`] / [`FaultEvent`] — what can go wrong and when;
+//! - [`FaultPlan`] — a declarative, seeded description of the faults to
+//!   inject (counts, pools, windows);
+//! - [`FaultSchedule`] — the concrete expansion a simulator queries
+//!   cycle by cycle ([`FaultSchedule::link_state`],
+//!   [`FaultSchedule::temperature_at`], ...).
+//!
+//! Everything is deterministic: the same `(plan, seed, horizon)` always
+//! expands to a bit-identical schedule (see [`FaultSchedule::canonical`]),
+//! which is what lets the harness cache faulted sweep points and assert
+//! 1-thread == N-thread artifacts under injection.
+//!
+//! This crate only *describes* faults. Applying them — rerouting around
+//! dead links, re-forming the CryoBus H-tree, re-deriving device delays
+//! at the transient temperature — lives with the simulators in
+//! `cryowire-noc` and `cryowire-system`.
+
+#![warn(missing_docs)]
+
+mod event;
+mod plan;
+mod schedule;
+
+pub use event::{FaultEvent, FaultKind};
+pub use plan::FaultPlan;
+pub use schedule::{FaultSchedule, FlitLossParams, LinkState};

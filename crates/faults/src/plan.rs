@@ -1,0 +1,371 @@
+//! Seeded fault plans: a declarative description of *what kinds* of
+//! faults to inject, expanded deterministically into a concrete
+//! [`FaultSchedule`].
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::event::{FaultEvent, FaultKind};
+use crate::schedule::FaultSchedule;
+
+/// One declarative entry in a plan. Random entries are expanded by
+/// [`FaultPlan::schedule`] from the plan's seed; explicit entries pass
+/// through untouched.
+#[derive(Debug, Clone, PartialEq)]
+enum PlanEntry {
+    LinkFailures {
+        count: usize,
+        pool: Vec<usize>,
+    },
+    DegradedLinks {
+        count: usize,
+        pool: Vec<usize>,
+        min_factor: f64,
+        max_factor: f64,
+    },
+    RouterStalls {
+        count: usize,
+        pool: Vec<usize>,
+        max_extra_cycles: u64,
+    },
+    FlitLoss {
+        probability: f64,
+        max_retransmits: u32,
+    },
+    CoolingTransient {
+        peak_kelvin: f64,
+        start_frac: f64,
+        duration_frac: f64,
+    },
+    Explicit(FaultEvent),
+}
+
+/// A declarative, seeded fault-injection plan.
+///
+/// The plan records *intent* ("kill 2 of these links, heat to 120 K
+/// mid-run"); [`FaultPlan::schedule`] expands it into concrete
+/// [`FaultEvent`]s using a private RNG seeded from [`FaultPlan::seed`].
+/// The expansion draws in a fixed entry order from a single stream, so
+/// the same `(plan, seed, horizon)` always yields a bit-identical
+/// schedule — this is the property the harness leans on when it derives
+/// the seed from `point_seed(..)` and expects 1-thread and N-thread
+/// sweeps to agree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    entries: Vec<PlanEntry>,
+}
+
+impl FaultPlan {
+    /// An empty plan expanded from `seed`.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            entries: Vec::new(),
+        }
+    }
+
+    /// The same plan re-rooted at a different seed — how the harness
+    /// composes a shared plan with its per-point seeds.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The seed the schedule expansion will use.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// True if the plan injects nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Kill `count` distinct resources drawn from `pool` (permanent
+    /// failures starting in the first half of the run). Requesting more
+    /// failures than the pool holds kills the whole pool.
+    #[must_use]
+    pub fn link_failures(mut self, count: usize, pool: &[usize]) -> Self {
+        self.entries.push(PlanEntry::LinkFailures {
+            count,
+            pool: pool.to_vec(),
+        });
+        self
+    }
+
+    /// Degrade `count` distinct resources from `pool` by a factor drawn
+    /// uniformly from `[min_factor, max_factor]` for a transient window.
+    #[must_use]
+    pub fn degraded_links(
+        mut self,
+        count: usize,
+        pool: &[usize],
+        min_factor: f64,
+        max_factor: f64,
+    ) -> Self {
+        self.entries.push(PlanEntry::DegradedLinks {
+            count,
+            pool: pool.to_vec(),
+            min_factor: min_factor.max(1.0),
+            max_factor: max_factor.max(min_factor.max(1.0)),
+        });
+        self
+    }
+
+    /// Stall `count` routers (by injection-port resource index) for a
+    /// transient window, each adding `1..=max_extra_cycles` per packet.
+    #[must_use]
+    pub fn router_stalls(mut self, count: usize, pool: &[usize], max_extra_cycles: u64) -> Self {
+        self.entries.push(PlanEntry::RouterStalls {
+            count,
+            pool: pool.to_vec(),
+            max_extra_cycles: max_extra_cycles.max(1),
+        });
+        self
+    }
+
+    /// Enable transient flit loss over the whole run with bounded
+    /// retransmits. `probability` is clamped to `[0, 0.99]`.
+    #[must_use]
+    pub fn flit_loss(mut self, probability: f64, max_retransmits: u32) -> Self {
+        self.entries.push(PlanEntry::FlitLoss {
+            probability: probability.clamp(0.0, 0.99),
+            max_retransmits,
+        });
+        self
+    }
+
+    /// A cooling transient raising the operating point to `peak_kelvin`
+    /// from `start_frac` of the horizon for `duration_frac` of it.
+    #[must_use]
+    pub fn cooling_transient(
+        mut self,
+        peak_kelvin: f64,
+        start_frac: f64,
+        duration_frac: f64,
+    ) -> Self {
+        self.entries.push(PlanEntry::CoolingTransient {
+            peak_kelvin,
+            start_frac: start_frac.clamp(0.0, 1.0),
+            duration_frac: duration_frac.clamp(0.0, 1.0),
+        });
+        self
+    }
+
+    /// Kill one CryoBus H-tree segment from cycle 0 (the bus re-forms
+    /// its dynamic link connection around it at construction).
+    #[must_use]
+    pub fn htree_segment_dead(self, level: usize, index: usize) -> Self {
+        self.event(FaultEvent::permanent(
+            0,
+            FaultKind::HTreeSegmentDead { level, index },
+        ))
+    }
+
+    /// Append an explicit, fully specified event.
+    #[must_use]
+    pub fn event(mut self, event: FaultEvent) -> Self {
+        self.entries.push(PlanEntry::Explicit(event));
+        self
+    }
+
+    /// Expands the plan into a concrete schedule for a run of
+    /// `horizon_cycles`. Deterministic: same `(plan, seed, horizon)` ⇒
+    /// bit-identical [`FaultSchedule`].
+    #[must_use]
+    pub fn schedule(&self, horizon_cycles: u64) -> FaultSchedule {
+        let horizon = horizon_cycles.max(1);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut events = Vec::new();
+        for entry in &self.entries {
+            match entry {
+                PlanEntry::LinkFailures { count, pool } => {
+                    for resource in pick_distinct(&mut rng, pool, *count) {
+                        let start = rng.gen_range(0..horizon.div_ceil(2));
+                        events.push(FaultEvent::permanent(
+                            start,
+                            FaultKind::LinkDead { resource },
+                        ));
+                    }
+                }
+                PlanEntry::DegradedLinks {
+                    count,
+                    pool,
+                    min_factor,
+                    max_factor,
+                } => {
+                    for resource in pick_distinct(&mut rng, pool, *count) {
+                        let start = rng.gen_range(0..horizon.div_ceil(2));
+                        let duration = rng.gen_range(horizon.div_ceil(4)..=horizon.div_ceil(2));
+                        let factor = rng.gen_range(*min_factor..=*max_factor);
+                        events.push(FaultEvent::transient(
+                            start,
+                            duration,
+                            FaultKind::LinkDegraded { resource, factor },
+                        ));
+                    }
+                }
+                PlanEntry::RouterStalls {
+                    count,
+                    pool,
+                    max_extra_cycles,
+                } => {
+                    for resource in pick_distinct(&mut rng, pool, *count) {
+                        let start = rng.gen_range(0..horizon.div_ceil(2));
+                        let duration = rng.gen_range(horizon.div_ceil(4)..=horizon.div_ceil(2));
+                        let extra_cycles = rng.gen_range(1..=*max_extra_cycles);
+                        events.push(FaultEvent::transient(
+                            start,
+                            duration,
+                            FaultKind::RouterStall {
+                                resource,
+                                extra_cycles,
+                            },
+                        ));
+                    }
+                }
+                PlanEntry::FlitLoss {
+                    probability,
+                    max_retransmits,
+                } => {
+                    events.push(FaultEvent::transient(
+                        0,
+                        horizon,
+                        FaultKind::FlitLoss {
+                            probability: *probability,
+                            max_retransmits: *max_retransmits,
+                        },
+                    ));
+                }
+                PlanEntry::CoolingTransient {
+                    peak_kelvin,
+                    start_frac,
+                    duration_frac,
+                } => {
+                    let start = frac_cycles(horizon, *start_frac);
+                    let duration = frac_cycles(horizon, *duration_frac).max(1);
+                    events.push(FaultEvent::transient(
+                        start,
+                        duration,
+                        FaultKind::CoolingTransient {
+                            peak_kelvin: *peak_kelvin,
+                        },
+                    ));
+                }
+                PlanEntry::Explicit(event) => events.push(*event),
+            }
+        }
+        FaultSchedule::from_events(events, horizon)
+    }
+}
+
+/// `frac` of `horizon`, rounded down, saturating at the horizon.
+fn frac_cycles(horizon: u64, frac: f64) -> u64 {
+    ((horizon as f64 * frac) as u64).min(horizon)
+}
+
+/// Draws `count` distinct values from `pool` (all of it if `count`
+/// exceeds the pool), preserving a deterministic draw order.
+fn pick_distinct(rng: &mut StdRng, pool: &[usize], count: usize) -> Vec<usize> {
+    let mut remaining = pool.to_vec();
+    let take = count.min(remaining.len());
+    let mut picked = Vec::with_capacity(take);
+    for _ in 0..take {
+        let i = rng.gen_range(0..remaining.len());
+        picked.push(remaining.swap_remove(i));
+    }
+    picked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::LinkState;
+
+    fn plan() -> FaultPlan {
+        FaultPlan::new(0xFA_517)
+            .link_failures(2, &[0, 1, 2, 3, 4, 5])
+            .degraded_links(1, &[6, 7], 2.0, 4.0)
+            .router_stalls(1, &[8, 9], 3)
+            .flit_loss(0.05, 4)
+            .cooling_transient(120.0, 0.25, 0.5)
+            .htree_segment_dead(1, 2)
+    }
+
+    #[test]
+    fn same_seed_bit_identical() {
+        let a = plan().schedule(30_000);
+        let b = plan().schedule(30_000);
+        assert_eq!(a.canonical(), b.canonical());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seed_differs() {
+        let a = plan().schedule(30_000);
+        let b = plan().with_seed(0xDEAD).schedule(30_000);
+        assert_ne!(a.canonical(), b.canonical());
+    }
+
+    #[test]
+    fn counts_and_pools_respected() {
+        let s = plan().schedule(30_000);
+        let dead = s.dead_resources_at(u64::MAX - 1);
+        assert_eq!(dead.len(), 2, "two permanent link failures: {dead:?}");
+        assert!(dead.iter().all(|r| (0..=5).contains(r)));
+        // Degraded link comes from its own pool with factor in range.
+        let degraded: Vec<_> = (6..=7)
+            .filter_map(|r| {
+                s.events()
+                    .iter()
+                    .filter_map(move |e| match e.kind {
+                        FaultKind::LinkDegraded { resource, factor } if resource == r => {
+                            Some(factor)
+                        }
+                        _ => None,
+                    })
+                    .next()
+            })
+            .collect();
+        assert_eq!(degraded.len(), 1);
+        assert!((2.0..=4.0).contains(&degraded[0]));
+        assert!(s.has_cooling_transient());
+        assert_eq!(s.dead_htree_segments_at(0), vec![(1, 2)]);
+    }
+
+    #[test]
+    fn oversized_count_takes_whole_pool() {
+        let s = FaultPlan::new(1).link_failures(10, &[3, 4]).schedule(1_000);
+        assert_eq!(s.dead_resources_at(u64::MAX - 1), vec![3, 4]);
+    }
+
+    #[test]
+    fn empty_pool_is_harmless() {
+        let s = FaultPlan::new(1).link_failures(3, &[]).schedule(1_000);
+        assert!(s.is_empty());
+        assert_eq!(s.link_state(0, 500), LinkState::Healthy);
+    }
+
+    #[test]
+    fn cooling_transient_window_matches_fractions() {
+        let s = FaultPlan::new(2)
+            .cooling_transient(120.0, 0.25, 0.5)
+            .schedule(10_000);
+        let base = cryowire_device::Temperature::liquid_nitrogen();
+        assert_eq!(s.temperature_at(2_499, base), base);
+        assert_eq!(s.temperature_at(2_500, base).kelvin(), 120.0);
+        assert_eq!(s.temperature_at(7_499, base).kelvin(), 120.0);
+        assert_eq!(s.temperature_at(7_500, base), base);
+    }
+
+    #[test]
+    fn empty_plan_is_empty_schedule() {
+        assert!(FaultPlan::new(9).is_empty());
+        assert!(FaultPlan::new(9).schedule(100).is_empty());
+    }
+}

@@ -1,0 +1,353 @@
+//! Concrete fault schedules and the queries simulators run against
+//! them.
+
+use cryowire_device::Temperature;
+
+use crate::event::{FaultEvent, FaultKind};
+
+/// State of one interconnect resource at a given cycle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LinkState {
+    /// Fully operational.
+    Healthy,
+    /// Serving packets, but `factor`× slower.
+    Degraded(f64),
+    /// Not serving packets at all.
+    Dead,
+}
+
+impl LinkState {
+    /// True unless the resource is dead.
+    #[must_use]
+    pub fn is_usable(self) -> bool {
+        !matches!(self, LinkState::Dead)
+    }
+}
+
+/// Active flit-loss parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlitLossParams {
+    /// Per-leg loss probability.
+    pub probability: f64,
+    /// Bounded retransmit budget per leg.
+    pub max_retransmits: u32,
+}
+
+/// A fully materialized, deterministic fault schedule.
+///
+/// Schedules are immutable once built (by [`crate::FaultPlan::schedule`]
+/// or [`FaultSchedule::from_events`]); equality of
+/// [`FaultSchedule::canonical`] encodings is bit-identity of the whole
+/// schedule, which is what the determinism tests assert.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultSchedule {
+    events: Vec<FaultEvent>,
+    horizon: u64,
+}
+
+impl FaultSchedule {
+    /// Builds a schedule from explicit events (sorted by start cycle,
+    /// ties kept in insertion order).
+    #[must_use]
+    pub fn from_events(mut events: Vec<FaultEvent>, horizon: u64) -> Self {
+        events.sort_by_key(|e| e.start_cycle);
+        FaultSchedule { events, horizon }
+    }
+
+    /// The scheduled events, sorted by start cycle.
+    #[must_use]
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// The cycle horizon the schedule was generated for.
+    #[must_use]
+    pub fn horizon(&self) -> u64 {
+        self.horizon
+    }
+
+    /// True if the schedule contains no faults.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// State of `resource` at `cycle`: dead wins over degraded;
+    /// concurrent degradations multiply.
+    #[must_use]
+    pub fn link_state(&self, resource: usize, cycle: u64) -> LinkState {
+        let mut factor = 1.0;
+        for e in self.active_at(cycle) {
+            match e.kind {
+                FaultKind::LinkDead { resource: r } if r == resource => return LinkState::Dead,
+                FaultKind::LinkDegraded {
+                    resource: r,
+                    factor: f,
+                } if r == resource => factor *= f,
+                _ => {}
+            }
+        }
+        if factor > 1.0 {
+            LinkState::Degraded(factor)
+        } else {
+            LinkState::Healthy
+        }
+    }
+
+    /// Sorted, deduplicated indices of resources dead at `cycle`.
+    #[must_use]
+    pub fn dead_resources_at(&self, cycle: u64) -> Vec<usize> {
+        let mut dead: Vec<usize> = self
+            .active_at(cycle)
+            .filter_map(|e| match e.kind {
+                FaultKind::LinkDead { resource } => Some(resource),
+                _ => None,
+            })
+            .collect();
+        dead.sort_unstable();
+        dead.dedup();
+        dead
+    }
+
+    /// Extra router-pipeline cycles for `resource` at `cycle`.
+    #[must_use]
+    pub fn stall_cycles(&self, resource: usize, cycle: u64) -> u64 {
+        self.active_at(cycle)
+            .filter_map(|e| match e.kind {
+                FaultKind::RouterStall {
+                    resource: r,
+                    extra_cycles,
+                } if r == resource => Some(extra_cycles),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Flit-loss parameters active at `cycle`, if any (the highest
+    /// probability wins when several overlap).
+    #[must_use]
+    pub fn flit_loss_at(&self, cycle: u64) -> Option<FlitLossParams> {
+        self.active_at(cycle)
+            .filter_map(|e| match e.kind {
+                FaultKind::FlitLoss {
+                    probability,
+                    max_retransmits,
+                } => Some(FlitLossParams {
+                    probability,
+                    max_retransmits,
+                }),
+                _ => None,
+            })
+            .max_by(|a, b| a.probability.total_cmp(&b.probability))
+    }
+
+    /// Operating temperature at `cycle` given the nominal `base`: the
+    /// hottest active cooling transient wins; never below `base`.
+    ///
+    /// Out-of-model peaks are clamped to the device model's validity
+    /// range rather than erroring — a cooling transient is exactly the
+    /// scenario where the simulation must keep going.
+    #[must_use]
+    pub fn temperature_at(&self, cycle: u64, base: Temperature) -> Temperature {
+        let peak = self
+            .active_at(cycle)
+            .filter_map(|e| match e.kind {
+                FaultKind::CoolingTransient { peak_kelvin } => Some(peak_kelvin),
+                _ => None,
+            })
+            .fold(f64::NEG_INFINITY, f64::max);
+        if peak <= base.kelvin() {
+            return base;
+        }
+        let clamped = peak.min(cryowire_device::temperature::MAX_KELVIN);
+        Temperature::new(clamped).unwrap_or(base)
+    }
+
+    /// True if any cooling transient appears anywhere in the schedule.
+    #[must_use]
+    pub fn has_cooling_transient(&self) -> bool {
+        self.events
+            .iter()
+            .any(|e| matches!(e.kind, FaultKind::CoolingTransient { .. }))
+    }
+
+    /// Dead H-tree segments `(level, index)` at `cycle`, sorted.
+    #[must_use]
+    pub fn dead_htree_segments_at(&self, cycle: u64) -> Vec<(usize, usize)> {
+        let mut dead: Vec<(usize, usize)> = self
+            .active_at(cycle)
+            .filter_map(|e| match e.kind {
+                FaultKind::HTreeSegmentDead { level, index } => Some((level, index)),
+                _ => None,
+            })
+            .collect();
+        dead.sort_unstable();
+        dead.dedup();
+        dead
+    }
+
+    /// All events active at `cycle`.
+    pub fn active_at(&self, cycle: u64) -> impl Iterator<Item = &FaultEvent> {
+        self.events.iter().filter(move |e| e.active_at(cycle))
+    }
+
+    /// Cycles at which the active fault set changes (event starts and
+    /// ends), sorted and deduplicated — simulators re-derive cached
+    /// fault state only at these boundaries.
+    #[must_use]
+    pub fn change_points(&self) -> Vec<u64> {
+        let mut points: Vec<u64> = self
+            .events
+            .iter()
+            .flat_map(|e| {
+                [
+                    Some(e.start_cycle),
+                    e.duration.map(|d| e.start_cycle.saturating_add(d)),
+                ]
+            })
+            .flatten()
+            .collect();
+        points.sort_unstable();
+        points.dedup();
+        points
+    }
+
+    /// Canonical text encoding of the whole schedule (bit-exact for
+    /// floats). Two schedules are identical iff their canonical
+    /// encodings are equal.
+    #[must_use]
+    pub fn canonical(&self) -> String {
+        let mut out = format!("horizon={};", self.horizon);
+        for e in &self.events {
+            e.write_canonical(&mut out);
+        }
+        out
+    }
+
+    /// Stable 64-bit digest of [`FaultSchedule::canonical`] (FNV-1a,
+    /// platform-independent).
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in self.canonical().as_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schedule() -> FaultSchedule {
+        FaultSchedule::from_events(
+            vec![
+                FaultEvent::permanent(100, FaultKind::LinkDead { resource: 2 }),
+                FaultEvent::transient(
+                    50,
+                    100,
+                    FaultKind::LinkDegraded {
+                        resource: 7,
+                        factor: 3.0,
+                    },
+                ),
+                FaultEvent::transient(10, 20, FaultKind::CoolingTransient { peak_kelvin: 120.0 }),
+                FaultEvent::transient(
+                    0,
+                    1_000,
+                    FaultKind::FlitLoss {
+                        probability: 0.01,
+                        max_retransmits: 4,
+                    },
+                ),
+            ],
+            10_000,
+        )
+    }
+
+    #[test]
+    fn events_sorted_by_start() {
+        let s = schedule();
+        let starts: Vec<u64> = s.events().iter().map(|e| e.start_cycle).collect();
+        assert_eq!(starts, vec![0, 10, 50, 100]);
+    }
+
+    #[test]
+    fn link_state_transitions() {
+        let s = schedule();
+        assert_eq!(s.link_state(2, 99), LinkState::Healthy);
+        assert_eq!(s.link_state(2, 100), LinkState::Dead);
+        assert_eq!(s.link_state(7, 60), LinkState::Degraded(3.0));
+        assert_eq!(s.link_state(7, 151), LinkState::Healthy);
+        assert!(!LinkState::Dead.is_usable());
+        assert!(LinkState::Degraded(2.0).is_usable());
+    }
+
+    #[test]
+    fn dead_resources_sorted() {
+        let s = FaultSchedule::from_events(
+            vec![
+                FaultEvent::permanent(0, FaultKind::LinkDead { resource: 9 }),
+                FaultEvent::permanent(0, FaultKind::LinkDead { resource: 1 }),
+                FaultEvent::permanent(0, FaultKind::LinkDead { resource: 9 }),
+            ],
+            100,
+        );
+        assert_eq!(s.dead_resources_at(5), vec![1, 9]);
+    }
+
+    #[test]
+    fn temperature_plateau_and_clamp() {
+        let s = schedule();
+        let base = Temperature::liquid_nitrogen();
+        assert_eq!(s.temperature_at(5, base), base);
+        assert_eq!(s.temperature_at(15, base).kelvin(), 120.0);
+        assert_eq!(s.temperature_at(30, base), base);
+        // A peak beyond the model range clamps instead of erroring.
+        let hot = FaultSchedule::from_events(
+            vec![FaultEvent::transient(
+                0,
+                10,
+                FaultKind::CoolingTransient { peak_kelvin: 900.0 },
+            )],
+            100,
+        );
+        assert_eq!(
+            hot.temperature_at(1, base).kelvin(),
+            cryowire_device::temperature::MAX_KELVIN
+        );
+    }
+
+    #[test]
+    fn flit_loss_window() {
+        let s = schedule();
+        assert_eq!(
+            s.flit_loss_at(500),
+            Some(FlitLossParams {
+                probability: 0.01,
+                max_retransmits: 4
+            })
+        );
+        assert_eq!(s.flit_loss_at(1_000), None);
+    }
+
+    #[test]
+    fn change_points_cover_starts_and_ends() {
+        let s = schedule();
+        assert_eq!(s.change_points(), vec![0, 10, 30, 50, 100, 150, 1_000]);
+    }
+
+    #[test]
+    fn canonical_distinguishes_schedules() {
+        let a = schedule();
+        let b = schedule();
+        assert_eq!(a.canonical(), b.canonical());
+        assert_eq!(a.digest(), b.digest());
+        let mut events: Vec<FaultEvent> = a.events().to_vec();
+        events[0].start_cycle += 1;
+        let c = FaultSchedule::from_events(events, a.horizon());
+        assert_ne!(a.digest(), c.digest());
+    }
+}

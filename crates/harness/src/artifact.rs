@@ -23,8 +23,20 @@ pub struct PointRecord {
     pub cached: bool,
     /// Evaluation wall time, ms (0 for cache hits).
     pub eval_ms: f64,
-    /// The evaluated result.
+    /// The evaluated result ([`Value::Null`] when the evaluator
+    /// panicked).
     pub value: Value,
+    /// The panic message, when the evaluator panicked on this point.
+    /// Failed points never enter the cache.
+    pub error: Option<String>,
+}
+
+impl PointRecord {
+    /// True if the evaluator failed on this point.
+    #[must_use]
+    pub fn failed(&self) -> bool {
+        self.error.is_some()
+    }
 }
 
 /// Aggregate counters of one sweep run.
@@ -38,6 +50,8 @@ pub struct RunStats {
     pub evaluated: usize,
     /// Worker threads used.
     pub threads: usize,
+    /// Points whose evaluator panicked (isolated, not cached).
+    pub failed: usize,
     /// End-to-end wall time, ms.
     pub wall_ms: f64,
 }
@@ -74,12 +88,16 @@ impl RunArtifact {
                     self.points
                         .iter()
                         .map(|p| {
-                            Value::Object(vec![
+                            let mut fields = vec![
                                 ("params".into(), p.params.to_json()),
                                 ("key".into(), Value::String(p.key.clone())),
                                 ("seed".into(), Value::UInt(p.seed)),
                                 ("value".into(), p.value.clone()),
-                            ])
+                            ];
+                            if let Some(e) = &p.error {
+                                fields.push(("error".into(), Value::String(e.clone())));
+                            }
+                            Value::Object(fields)
                         })
                         .collect(),
                 ),
@@ -112,6 +130,7 @@ impl RunArtifact {
                     ),
                     ("evaluated".into(), Value::UInt(self.stats.evaluated as u64)),
                     ("threads".into(), Value::UInt(self.stats.threads as u64)),
+                    ("failed".into(), Value::UInt(self.stats.failed as u64)),
                     ("wall_ms".into(), Value::Float(self.stats.wall_ms)),
                 ]),
             ),
@@ -121,7 +140,7 @@ impl RunArtifact {
                     self.points
                         .iter()
                         .map(|p| {
-                            Value::Object(vec![
+                            let mut fields = vec![
                                 ("index".into(), Value::UInt(p.index as u64)),
                                 ("params".into(), p.params.to_json()),
                                 ("key".into(), Value::String(p.key.clone())),
@@ -129,7 +148,11 @@ impl RunArtifact {
                                 ("cached".into(), Value::Bool(p.cached)),
                                 ("eval_ms".into(), Value::Float(p.eval_ms)),
                                 ("value".into(), p.value.clone()),
-                            ])
+                            ];
+                            if let Some(e) = &p.error {
+                                fields.push(("error".into(), Value::String(e.clone())));
+                            }
+                            Value::Object(fields)
                         })
                         .collect(),
                 ),
@@ -155,13 +178,26 @@ impl RunArtifact {
         self.points.iter().find(|p| pred(&p.params))
     }
 
-    /// Cache stats implied by the per-point records.
+    /// Cache stats implied by the per-point records (quarantines are a
+    /// cache-internal event the artifact does not witness).
     #[must_use]
     pub fn cache_stats(&self) -> CacheStats {
         CacheStats {
             hits: self.stats.cache_hits as u64,
             misses: self.stats.evaluated as u64,
+            quarantined: 0,
         }
+    }
+
+    /// True if any point's evaluator failed.
+    #[must_use]
+    pub fn has_failures(&self) -> bool {
+        self.stats.failed > 0
+    }
+
+    /// The records of failed points, in enumeration order.
+    pub fn failed_points(&self) -> impl Iterator<Item = &PointRecord> {
+        self.points.iter().filter(|p| p.failed())
     }
 }
 
@@ -189,12 +225,14 @@ mod tests {
                 cached,
                 eval_ms,
                 value: Value::Float(2.5),
+                error: None,
             }],
             stats: RunStats {
                 points: 1,
                 cache_hits: usize::from(cached),
                 evaluated: usize::from(!cached),
                 threads,
+                failed: 0,
                 wall_ms: eval_ms,
             },
         }

@@ -7,12 +7,21 @@
 //! sharing a directory — are evaluated once (e.g. the 300 K baseline
 //! shared by fig17/fig23/fig27).
 //!
+//! On-disk entries are checksummed envelopes
+//! (`{"crc": "<16 hex>", "value": ...}`) written to a temporary file
+//! and atomically renamed into place, so a crash or a concurrent
+//! writer can never leave a half-written entry under a live key. An
+//! entry whose envelope fails to parse or whose checksum disagrees
+//! with its payload is *quarantined* — renamed to `<key>.json.corrupt`
+//! for post-mortem — and the point is recomputed as a plain miss.
+//!
 //! Concurrency model: lookups don't hold locks across evaluation, so
 //! two threads racing the *same* key may both evaluate it; both writes
 //! store the identical (deterministic) value, so the race is benign.
 //! Points within one sweep are unique, making this rare by
 //! construction.
 
+use crate::hash::stable_hash64;
 use parking_lot::RwLock;
 use serde_json::Value;
 use std::collections::HashMap;
@@ -27,6 +36,8 @@ pub struct CacheStats {
     pub hits: u64,
     /// Lookups that evaluated the point.
     pub misses: u64,
+    /// Corrupt disk entries moved aside and recomputed.
+    pub quarantined: u64,
 }
 
 /// Content-addressed in-memory + on-disk result store.
@@ -36,6 +47,7 @@ pub struct ResultCache {
     dir: Option<PathBuf>,
     hits: AtomicU64,
     misses: AtomicU64,
+    quarantined: AtomicU64,
 }
 
 impl ResultCache {
@@ -101,6 +113,7 @@ impl ResultCache {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
         }
     }
 
@@ -125,22 +138,52 @@ impl ResultCache {
         self.dir.as_ref().map(|d| d.join(format!("{key}.json")))
     }
 
+    /// Checksum of an entry's payload text, as stored in the envelope.
+    fn payload_crc(payload: &str) -> String {
+        format!("{:016x}", stable_hash64(payload.as_bytes()))
+    }
+
     fn read_disk(&self, key: &str) -> Option<Value> {
         let path = self.path_for(key)?;
-        let text = std::fs::read_to_string(path).ok()?;
-        serde_json::from_str(&text).ok()
+        let text = std::fs::read_to_string(&path).ok()?;
+        match Self::decode_entry(&text) {
+            Some(v) => Some(v),
+            None => {
+                // Truncated write, bit rot, or a foreign format: move
+                // the entry aside for post-mortem and recompute.
+                self.quarantined.fetch_add(1, Ordering::Relaxed);
+                let _ = std::fs::rename(&path, path.with_extension("json.corrupt"));
+                None
+            }
+        }
+    }
+
+    /// Parses a checksummed envelope; `None` means corrupt.
+    fn decode_entry(text: &str) -> Option<Value> {
+        let doc = serde_json::from_str(text).ok()?;
+        let crc = doc.get("crc").and_then(Value::as_str)?;
+        let value = doc.get("value")?;
+        let mut payload = String::new();
+        value.write_json(&mut payload);
+        (crc == Self::payload_crc(&payload)).then(|| value.clone())
     }
 
     fn write_disk(&self, key: &str, value: &Value) {
         // Persistence is best-effort: a read-only or full disk
         // degrades to memory-only caching rather than failing the
-        // sweep.
+        // sweep. The temp-file + rename makes each publish atomic; the
+        // PID in the temp name keeps concurrent processes from
+        // clobbering each other's in-flight writes.
         if let Some(path) = self.path_for(key) {
-            let mut text = String::new();
-            value.write_json(&mut text);
-            let tmp = path.with_extension("json.tmp");
-            if std::fs::write(&tmp, &text).is_ok() {
-                let _ = std::fs::rename(&tmp, &path);
+            let mut payload = String::new();
+            value.write_json(&mut payload);
+            let text = format!(
+                "{{\"crc\": \"{}\", \"value\": {payload}}}\n",
+                Self::payload_crc(&payload)
+            );
+            let tmp = path.with_extension(format!("json.{}.tmp", std::process::id()));
+            if std::fs::write(&tmp, &text).is_ok() && std::fs::rename(&tmp, &path).is_err() {
+                let _ = std::fs::remove_file(&tmp);
             }
         }
     }
@@ -172,7 +215,14 @@ mod tests {
         assert_eq!((v1, hit1), (Value::Int(7), false));
         assert_eq!((v2, hit2), (Value::Int(7), true));
         assert_eq!(calls, 1);
-        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                quarantined: 0
+            }
+        );
     }
 
     #[test]
@@ -201,6 +251,67 @@ mod tests {
         let (_, hit) = cache.get_or_compute("../escape", || Value::Bool(true));
         assert!(!hit);
         assert!(!dir.join("../escape.json").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn entries_are_checksummed_envelopes() {
+        let dir = unique_dir("envelope");
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = ResultCache::with_dir(&dir).unwrap();
+        let _ = cache.get_or_compute("abcd", || Value::Int(41));
+        let text = std::fs::read_to_string(dir.join("abcd.json")).unwrap();
+        let doc = serde_json::from_str(&text).unwrap();
+        assert!(doc.get("crc").and_then(Value::as_str).is_some());
+        assert_eq!(doc.get("value").and_then(Value::as_i64), Some(41));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_entry_is_quarantined_and_recomputed() {
+        let dir = unique_dir("quarantine");
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = ResultCache::with_dir(&dir).unwrap();
+        let _ = cache.get_or_compute("cafe", || Value::Int(1));
+        // Simulate a torn write: truncate the entry mid-document.
+        let path = dir.join("cafe.json");
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() / 2]).unwrap();
+
+        let fresh = ResultCache::with_dir(&dir).unwrap();
+        let (v, hit) = fresh.get_or_compute("cafe", || Value::Int(2));
+        assert!(!hit, "corrupt entry must not count as a hit");
+        assert_eq!(v, Value::Int(2), "recompute replaces the corrupt value");
+        assert_eq!(fresh.stats().quarantined, 1);
+        assert!(
+            dir.join("cafe.json.corrupt").exists(),
+            "corrupt entry kept for post-mortem"
+        );
+        // The recomputed entry is valid again.
+        let (v, hit) = ResultCache::with_dir(&dir)
+            .unwrap()
+            .get_or_compute("cafe", || unreachable!("entry was rewritten"));
+        assert!(hit);
+        assert_eq!(v, Value::Int(2));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checksum_mismatch_is_quarantined() {
+        let dir = unique_dir("crc");
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = ResultCache::with_dir(&dir).unwrap();
+        let _ = cache.get_or_compute("dead", || Value::Int(5));
+        // Valid JSON, wrong checksum: a flipped payload bit.
+        let path = dir.join("dead.json");
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, text.replace(": 5}", ": 6}")).unwrap();
+
+        let fresh = ResultCache::with_dir(&dir).unwrap();
+        let (v, hit) = fresh.get_or_compute("dead", || Value::Int(5));
+        assert!(!hit);
+        assert_eq!(v, Value::Int(5));
+        assert_eq!(fresh.stats().quarantined, 1);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -254,6 +254,43 @@ impl SweepSpec {
         self.len() == 0
     }
 
+    /// Checks that the spec enumerates at least one point and no axis
+    /// is empty — the usual symptom of a miswired CLI flag or an empty
+    /// input list. Rejecting the spec up front beats silently emitting
+    /// a zero-point artifact.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        for dim in &self.dims {
+            match dim {
+                Dim::Axis(a) if a.values.is_empty() => {
+                    return Err(format!(
+                        "sweep `{}`: axis `{}` has no values",
+                        self.name, a.name
+                    ));
+                }
+                Dim::Zip(axes) if dim.len() == 0 => {
+                    let names: Vec<&str> = axes.iter().map(|a| a.name.as_str()).collect();
+                    return Err(format!(
+                        "sweep `{}`: zipped axes [{}] have no values",
+                        self.name,
+                        names.join(", ")
+                    ));
+                }
+                _ => {}
+            }
+        }
+        if self.is_empty() {
+            return Err(format!(
+                "sweep `{}` enumerates no points (no axes or explicit points)",
+                self.name
+            ));
+        }
+        Ok(())
+    }
+
     /// Enumerates every point, row-major (last dimension fastest),
     /// explicit points last.
     #[must_use]

@@ -7,6 +7,7 @@ use crate::executor::Executor;
 use crate::hash::{content_key, point_seed};
 use crate::spec::{Point, SweepSpec};
 use serde_json::Value;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
 /// A configured sweep run over a [`SweepSpec`].
@@ -89,11 +90,26 @@ impl<'c> Sweep<'c> {
     /// `eval` receives the point and its deterministic seed
     /// ([`point_seed`]); it must be a pure function of those two
     /// inputs for caching and parallel determinism to hold.
+    ///
+    /// A panicking evaluator is isolated to its point: the run
+    /// completes, the point's record carries the panic message in
+    /// [`PointRecord::error`] with a [`Value::Null`] value, nothing is
+    /// cached for it, and [`RunStats::failed`] counts it. All other
+    /// points are unaffected — their records are bit-identical to a
+    /// run without the failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec fails [`SweepSpec::validate`] (empty axis or
+    /// zero points) — a spec bug, not a data error.
     #[must_use]
     pub fn run<F>(self, eval: F) -> RunArtifact
     where
         F: Fn(&Point, u64) -> Value + Sync,
     {
+        if let Err(msg) = self.spec.validate() {
+            panic!("{msg}");
+        }
         let started = Instant::now();
         let points = self.spec.points();
         let records = self.executor.run(&points, |index, point| {
@@ -101,9 +117,15 @@ impl<'c> Sweep<'c> {
             let key = content_key(&self.eval_tag, &canonical);
             let seed = point_seed(&self.eval_tag, &canonical, self.base_seed);
             let t0 = Instant::now();
-            let (value, cached) = match self.cache {
+            // Panic isolation: a failed evaluator escapes before the
+            // cache stores anything, so errors are never cached.
+            let outcome = catch_unwind(AssertUnwindSafe(|| match self.cache {
                 Some(cache) => cache.get_or_compute(&key, || eval(point, seed)),
                 None => (eval(point, seed), false),
+            }));
+            let (value, cached, error) = match outcome {
+                Ok((value, cached)) => (value, cached, None),
+                Err(payload) => (Value::Null, false, Some(panic_message(payload.as_ref()))),
             };
             PointRecord {
                 index,
@@ -117,14 +139,17 @@ impl<'c> Sweep<'c> {
                     t0.elapsed().as_secs_f64() * 1e3
                 },
                 value,
+                error,
             }
         });
         let cache_hits = records.iter().filter(|r| r.cached).count();
+        let failed = records.iter().filter(|r| r.failed()).count();
         let stats = RunStats {
             points: records.len(),
             cache_hits,
             evaluated: records.len() - cache_hits,
             threads: self.executor.threads(),
+            failed,
             wall_ms: started.elapsed().as_secs_f64() * 1e3,
         };
         RunArtifact {
@@ -137,9 +162,19 @@ impl<'c> Sweep<'c> {
     }
 }
 
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(ToString::to_string)
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "panic with non-string payload".to_string())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::spec::Axis;
 
     fn spec() -> SweepSpec {
         SweepSpec::new("unit")
@@ -187,6 +222,72 @@ mod tests {
         assert_eq!(run("s/v1").stats.evaluated, 1);
         assert_eq!(run("s/v2").stats.evaluated, 1, "new tag, new namespace");
         assert_eq!(run("s/v1").stats.cache_hits, 1);
+    }
+
+    #[test]
+    fn panicking_point_is_isolated() {
+        let eval = |p: &Point, _: u64| {
+            assert_ne!(p.i64("x"), 2, "injected failure");
+            Value::Int(p.i64("x") * 10)
+        };
+        let clean = Sweep::new(SweepSpec::new("s").axis("x", [1i64, 3]))
+            .eval_tag("s/v1")
+            .run(eval);
+        let faulted = Sweep::new(SweepSpec::new("s").axis("x", [1i64, 2, 3]))
+            .eval_tag("s/v1")
+            .threads(3)
+            .run(eval);
+        assert_eq!(faulted.stats.failed, 1);
+        assert_eq!(faulted.stats.points, 3);
+        let bad = &faulted.points[1];
+        assert!(bad.failed());
+        assert_eq!(bad.value, Value::Null);
+        assert!(bad.error.as_deref().unwrap().contains("injected failure"));
+        // The surviving points are bit-identical to the clean run
+        // (modulo wall-clock timing, which is not part of the
+        // canonical artifact).
+        let survivors: Vec<&PointRecord> = faulted.points.iter().filter(|p| !p.failed()).collect();
+        assert_eq!(survivors.len(), 2);
+        for (s, c) in survivors.iter().zip(&clean.points) {
+            assert_eq!(s.value, c.value);
+            assert_eq!(s.key, c.key);
+            assert_eq!(s.seed, c.seed);
+        }
+    }
+
+    #[test]
+    fn failed_points_are_not_cached() {
+        let cache = ResultCache::new();
+        let first = Sweep::new(SweepSpec::new("s").axis("x", [1i64]))
+            .eval_tag("s/v1")
+            .cache(&cache)
+            .run(|_, _| panic!("boom"));
+        assert_eq!(first.stats.failed, 1);
+        let second = Sweep::new(SweepSpec::new("s").axis("x", [1i64]))
+            .eval_tag("s/v1")
+            .cache(&cache)
+            .run(|p, _| Value::Int(p.i64("x")));
+        assert_eq!(second.stats.cache_hits, 0, "error must not be replayed");
+        assert_eq!(second.points[0].value, Value::Int(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "axis `x` has no values")]
+    fn empty_axis_is_rejected() {
+        let _ =
+            Sweep::new(SweepSpec::new("s").axis("x", Vec::<i64>::new())).run(|_, _| Value::Int(0));
+    }
+
+    #[test]
+    fn validate_explains_empty_specs() {
+        assert!(SweepSpec::new("ok").axis("x", [1i64]).validate().is_ok());
+        let none = SweepSpec::new("none").validate().unwrap_err();
+        assert!(none.contains("enumerates no points"), "{none}");
+        let zip = SweepSpec::new("z")
+            .zip(vec![Axis::new("a", Vec::<i64>::new())])
+            .validate()
+            .unwrap_err();
+        assert!(zip.contains("zipped axes [a]"), "{zip}");
     }
 
     #[test]

@@ -90,6 +90,26 @@ impl SharedBus {
         ways: usize,
         clock_ghz: f64,
     ) -> Result<Self, NocError> {
+        SharedBus::with_kind_at_clock_detoured(kind, nodes, t, ways, clock_ghz, 0)
+    }
+
+    /// Builds a bus whose broadcast span is lengthened by
+    /// `extra_span_hops` wire hops — how CryoBus models the dynamic link
+    /// connection re-forming around dead H-tree segments: the broadcast
+    /// detours through neighbouring branches, paying wire length instead
+    /// of failing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError`] for invalid node counts or zero ways.
+    pub fn with_kind_at_clock_detoured(
+        kind: BusKind,
+        nodes: usize,
+        t: Temperature,
+        ways: usize,
+        clock_ghz: f64,
+        extra_span_hops: usize,
+    ) -> Result<Self, NocError> {
         if ways == 0 {
             return Err(NocError::InvalidNodeCount {
                 nodes: ways,
@@ -99,7 +119,7 @@ impl SharedBus {
         let topo = Topology::square(nodes)?;
         let link = LinkModel::new();
         let clock = clock_ghz;
-        let (to_center, span, control) = match kind {
+        let (to_center, base_span, control) = match kind {
             BusKind::Conventional => (
                 topo.shared_bus_max_hops() / 2,
                 topo.shared_bus_max_hops(),
@@ -107,6 +127,7 @@ impl SharedBus {
             ),
             BusKind::HTree => (topo.htree_to_center_hops(), topo.htree_max_hops(), 1),
         };
+        let span = base_span + extra_span_hops;
         Ok(SharedBus {
             kind,
             topo,
@@ -206,6 +227,26 @@ impl Network for SharedBus {
             PacketLeg::on(way, self.broadcast_cycles, self.broadcast_cycles),
         ]
     }
+
+    fn path_avoiding(
+        &self,
+        _src: usize,
+        _dst: usize,
+        tag: u64,
+        dead: &[usize],
+    ) -> Option<Vec<PacketLeg>> {
+        // Interleaving degrades gracefully: addresses re-interleave over
+        // the surviving ways; the bus only blocks when every way is dead.
+        let alive: Vec<usize> = (0..self.ways).filter(|w| !dead.contains(w)).collect();
+        if alive.is_empty() {
+            return None;
+        }
+        let way = alive[(tag as usize) % alive.len()];
+        Some(vec![
+            PacketLeg::latency(self.request_cycles + self.arbitration_cycles + self.grant_cycles),
+            PacketLeg::on(way, self.broadcast_cycles, self.broadcast_cycles),
+        ])
+    }
 }
 
 #[cfg(test)]
@@ -276,6 +317,27 @@ mod tests {
         let b = bus.path(0, 1, 1);
         assert_ne!(a[1].resource, b[1].resource);
         assert_eq!(bus.resource_count(), 2);
+    }
+
+    #[test]
+    fn dead_way_remaps_to_survivors() {
+        let bus = SharedBus::with_kind(BusKind::HTree, 64, t77(), 2).unwrap();
+        // Way 0 dead: every tag lands on way 1.
+        for tag in 0..8 {
+            let legs = bus.path_avoiding(0, 1, tag, &[0]).unwrap();
+            assert_eq!(legs[1].resource, Some(1));
+        }
+        // Both ways dead: blocked.
+        assert!(bus.path_avoiding(0, 1, 0, &[0, 1]).is_none());
+    }
+
+    #[test]
+    fn detoured_span_lengthens_broadcast() {
+        let nominal = SharedBus::with_kind(BusKind::HTree, 64, t77(), 1).unwrap();
+        let detoured =
+            SharedBus::with_kind_at_clock_detoured(BusKind::HTree, 64, t77(), 1, 4.0, 12).unwrap();
+        assert!(detoured.occupancy_cycles() > nominal.occupancy_cycles());
+        assert!(detoured.transaction_latency() > nominal.transaction_latency());
     }
 
     #[test]

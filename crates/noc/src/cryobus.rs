@@ -239,6 +239,12 @@ impl CryoBus {
         self.inner.clock_ghz()
     }
 
+    /// Operating temperature.
+    #[must_use]
+    pub fn temperature(&self) -> Temperature {
+        self.inner.temperature()
+    }
+
     /// A fresh matrix arbiter of the right size (the mechanism of
     /// Fig. 19 ②).
     #[must_use]
@@ -250,6 +256,64 @@ impl CryoBus {
     #[must_use]
     pub fn fabric(&self) -> &HTreeFabric {
         &self.fabric
+    }
+
+    /// Wire hops the dynamic link connection pays to detour around one
+    /// dead segment at `level` (0 = root-adjacent, the longest
+    /// segments): the broadcast leaves through the neighbouring branch
+    /// and re-enters below the dead segment, adding twice the segment's
+    /// own length.
+    fn segment_detour_hops(&self, level: usize) -> usize {
+        let to_center = self.inner.topology().htree_to_center_hops();
+        2 * (to_center >> (level + 1)).max(1)
+    }
+
+    /// Re-forms the dynamic link connection around dead H-tree segments
+    /// (`(level, index)` pairs), returning the degraded bus.
+    ///
+    /// The cross-link switches reroute each affected branch through its
+    /// neighbour, so the bus keeps broadcasting to all cores — at a
+    /// longer worst-case span, which the wire-link model converts back
+    /// into (possibly higher) broadcast cycles. Killing segments can
+    /// therefore cost bandwidth (occupancy) and latency but never
+    /// disconnects the bus.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError::InvalidHTreeSegment`] for a level the fabric
+    /// does not have or an index beyond the `4^(level+1)` segments of
+    /// that level.
+    pub fn reform_around(&self, dead_segments: &[(usize, usize)]) -> Result<CryoBus, NocError> {
+        let levels = self.fabric.levels();
+        let mut seen: Vec<(usize, usize)> = Vec::new();
+        let mut extra_span_hops = 0usize;
+        for &(level, index) in dead_segments {
+            if level >= levels || index >= 4usize.pow(level as u32 + 1) {
+                return Err(NocError::InvalidHTreeSegment {
+                    level,
+                    index,
+                    levels,
+                });
+            }
+            if seen.contains(&(level, index)) {
+                continue;
+            }
+            seen.push((level, index));
+            extra_span_hops += self.segment_detour_hops(level);
+        }
+        let inner = SharedBus::with_kind_at_clock_detoured(
+            BusKind::HTree,
+            self.inner.topology().nodes(),
+            self.inner.temperature(),
+            self.ways(),
+            self.clock_ghz(),
+            extra_span_hops,
+        )?;
+        Ok(CryoBus {
+            inner,
+            fabric: self.fabric.clone(),
+            arbiter_size: self.arbiter_size,
+        })
     }
 }
 
@@ -272,6 +336,17 @@ impl Network for CryoBus {
 
     fn path(&self, src: usize, dst: usize, tag: u64) -> Vec<PacketLeg> {
         self.inner.path(src, dst, tag)
+    }
+
+    fn path_avoiding(
+        &self,
+        src: usize,
+        dst: usize,
+        tag: u64,
+        dead: &[usize],
+    ) -> Option<Vec<PacketLeg>> {
+        // Way resources remap exactly as on the underlying bus.
+        self.inner.path_avoiding(src, dst, tag, dead)
     }
 }
 
@@ -381,6 +456,37 @@ mod tests {
             let reach = f.broadcast_reach(src);
             assert_eq!(reach.len(), 64);
         }
+    }
+
+    #[test]
+    fn reform_keeps_broadcasting_at_longer_span() {
+        let bus = CryoBus::new(64, t77());
+        // Kill one root-adjacent segment (the longest detour).
+        let degraded = bus.reform_around(&[(0, 1)]).unwrap();
+        // Still a working broadcast bus over all 64 cores...
+        assert_eq!(degraded.topology().nodes(), 64);
+        // ...but the single-cycle broadcast is lost: the detour adds
+        // 2×3 = 6 hops to the 12-hop span, pushing past 12 hops/cycle.
+        assert!(degraded.occupancy_cycles() > bus.occupancy_cycles());
+        assert!(degraded.transaction_latency() > bus.transaction_latency());
+    }
+
+    #[test]
+    fn reform_dedupes_and_validates_segments() {
+        let bus = CryoBus::new(64, t77());
+        let a = bus.reform_around(&[(1, 3)]).unwrap();
+        let b = bus.reform_around(&[(1, 3), (1, 3)]).unwrap();
+        assert_eq!(a.transaction_latency(), b.transaction_latency());
+        assert!(bus.reform_around(&[(3, 0)]).is_err(), "level beyond tree");
+        assert!(bus.reform_around(&[(0, 4)]).is_err(), "index beyond level");
+    }
+
+    #[test]
+    fn reform_with_no_dead_segments_is_identity() {
+        let bus = CryoBus::new(64, t77());
+        let same = bus.reform_around(&[]).unwrap();
+        assert_eq!(same.occupancy_cycles(), bus.occupancy_cycles());
+        assert_eq!(same.transaction_latency(), bus.transaction_latency());
     }
 
     #[test]

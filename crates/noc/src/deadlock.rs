@@ -137,6 +137,96 @@ pub fn yx_route(topo: &Topology, src: usize, dst: usize) -> Vec<usize> {
     path
 }
 
+/// Which routing function a [`DetourRouter`] settled on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DetourPolicy {
+    /// XY routes, falling back to YX only for pairs whose XY route
+    /// crosses a dead channel — kept only when the resulting mixed CDG
+    /// is acyclic.
+    XyWithYxDetours,
+    /// Pure YX for everyone: the provably deadlock-free fallback used
+    /// when the mixed function's CDG has a cycle.
+    YxOnly,
+}
+
+/// Fault-aware routing that stays deadlock-free by construction.
+///
+/// Given a set of dead channels, the router first tries the permissive
+/// policy (XY, detouring to YX only where XY is blocked) and validates
+/// the *actual* resulting route function against the channel-dependency
+/// check. Mixing XY and YX generally creates CDG cycles (see
+/// [`mixed_route`]), so when validation fails the router degrades to
+/// pure YX — a subset of the YX CDG, acyclic by construction. Pairs
+/// whose route crosses a dead channel under the final policy get `None`
+/// and must be reported as blocked rather than sent into the network.
+#[derive(Debug, Clone)]
+pub struct DetourRouter {
+    topo: Topology,
+    dead: HashSet<Channel>,
+    policy: DetourPolicy,
+}
+
+impl DetourRouter {
+    /// Builds a detour router around `dead_channels`, choosing the most
+    /// permissive policy whose CDG is acyclic.
+    #[must_use]
+    pub fn new(topo: &Topology, dead_channels: &[Channel]) -> Self {
+        let dead: HashSet<Channel> = dead_channels.iter().copied().collect();
+        let candidate = DetourRouter {
+            topo: *topo,
+            dead: dead.clone(),
+            policy: DetourPolicy::XyWithYxDetours,
+        };
+        let cdg = ChannelDependencyGraph::build(topo, |_, s, d| {
+            candidate.route(s, d).unwrap_or_default()
+        });
+        if cdg.is_acyclic() {
+            candidate
+        } else {
+            DetourRouter {
+                topo: *topo,
+                dead,
+                policy: DetourPolicy::YxOnly,
+            }
+        }
+    }
+
+    /// The policy the CDG validation settled on.
+    #[must_use]
+    pub fn policy(&self) -> DetourPolicy {
+        self.policy
+    }
+
+    fn avoids_dead(&self, path: &[usize]) -> bool {
+        path.windows(2).all(|w| !self.dead.contains(&(w[0], w[1])))
+    }
+
+    /// The route from `src` to `dst` under the final policy, or `None`
+    /// if every allowed route crosses a dead channel.
+    #[must_use]
+    pub fn route(&self, src: usize, dst: usize) -> Option<Vec<usize>> {
+        if src == dst {
+            return Some(vec![src]);
+        }
+        if self.policy == DetourPolicy::XyWithYxDetours {
+            let xy = xy_route(&self.topo, src, dst);
+            if self.avoids_dead(&xy) {
+                return Some(xy);
+            }
+        }
+        let yx = yx_route(&self.topo, src, dst);
+        self.avoids_dead(&yx).then_some(yx)
+    }
+
+    /// Re-validates the final route function (cheap structural check
+    /// used by tests and debug assertions).
+    #[must_use]
+    pub fn is_deadlock_free(&self) -> bool {
+        ChannelDependencyGraph::build(&self.topo, |_, s, d| self.route(s, d).unwrap_or_default())
+            .is_acyclic()
+    }
+}
+
 /// A deliberately unrestricted "adaptive" function that alternates XY and
 /// YX by source parity — the classic way to create a cyclic CDG.
 #[must_use]
@@ -184,6 +274,56 @@ mod tests {
         let topo = Topology::square(16).unwrap();
         assert!(ChannelDependencyGraph::build(&topo, xy_route).is_acyclic());
         assert!(!ChannelDependencyGraph::build(&topo, mixed_route).is_acyclic());
+    }
+
+    #[test]
+    fn detour_router_with_no_faults_is_plain_xy() {
+        let topo = Topology::c64();
+        let dr = DetourRouter::new(&topo, &[]);
+        assert_eq!(dr.policy(), DetourPolicy::XyWithYxDetours);
+        for (src, dst) in [(0, 63), (7, 56), (12, 34)] {
+            assert_eq!(dr.route(src, dst), Some(xy_route(&topo, src, dst)));
+        }
+        assert!(dr.is_deadlock_free());
+    }
+
+    #[test]
+    fn detour_router_avoids_dead_channel_and_stays_acyclic() {
+        let topo = Topology::c64();
+        // Kill the channel 0→1 (first hop of many XY routes out of
+        // node 0). A pair differing in both dimensions can detour via
+        // YX; a same-row pair could not (XY and YX coincide there).
+        let dr = DetourRouter::new(&topo, &[(0, 1)]);
+        let route = dr.route(0, 9).expect("a detour must exist");
+        assert!(
+            route.windows(2).all(|w| (w[0], w[1]) != (0, 1)),
+            "route {route:?} crosses the dead channel"
+        );
+        assert!(dr.is_deadlock_free());
+    }
+
+    #[test]
+    fn detour_router_reports_unroutable_pairs() {
+        let topo = Topology::square(4).unwrap();
+        // Isolate node 0 by killing every channel in and out of it.
+        let n = topo.nodes();
+        let mut dead = Vec::new();
+        for other in 0..n {
+            if topo.manhattan_hops(0, other) == 1 {
+                dead.push((0, other));
+                dead.push((other, 0));
+            }
+        }
+        let dr = DetourRouter::new(&topo, &dead);
+        assert_eq!(dr.route(0, 3), None, "fully isolated node has no route");
+        assert!(dr.is_deadlock_free());
+    }
+
+    #[test]
+    fn detour_router_same_node_routes_to_itself() {
+        let topo = Topology::square(16).unwrap();
+        let dr = DetourRouter::new(&topo, &[(0, 1)]);
+        assert_eq!(dr.route(5, 5), Some(vec![5]));
     }
 
     #[test]

@@ -27,6 +27,15 @@ pub enum NocError {
         /// The rejected rate.
         rate: f64,
     },
+    /// A fault named an H-tree segment the fabric does not have.
+    InvalidHTreeSegment {
+        /// Tree level of the named segment.
+        level: usize,
+        /// Segment index within the level.
+        index: usize,
+        /// Levels the fabric actually has.
+        levels: usize,
+    },
 }
 
 impl fmt::Display for NocError {
@@ -41,11 +50,72 @@ impl fmt::Display for NocError {
             NocError::InvalidInjectionRate { rate } => {
                 write!(f, "injection rate {rate} must be in [0, 1]")
             }
+            NocError::InvalidHTreeSegment {
+                level,
+                index,
+                levels,
+            } => {
+                write!(
+                    f,
+                    "H-tree segment L{level}#{index} does not exist in a {levels}-level fabric"
+                )
+            }
         }
     }
 }
 
 impl Error for NocError {}
+
+/// Errors produced by a fault-injected simulation run.
+///
+/// Distinct from [`NocError`] (construction/validation problems): a
+/// `SimError` describes something that went wrong *during* a run, most
+/// importantly the watchdog converting a would-be hang into a
+/// structured diagnostic.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The simulation stopped making progress: too many packets had no
+    /// usable route (every detour crosses a dead resource).
+    Stalled {
+        /// Cycle at which the watchdog fired.
+        cycle: u64,
+        /// The dead resources blocking traffic when it fired.
+        blocked_resources: Vec<usize>,
+    },
+    /// A validation error surfaced by the underlying simulator.
+    Noc(NocError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Stalled {
+                cycle,
+                blocked_resources,
+            } => write!(
+                f,
+                "simulation stalled at cycle {cycle}: no route around dead resources {blocked_resources:?}"
+            ),
+            SimError::Noc(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Noc(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NocError> for SimError {
+    fn from(e: NocError) -> Self {
+        SimError::Noc(e)
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -48,8 +48,8 @@ pub mod traffic;
 
 pub use bus::{BusKind, SharedBus};
 pub use cryobus::{CryoBus, MatrixArbiter};
-pub use deadlock::{xy_route, ChannelDependencyGraph};
-pub use error::NocError;
+pub use deadlock::{xy_route, yx_route, ChannelDependencyGraph, DetourPolicy, DetourRouter};
+pub use error::{NocError, SimError};
 pub use flit::{flit_load_latency, FlitConfig, FlitNetwork, FlitSimResult};
 pub use hybrid::HybridCryoBus;
 pub use link::LinkModel;

@@ -1,7 +1,9 @@
 //! Load–latency sweep harness (Fig. 18 / 21 / 25 / 26) and the workload
 //! injection-rate bands of Fig. 18.
 
-use crate::error::NocError;
+use cryowire_faults::FaultSchedule;
+
+use crate::error::{NocError, SimError};
 use crate::sim::{Network, SimConfig, Simulator};
 use crate::traffic::TrafficPattern;
 
@@ -161,6 +163,43 @@ impl LoadLatencySweep {
         let mut saturated_seen = 0;
         for &rate in &self.rates {
             let r = self.sim.run(network, pattern, rate)?;
+            points.push(LoadLatencyPoint {
+                rate,
+                latency: r.avg_latency,
+                saturated: r.saturated,
+            });
+            if r.saturated {
+                saturated_seen += 1;
+                if saturated_seen >= 2 {
+                    break;
+                }
+            }
+        }
+        Ok(LoadLatencyCurve {
+            network: network.name(),
+            points,
+        })
+    }
+
+    /// Runs the sweep with `faults` injected into every point. The
+    /// same early-stop applies; the engine's progress watchdog turns a
+    /// would-be hang (dead resources nobody can route around) into
+    /// [`SimError::Stalled`] instead of looping forever.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation errors, including the watchdog's
+    /// [`SimError::Stalled`].
+    pub fn run_with_faults(
+        &self,
+        network: &dyn Network,
+        pattern: TrafficPattern,
+        faults: &FaultSchedule,
+    ) -> Result<LoadLatencyCurve, SimError> {
+        let mut points = Vec::new();
+        let mut saturated_seen = 0;
+        for &rate in &self.rates {
+            let r = self.sim.run_with_faults(network, pattern, rate, faults)?;
             points.push(LoadLatencyPoint {
                 rate,
                 latency: r.avg_latency,

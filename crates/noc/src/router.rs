@@ -9,8 +9,11 @@
 //! the full pipeline — the conservative assumption behind the paper's
 //! "3-cycle" curves in Fig. 21.
 
+use std::sync::Mutex;
+
 use cryowire_device::Temperature;
 
+use crate::deadlock::DetourRouter;
 use crate::error::NocError;
 use crate::link::LinkModel;
 use crate::sim::{Network, PacketLeg};
@@ -47,7 +50,7 @@ impl RouterClass {
 }
 
 /// A router-based network at a given temperature.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct RouterNetwork {
     kind: NocKind,
     class: RouterClass,
@@ -56,6 +59,25 @@ pub struct RouterNetwork {
     concentration: usize,
     link_cycles_per_router_hop: u64,
     temperature: Temperature,
+    /// Memoized deadlock-validated detour routing for the last dead set
+    /// seen by [`Network::path_avoiding`] — the set only changes at
+    /// fault boundaries, so one entry is enough.
+    detour_cache: Mutex<Option<(Vec<usize>, DetourRouter)>>,
+}
+
+impl Clone for RouterNetwork {
+    fn clone(&self) -> Self {
+        RouterNetwork {
+            kind: self.kind,
+            class: self.class,
+            topo: self.topo,
+            router_grid: self.router_grid,
+            concentration: self.concentration,
+            link_cycles_per_router_hop: self.link_cycles_per_router_hop,
+            temperature: self.temperature,
+            detour_cache: Mutex::new(None),
+        }
+    }
 }
 
 impl RouterNetwork {
@@ -98,6 +120,7 @@ impl RouterNetwork {
             concentration,
             link_cycles_per_router_hop: link_cycles,
             temperature: t,
+            detour_cache: Mutex::new(None),
         })
     }
 
@@ -185,6 +208,87 @@ impl RouterNetwork {
         let hops = self.router_grid.manhattan_hops(a, b) as u64;
         hops * self.link_cycles_per_router_hop
     }
+
+    /// Expands an ordered router sequence into contention legs
+    /// (injection port + one leg per inter-router link).
+    fn legs_for_route(&self, src_r: usize, route: &[usize]) -> Vec<PacketLeg> {
+        let rc = self.class.cycles();
+        let occ = self.class.occupancy();
+        let inj_base = self.router_grid.nodes() * self.router_grid.nodes();
+        let mut legs = Vec::with_capacity(route.len());
+        legs.push(PacketLeg::on(inj_base + src_r, occ, rc));
+        for pair in route.windows(2) {
+            let (a, b) = (pair[0], pair[1]);
+            legs.push(PacketLeg::on(
+                self.link_id(a, b),
+                occ.max(self.link_cycles(a, b)),
+                rc + self.link_cycles(a, b),
+            ));
+        }
+        legs
+    }
+
+    /// The memoized deadlock-validated detour router for `dead`
+    /// (resource indices), rebuilding only when the dead set changes.
+    fn detour_router_for(&self, dead: &[usize]) -> DetourRouter {
+        let mut cache = self.detour_cache.lock().expect("detour cache lock");
+        if let Some((cached_dead, router)) = cache.as_ref() {
+            if cached_dead == dead {
+                return router.clone();
+            }
+        }
+        let r = self.router_grid.nodes();
+        let dead_channels: Vec<(usize, usize)> = dead
+            .iter()
+            .filter(|&&d| d < r * r)
+            .map(|&d| (d / r, d % r))
+            .collect();
+        let router = DetourRouter::new(&self.router_grid, &dead_channels);
+        *cache = Some((dead.to_vec(), router.clone()));
+        router
+    }
+
+    /// Fault-aware FB routing: row-then-column, falling back to
+    /// column-then-row when a dead express channel blocks the default.
+    /// FB routes hold at most two channels and the two orders use
+    /// disjoint channel sets per pair, so no CDG-relevant mixing arises
+    /// on the shared links the way it does for hop-by-hop meshes.
+    fn fb_route_avoiding(&self, src_r: usize, dst_r: usize, dead: &[usize]) -> Option<Vec<usize>> {
+        let (sx, sy) = self.router_grid.coords(src_r);
+        let (dx, dy) = self.router_grid.coords(dst_r);
+        let row_first: Vec<usize> = {
+            let mut route = vec![src_r];
+            if sx != dx {
+                route.push(self.router_grid.node_at(dx, sy));
+            }
+            if sy != dy {
+                route.push(self.router_grid.node_at(dx, dy));
+            }
+            route
+        };
+        let col_first: Vec<usize> = {
+            let mut route = vec![src_r];
+            if sy != dy {
+                route.push(self.router_grid.node_at(sx, dy));
+            }
+            if sx != dx {
+                route.push(self.router_grid.node_at(dx, dy));
+            }
+            route
+        };
+        let clean = |route: &[usize]| {
+            route
+                .windows(2)
+                .all(|w| !dead.contains(&self.link_id(w[0], w[1])))
+        };
+        if clean(&row_first) {
+            Some(row_first)
+        } else if clean(&col_first) {
+            Some(col_first)
+        } else {
+            None
+        }
+    }
 }
 
 impl Network for RouterNetwork {
@@ -209,24 +313,34 @@ impl Network for RouterNetwork {
     fn path(&self, src: usize, dst: usize, _tag: u64) -> Vec<PacketLeg> {
         let src_r = self.router_of(src);
         let dst_r = self.router_of(dst);
-        let rc = self.class.cycles();
-        let occ = self.class.occupancy();
-        let inj_base = self.router_grid.nodes() * self.router_grid.nodes();
-
-        let mut legs = Vec::new();
         // Injection port of the source router (shared by concentrated
-        // cores) plus the source router pipeline.
-        legs.push(PacketLeg::on(inj_base + src_r, occ, rc));
+        // cores) plus the source router pipeline, then one leg per link.
         let route = self.router_route(src_r, dst_r);
-        for pair in route.windows(2) {
-            let (a, b) = (pair[0], pair[1]);
-            legs.push(PacketLeg::on(
-                self.link_id(a, b),
-                occ.max(self.link_cycles(a, b)),
-                rc + self.link_cycles(a, b),
-            ));
+        self.legs_for_route(src_r, &route)
+    }
+
+    fn path_avoiding(
+        &self,
+        src: usize,
+        dst: usize,
+        tag: u64,
+        dead: &[usize],
+    ) -> Option<Vec<PacketLeg>> {
+        if dead.is_empty() {
+            return Some(self.path(src, dst, tag));
         }
-        legs
+        let src_r = self.router_of(src);
+        let dst_r = self.router_of(dst);
+        let inj_base = self.router_grid.nodes() * self.router_grid.nodes();
+        // A dead injection port blocks the source router's cores outright.
+        if dead.contains(&(inj_base + src_r)) {
+            return None;
+        }
+        let route = match self.kind {
+            NocKind::FlattenedButterfly => self.fb_route_avoiding(src_r, dst_r, dead)?,
+            _ => self.detour_router_for(dead).route(src_r, dst_r)?,
+        };
+        Some(self.legs_for_route(src_r, &route))
     }
 }
 
@@ -328,6 +442,53 @@ mod tests {
         assert_eq!(cmesh.router_of(8), 0);
         assert_eq!(cmesh.router_of(9), 0);
         assert_ne!(cmesh.router_of(2), 0);
+    }
+
+    #[test]
+    fn mesh_detours_around_dead_link() {
+        use crate::sim::Network;
+        let mesh = RouterNetwork::mesh64(RouterClass::OneCycle, t300());
+        // Kill the directed link 0→1 (first XY hop of 0→9). The
+        // destination differs in both dimensions so a YX detour exists.
+        let dead = vec![mesh.link_id(0, 1)];
+        let legs = mesh
+            .path_avoiding(0, 9, 0, &dead)
+            .expect("a detour must exist");
+        assert!(
+            legs.iter().all(|l| l.resource != Some(dead[0])),
+            "detour still uses the dead link"
+        );
+        // Injection leg plus at least the YX-shaped alternative hops.
+        assert!(legs.len() >= 2);
+    }
+
+    #[test]
+    fn mesh_dead_injection_port_blocks_source() {
+        use crate::sim::Network;
+        let mesh = RouterNetwork::mesh64(RouterClass::OneCycle, t300());
+        let inj_base = 64 * 64;
+        assert!(mesh.path_avoiding(5, 9, 0, &[inj_base + 5]).is_none());
+        // Other sources are unaffected.
+        assert!(mesh.path_avoiding(6, 9, 0, &[inj_base + 5]).is_some());
+    }
+
+    #[test]
+    fn fb_detours_via_other_dimension_order() {
+        use crate::sim::Network;
+        let fb = RouterNetwork::new(
+            NocKind::FlattenedButterfly,
+            64,
+            RouterClass::OneCycle,
+            t300(),
+        )
+        .unwrap();
+        // Kill the first express channel of the default row-first route.
+        let legs = fb.path(0, 30, 0);
+        let first_link = legs[1].resource.unwrap();
+        let detour = fb
+            .path_avoiding(0, 30, 0, &[first_link])
+            .expect("column-first detour must exist");
+        assert!(detour.iter().all(|l| l.resource != Some(first_link)));
     }
 
     #[test]

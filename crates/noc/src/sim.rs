@@ -10,10 +10,11 @@
 //! approaches a resource's service capacity, which is the behaviour the
 //! paper's BookSim analyses (Fig. 18/21/25/26) rely on.
 
+use cryowire_faults::{FaultSchedule, LinkState};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::error::NocError;
+use crate::error::{NocError, SimError};
 use crate::topology::Topology;
 use crate::traffic::TrafficPattern;
 
@@ -67,6 +68,33 @@ pub trait Network {
     /// per-packet value networks may use for address interleaving.
     fn path(&self, src: usize, dst: usize, tag: u64) -> Vec<PacketLeg>;
 
+    /// Like [`Network::path`], but avoiding the `dead` resources.
+    /// Returns `None` when the network knows no route around them.
+    ///
+    /// The default implementation knows no alternatives: it returns the
+    /// normal path if it is clean and `None` if it crosses a dead
+    /// resource. Networks with routing freedom (mesh detours, bus way
+    /// remapping, H-tree re-formation) override this with a genuine
+    /// reroute — which must stay deadlock-free (see
+    /// [`crate::deadlock::DetourRouter`]).
+    fn path_avoiding(
+        &self,
+        src: usize,
+        dst: usize,
+        tag: u64,
+        dead: &[usize],
+    ) -> Option<Vec<PacketLeg>> {
+        let legs = self.path(src, dst, tag);
+        if legs
+            .iter()
+            .any(|l| l.resource.is_some_and(|r| dead.contains(&r)))
+        {
+            None
+        } else {
+            Some(legs)
+        }
+    }
+
     /// Zero-load (uncontended) latency from `src` to `dst`, cycles.
     fn zero_load_latency(&self, src: usize, dst: usize) -> u64 {
         self.path(src, dst, 0)
@@ -103,6 +131,10 @@ pub struct SimConfig {
     pub seed: u64,
     /// Latency cap (× zero-load) beyond which the run counts as saturated.
     pub saturation_factor: f64,
+    /// Progress watchdog for fault-injected runs: once this many packets
+    /// have been blocked (no route around dead resources), the run stops
+    /// with [`SimError::Stalled`] instead of silently going nowhere.
+    pub watchdog_blocked_packets: u64,
 }
 
 impl Default for SimConfig {
@@ -112,6 +144,7 @@ impl Default for SimConfig {
             warmup: 5_000,
             seed: 0xC0FFEE,
             saturation_factor: 12.0,
+            watchdog_blocked_packets: 1_000,
         }
     }
 }
@@ -127,6 +160,12 @@ pub struct SimResult {
     pub packets: u64,
     /// Whether the network saturated at this load.
     pub saturated: bool,
+    /// Packets dropped after exhausting their flit-loss retransmit
+    /// budget (always 0 without fault injection).
+    pub dropped: u64,
+    /// Packets that never entered the network because no route avoided
+    /// the dead resources (always 0 without fault injection).
+    pub unrouted: u64,
 }
 
 /// The reservation-based contention simulator.
@@ -155,8 +194,42 @@ impl Simulator {
         pattern: TrafficPattern,
         rate: f64,
     ) -> Result<SimResult, NocError> {
+        // A fault-free run draws the same RNG stream as before the
+        // faulted engine existed: no dead set, no loss draws.
+        match self.run_with_faults(network, pattern, rate, &FaultSchedule::default()) {
+            Ok(r) => Ok(r),
+            Err(SimError::Noc(e)) => Err(e),
+            Err(SimError::Stalled { .. }) => {
+                unreachable!("the watchdog cannot fire without injected faults")
+            }
+        }
+    }
+
+    /// Runs `network` under `pattern` at `rate` with `faults` injected.
+    ///
+    /// Dead resources are avoided via [`Network::path_avoiding`]
+    /// (deadlock-free detours where the network has routing freedom);
+    /// degraded resources serve slower; stalled routers add pipeline
+    /// cycles; flit loss retransmits each lossy leg up to its budget and
+    /// drops the packet beyond it. Packets with no usable route are
+    /// counted in [`SimResult::unrouted`]; once
+    /// [`SimConfig::watchdog_blocked_packets`] of them accumulate the
+    /// run aborts with [`SimError::Stalled`] naming the dead resources —
+    /// a hang can therefore never outlive the watchdog budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Noc`] for validation errors and
+    /// [`SimError::Stalled`] when the watchdog fires.
+    pub fn run_with_faults(
+        &self,
+        network: &dyn Network,
+        pattern: TrafficPattern,
+        rate: f64,
+        faults: &FaultSchedule,
+    ) -> Result<SimResult, SimError> {
         if !(0.0..=1.0).contains(&rate) || !rate.is_finite() {
-            return Err(NocError::InvalidInjectionRate { rate });
+            return Err(NocError::InvalidInjectionRate { rate }.into());
         }
         let topo = *network.topology();
         pattern.validate(&topo)?;
@@ -167,8 +240,22 @@ impl Simulator {
         let mut measured_total = 0u64;
         let mut measured_count = 0u64;
         let mut zero_load_sum = 0u64;
+        let mut dropped = 0u64;
+        let mut unrouted = 0u64;
+        let watchdog = self.config.watchdog_blocked_packets.max(1);
+
+        // The active fault set only changes at event boundaries, so the
+        // dead set is re-derived there instead of every cycle.
+        let change_points = faults.change_points();
+        let mut next_change = 0usize;
+        let mut dead: Vec<usize> = Vec::new();
 
         for cycle in 0..self.config.cycles {
+            while change_points.get(next_change).is_some_and(|&c| c <= cycle) {
+                next_change += 1;
+                dead = faults.dead_resources_at(cycle);
+            }
+            let loss = faults.flit_loss_at(cycle);
             let p = rate * pattern.burst_scale(cycle);
             for src in 0..n {
                 if rng.gen::<f64>() >= p {
@@ -176,19 +263,65 @@ impl Simulator {
                 }
                 let dst = pattern.destination(src, &topo, &mut rng);
                 let tag = rng.gen::<u64>();
-                let legs = network.path(src, dst, tag);
+                let legs = if dead.is_empty() {
+                    network.path(src, dst, tag)
+                } else {
+                    match network.path_avoiding(src, dst, tag, &dead) {
+                        Some(legs) => legs,
+                        None => {
+                            unrouted += 1;
+                            if unrouted >= watchdog {
+                                return Err(SimError::Stalled {
+                                    cycle,
+                                    blocked_resources: dead,
+                                });
+                            }
+                            continue;
+                        }
+                    }
+                };
                 let mut t = cycle;
                 let mut zero = 0u64;
+                let mut lost = false;
                 for leg in &legs {
+                    let mut occupancy = leg.occupancy_cycles;
+                    let mut traversal = leg.traversal_cycles;
                     if let Some(r) = leg.resource {
+                        match faults.link_state(r, cycle) {
+                            LinkState::Degraded(factor) => {
+                                occupancy = scale_cycles(occupancy, factor);
+                                traversal = scale_cycles(traversal, factor);
+                            }
+                            LinkState::Healthy | LinkState::Dead => {}
+                        }
+                        traversal += faults.stall_cycles(r, cycle);
+                        if let Some(l) = loss {
+                            // Each loss repays the leg (occupancy and
+                            // traversal); past the budget the packet is
+                            // dropped mid-flight.
+                            let mut retries = 0u32;
+                            while rng.gen::<f64>() < l.probability {
+                                if retries == l.max_retransmits {
+                                    lost = true;
+                                    break;
+                                }
+                                retries += 1;
+                            }
+                            occupancy += occupancy * u64::from(retries);
+                            traversal += traversal * u64::from(retries);
+                        }
                         let start = t.max(free[r]);
-                        free[r] = start + leg.occupancy_cycles;
+                        free[r] = start + occupancy;
                         t = start;
                     }
-                    t += leg.traversal_cycles;
+                    t += traversal;
                     zero += leg.traversal_cycles;
+                    if lost {
+                        dropped += 1;
+                        break;
+                    }
                 }
-                if cycle >= self.config.warmup {
+                if !lost && cycle >= self.config.warmup {
                     measured_total += t - cycle;
                     measured_count += 1;
                     zero_load_sum += zero;
@@ -222,8 +355,19 @@ impl Simulator {
             avg_latency,
             packets: measured_count,
             saturated,
+            dropped,
+            unrouted,
         })
     }
+}
+
+/// Scales a cycle count by a degradation factor, rounding up so any
+/// degradation costs at least one extra cycle on nonzero legs.
+fn scale_cycles(cycles: u64, factor: f64) -> u64 {
+    if cycles == 0 {
+        return 0;
+    }
+    (cycles as f64 * factor).ceil() as u64
 }
 
 impl Default for Simulator {
@@ -319,6 +463,115 @@ mod tests {
             .unwrap();
         let b = sim
             .run(&toy(), TrafficPattern::UniformRandom, 0.003)
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_schedule_matches_fault_free_run() {
+        let sim = Simulator::default();
+        let plain = sim
+            .run(&toy(), TrafficPattern::UniformRandom, 0.003)
+            .unwrap();
+        let faulted = sim
+            .run_with_faults(
+                &toy(),
+                TrafficPattern::UniformRandom,
+                0.003,
+                &cryowire_faults::FaultSchedule::default(),
+            )
+            .unwrap();
+        assert_eq!(plain, faulted);
+        assert_eq!(faulted.dropped, 0);
+        assert_eq!(faulted.unrouted, 0);
+    }
+
+    #[test]
+    fn dead_only_resource_trips_watchdog() {
+        use cryowire_faults::{FaultEvent, FaultKind, FaultSchedule};
+        // The toy bus has a single resource and no routing freedom, so
+        // killing it must end in Stalled, never a hang.
+        let sim = Simulator::default();
+        let faults = FaultSchedule::from_events(
+            vec![FaultEvent::permanent(
+                0,
+                FaultKind::LinkDead { resource: 0 },
+            )],
+            30_000,
+        );
+        let err = sim
+            .run_with_faults(&toy(), TrafficPattern::UniformRandom, 0.01, &faults)
+            .unwrap_err();
+        match err {
+            crate::error::SimError::Stalled {
+                blocked_resources, ..
+            } => assert_eq!(blocked_resources, vec![0]),
+            other => panic!("expected Stalled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn degraded_resource_raises_latency() {
+        use cryowire_faults::{FaultEvent, FaultKind, FaultSchedule};
+        let sim = Simulator::default();
+        let healthy = sim
+            .run(&toy(), TrafficPattern::UniformRandom, 0.002)
+            .unwrap();
+        let faults = FaultSchedule::from_events(
+            vec![FaultEvent::permanent(
+                0,
+                FaultKind::LinkDegraded {
+                    resource: 0,
+                    factor: 3.0,
+                },
+            )],
+            30_000,
+        );
+        let degraded = sim
+            .run_with_faults(&toy(), TrafficPattern::UniformRandom, 0.002, &faults)
+            .unwrap();
+        assert!(
+            degraded.avg_latency > healthy.avg_latency,
+            "degraded {} <= healthy {}",
+            degraded.avg_latency,
+            healthy.avg_latency
+        );
+    }
+
+    #[test]
+    fn flit_loss_drops_bounded_packets() {
+        use cryowire_faults::{FaultEvent, FaultKind, FaultSchedule};
+        let sim = Simulator::default();
+        let faults = FaultSchedule::from_events(
+            vec![FaultEvent::permanent(
+                0,
+                FaultKind::FlitLoss {
+                    probability: 0.5,
+                    max_retransmits: 1,
+                },
+            )],
+            30_000,
+        );
+        let r = sim
+            .run_with_faults(&toy(), TrafficPattern::UniformRandom, 0.002, &faults)
+            .unwrap();
+        assert!(r.dropped > 0, "p=0.5 with 1 retransmit must drop packets");
+        assert!(r.packets > 0, "most packets still get through");
+    }
+
+    #[test]
+    fn faulted_run_is_deterministic() {
+        use cryowire_faults::FaultPlan;
+        let sim = Simulator::default();
+        let faults = FaultPlan::new(7)
+            .flit_loss(0.1, 3)
+            .degraded_links(1, &[0], 2.0, 3.0)
+            .schedule(30_000);
+        let a = sim
+            .run_with_faults(&toy(), TrafficPattern::UniformRandom, 0.003, &faults)
+            .unwrap();
+        let b = sim
+            .run_with_faults(&toy(), TrafficPattern::UniformRandom, 0.003, &faults)
             .unwrap();
         assert_eq!(a, b);
     }

@@ -4,6 +4,7 @@ use cryowire::device::{
     CoolingModel, GateStyle, MosfetModel, RepeaterOptimizer, ResistivityModel, Temperature, Wire,
     WireClass,
 };
+use cryowire::faults::FaultPlan;
 use cryowire::noc::{CryoBus, MatrixArbiter, Network, SharedBus, Topology, TrafficPattern};
 use cryowire::pipeline::{CriticalPathModel, IpcModel, Superpipeliner};
 use cryowire::system::{ContentionEstimate, SystemDesign, SystemSimulator, Workload};
@@ -170,6 +171,31 @@ proptest! {
         }
     }
 
+    // ---- faults ----
+
+    #[test]
+    fn fault_plans_expand_bit_identically(seed in 0u64..u64::MAX, horizon in 1u64..=1_000_000) {
+        let build = || {
+            FaultPlan::new(seed)
+                .link_failures(2, &[0, 1, 2, 3])
+                .degraded_links(1, &[4, 5], 1.5, 3.0)
+                .flit_loss(0.02, 3)
+                .cooling_transient(120.0, 0.25, 0.5)
+        };
+        let a = build().schedule(horizon);
+        let b = build().schedule(horizon);
+        prop_assert_eq!(a.canonical(), b.canonical());
+        prop_assert_eq!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn fault_schedules_differ_across_seeds(seed in 0u64..u64::MAX / 2) {
+        let plan = |s| FaultPlan::new(s).link_failures(2, &[0, 1, 2, 3, 4, 5, 6, 7]);
+        let a = plan(seed).schedule(10_000).canonical();
+        let b = plan(seed + 1).schedule(10_000).canonical();
+        prop_assert!(a != b, "adjacent seeds produced the same schedule");
+    }
+
     #[test]
     fn faster_memory_never_hurts(idx in 0usize..13) {
         use cryowire::memory::MemoryDesign;
@@ -179,6 +205,23 @@ proptest! {
         let fast = SystemDesign::cryosp_cryobus().with_memory(MemoryDesign::mem_77k());
         prop_assert!(
             sim.evaluate(w, &fast).performance() >= sim.evaluate(w, &slow).performance() - 1e-12
+        );
+    }
+}
+
+/// Thread count must not leak into the canonical artifact, even when the
+/// sweep is running under an injected fault schedule. (Plain test rather
+/// than a proptest case: each sweep is four full event simulations.)
+#[test]
+fn serial_and_parallel_sweeps_agree_under_faults() {
+    use cryowire::experiments::{degraded_sweep_artifact, SweepOptions};
+    for fault_seed in [0xC0FFEE_u64, 7, 9_001] {
+        let serial = degraded_sweep_artifact(fault_seed, false, SweepOptions::serial());
+        let parallel = degraded_sweep_artifact(fault_seed, false, SweepOptions::threaded(4));
+        assert_eq!(
+            serial.canonical_json(),
+            parallel.canonical_json(),
+            "fault_seed {fault_seed}: serial and 4-thread artifacts diverged"
         );
     }
 }

@@ -1,0 +1,164 @@
+//! End-to-end robustness scenarios: fault injection, panic isolation,
+//! cache corruption, and stall watchdogs, exercised across crate
+//! boundaries the way the sweep binary composes them.
+
+use cryowire::experiments::{degraded_sweep_artifact, SweepOptions, DEGRADED_SCENARIOS};
+use cryowire::faults::{FaultEvent, FaultKind, FaultSchedule};
+use cryowire::noc::{
+    Network, RouterClass, RouterNetwork, SimConfig, SimError, Simulator, TrafficPattern,
+};
+use cryowire::system::{EventSimConfig, EventSimulator, SystemDesign, Workload};
+use cryowire_device::Temperature;
+use cryowire_harness::ResultCache;
+use std::path::PathBuf;
+
+const FAULT_SEED: u64 = 0xC0FFEE;
+
+fn unique_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("cryowire-robustness-{tag}-{}", std::process::id()))
+}
+
+/// A sweep containing a deliberately panicking point completes, records
+/// the error, reports partial failure — and every healthy point is
+/// value-identical to the same sweep without the panic point.
+#[test]
+fn injected_panic_is_isolated_and_survivors_match() {
+    let clean = degraded_sweep_artifact(FAULT_SEED, false, SweepOptions::serial());
+    let faulted = degraded_sweep_artifact(FAULT_SEED, true, SweepOptions::threaded(4));
+
+    assert!(!clean.has_failures());
+    assert_eq!(clean.stats.points, DEGRADED_SCENARIOS.len());
+    assert_eq!(faulted.stats.points, DEGRADED_SCENARIOS.len() + 1);
+    assert_eq!(faulted.stats.failed, 1);
+    assert!(faulted.has_failures());
+
+    let bad = faulted
+        .failed_points()
+        .next()
+        .expect("exactly one failed point");
+    assert_eq!(bad.params.str("scenario"), "panic");
+    assert!(
+        bad.error
+            .as_deref()
+            .is_some_and(|e| e.contains("injected panic point")),
+        "the panic message is preserved in the artifact: {:?}",
+        bad.error
+    );
+
+    // Every healthy point survives byte-identical to the panic-free run.
+    for c in &clean.points {
+        let s = faulted
+            .points
+            .iter()
+            .find(|p| p.key == c.key)
+            .expect("healthy point present in faulted run");
+        assert_eq!(s.value, c.value);
+        assert_eq!(s.seed, c.seed);
+        assert!(!s.failed());
+    }
+}
+
+/// A panicking point is recomputed on every run — failures never enter
+/// the cache, so a later fixed evaluation is not shadowed by a stale
+/// error.
+#[test]
+fn failed_points_never_poison_the_cache() {
+    let dir = unique_dir("poison");
+    let _ = std::fs::remove_dir_all(&dir);
+    let cache = ResultCache::with_dir(&dir).unwrap();
+
+    let first =
+        degraded_sweep_artifact(FAULT_SEED, true, SweepOptions::serial().with_cache(&cache));
+    assert_eq!(first.stats.failed, 1);
+
+    let second =
+        degraded_sweep_artifact(FAULT_SEED, true, SweepOptions::serial().with_cache(&cache));
+    assert_eq!(second.stats.failed, 1, "the panic point fails again");
+    assert_eq!(
+        second.stats.cache_hits,
+        DEGRADED_SCENARIOS.len(),
+        "all healthy points hit the cache; the failed one was never stored"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Corrupting every on-disk cache entry (torn writes) quarantines them
+/// and recomputes — and the recomputed artifact is byte-identical to the
+/// original.
+#[test]
+fn corrupt_cache_recomputes_identical_artifact() {
+    let dir = unique_dir("corrupt");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let original = {
+        let cache = ResultCache::with_dir(&dir).unwrap();
+        degraded_sweep_artifact(FAULT_SEED, false, SweepOptions::serial().with_cache(&cache))
+    };
+
+    // Tear every entry mid-document.
+    let mut torn = 0u64;
+    for entry in std::fs::read_dir(&dir).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().is_some_and(|e| e == "json") {
+            let text = std::fs::read_to_string(&path).unwrap();
+            std::fs::write(&path, &text[..text.len() / 2]).unwrap();
+            torn += 1;
+        }
+    }
+    assert!(torn > 0, "the sweep persisted entries to corrupt");
+
+    let cache = ResultCache::with_dir(&dir).unwrap();
+    let recomputed =
+        degraded_sweep_artifact(FAULT_SEED, false, SweepOptions::serial().with_cache(&cache));
+    assert_eq!(
+        cache.stats().quarantined,
+        torn,
+        "every torn entry is quarantined"
+    );
+    assert_eq!(original.canonical_json(), recomputed.canonical_json());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Killing every resource of a mesh never hangs the NoC simulator: the
+/// watchdog converts the would-be livelock into a structured stall.
+#[test]
+fn fully_dead_mesh_stalls_instead_of_hanging() {
+    let mesh = RouterNetwork::mesh64(RouterClass::OneCycle, Temperature::liquid_nitrogen());
+    let events = (0..mesh.resource_count())
+        .map(|r| FaultEvent::permanent(0, FaultKind::LinkDead { resource: r }))
+        .collect();
+    let faults = FaultSchedule::from_events(events, 30_000);
+    let sim = Simulator::new(SimConfig {
+        watchdog_blocked_packets: 200,
+        ..SimConfig::default()
+    });
+    match sim.run_with_faults(&mesh, TrafficPattern::UniformRandom, 0.01, &faults) {
+        Err(SimError::Stalled {
+            blocked_resources, ..
+        }) => assert_eq!(blocked_resources.len(), mesh.resource_count()),
+        other => panic!("expected Stalled, got {other:?}"),
+    }
+}
+
+/// Killing both CryoBus ways never hangs the system-level event
+/// simulator either: the stall surfaces with the blocked resources.
+#[test]
+fn fully_dead_cryobus_stalls_the_event_sim() {
+    let design = SystemDesign::cryosp_cryobus_2way();
+    let workload = &Workload::parsec()[0];
+    let events = (0..8)
+        .map(|r| FaultEvent::permanent(0, FaultKind::LinkDead { resource: r }))
+        .collect();
+    let faults = FaultSchedule::from_events(events, 1_000_000);
+    let sim = EventSimulator::new(EventSimConfig {
+        horizon_ns: 20_000.0,
+        watchdog_blocked_accesses: 500,
+        ..EventSimConfig::default()
+    });
+    match sim.simulate_with_faults(workload, &design, &faults) {
+        Err(SimError::Stalled {
+            blocked_resources, ..
+        }) => assert!(!blocked_resources.is_empty()),
+        other => panic!("expected Stalled, got {other:?}"),
+    }
+}
