@@ -1,0 +1,87 @@
+//! Bench target for the memoized NoC hot loop.
+//!
+//! Measures the optimized engine in its steady state (shared
+//! [`SimScratch`], warm route arena) against the retained naive
+//! reference engine on the two most route-construction-bound Fig. 21
+//! networks, at one loaded injection rate each. The ratio between the
+//! paired measurements is the same figure `--sweep bench-noc` gates on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cryowire::device::Temperature;
+use cryowire::noc::sim::reference::ReferenceSimulator;
+use cryowire::noc::{
+    NocKind, RouterClass, RouterNetwork, SimConfig, SimScratch, Simulator, TrafficPattern,
+};
+use cryowire::{faults::FaultSchedule, noc::Network};
+
+const RATE: f64 = 0.05;
+
+fn config() -> SimConfig {
+    SimConfig {
+        cycles: 4_000,
+        warmup: 1_000,
+        ..SimConfig::default()
+    }
+}
+
+fn networks() -> Vec<Box<dyn Network>> {
+    let t77 = Temperature::liquid_nitrogen();
+    vec![
+        Box::new(
+            RouterNetwork::new(NocKind::Mesh, 64, RouterClass::OneCycle, t77)
+                .expect("valid 64-core mesh"),
+        ),
+        Box::new(
+            RouterNetwork::new(NocKind::Mesh, 64, RouterClass::ThreeCycle, t77)
+                .expect("valid 64-core mesh"),
+        ),
+    ]
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("noc_hot_loop");
+    group.sample_size(10);
+    for net in networks() {
+        let sim = Simulator::new(config());
+        let empty = FaultSchedule::default();
+        let mut scratch = SimScratch::new();
+        // Warm run: builds the route arena once so the measured
+        // iterations see the steady (allocation-free) state.
+        sim.run_with_scratch(
+            net.as_ref(),
+            TrafficPattern::UniformRandom,
+            RATE,
+            &empty,
+            &mut scratch,
+        )
+        .expect("valid fault-free run");
+        group.bench_function(format!("optimized/{}", net.name()), |b| {
+            b.iter(|| {
+                std::hint::black_box(
+                    sim.run_with_scratch(
+                        net.as_ref(),
+                        TrafficPattern::UniformRandom,
+                        RATE,
+                        &empty,
+                        &mut scratch,
+                    )
+                    .expect("valid fault-free run"),
+                )
+            })
+        });
+        let reference = ReferenceSimulator::new(config());
+        group.bench_function(format!("reference/{}", net.name()), |b| {
+            b.iter(|| {
+                std::hint::black_box(
+                    reference
+                        .run(net.as_ref(), TrafficPattern::UniformRandom, RATE)
+                        .expect("valid fault-free run"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

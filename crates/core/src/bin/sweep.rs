@@ -19,11 +19,22 @@
 //! `--inject-panic` appends a deliberately panicking point to exercise
 //! the harness's per-point isolation.
 //!
+//! The `bench-noc` mode is a throughput benchmark, not a point sweep:
+//! it times the memoized NoC engine against the retained reference
+//! engine over the Fig. 21 uniform-random grid (`--smoke` cuts it to
+//! two points) and writes `BENCH_noc.json`. With `--baseline FILE` it
+//! exits 1 if the measured *relative* speedup regresses more than 25 %
+//! against the committed baseline — relative, so the gate holds across
+//! machines of different absolute speed. `--cycles`/`--warmup` override
+//! the simulated window and are validated up front.
+//!
 //! Exit codes: 0 on success, 2 when the sweep completed but some
 //! points failed (their errors are recorded in the artifact), 1 on
-//! fatal errors (bad arguments, unwritable output).
+//! fatal errors (bad arguments, unwritable output, benchmark
+//! regression).
 
 use cryowire::experiments::{self, Fidelity, SweepOptions};
+use cryowire::noc::SimConfig;
 use cryowire_harness::{ResultCache, RunArtifact};
 
 struct Args {
@@ -37,6 +48,10 @@ struct Args {
     fault_seed: u64,
     inject_panic: bool,
     canonical: bool,
+    smoke: bool,
+    baseline: Option<String>,
+    cycles: Option<u64>,
+    warmup: Option<u64>,
 }
 
 fn parse_args() -> Args {
@@ -51,6 +66,10 @@ fn parse_args() -> Args {
         fault_seed: 0xC0FFEE,
         inject_panic: false,
         canonical: false,
+        smoke: false,
+        baseline: None,
+        cycles: None,
+        warmup: None,
     };
     let mut threads_given = false;
     let mut iter = std::env::args().skip(1);
@@ -73,13 +92,22 @@ fn parse_args() -> Args {
             "--fault-seed" => args.fault_seed = parse(&value("--fault-seed"), "--fault-seed"),
             "--inject-panic" => args.inject_panic = true,
             "--canonical" => args.canonical = true,
+            "--smoke" => args.smoke = true,
+            "--baseline" => args.baseline = Some(value("--baseline")),
+            "--cycles" => args.cycles = Some(parse(&value("--cycles"), "--cycles")),
+            "--warmup" => args.warmup = Some(parse(&value("--warmup"), "--warmup")),
             "--help" | "-h" => {
                 println!(
-                    "usage: sweep [--sweep depth|fig27|fig21|degraded] [--threads N] [--out FILE]\n\
-                     \x20            [--cache-dir DIR] [--temps N] [--max-split K] [--full]\n\
-                     \x20            [--fault-seed N] [--inject-panic] [--canonical]\n\
+                    "usage: sweep [--sweep depth|fig27|fig21|degraded|bench-noc] [--threads N]\n\
+                     \x20            [--out FILE] [--cache-dir DIR] [--temps N] [--max-split K]\n\
+                     \x20            [--full] [--fault-seed N] [--inject-panic] [--canonical]\n\
+                     \x20            [--smoke] [--baseline FILE] [--cycles N] [--warmup N]\n\
                      --canonical emits only the deterministic portion (no timing or\n\
                      cache provenance), byte-identical across thread counts.\n\
+                     bench-noc: times the memoized NoC engine vs the reference engine\n\
+                     and writes BENCH_noc.json; --smoke runs the 2-point CI grid,\n\
+                     --baseline FILE fails (exit 1) on a >25% relative-speedup\n\
+                     regression, --cycles/--warmup override the simulated window.\n\
                      exit codes: 0 ok, 2 partial point failures, 1 fatal"
                 );
                 std::process::exit(0);
@@ -109,8 +137,80 @@ fn die(msg: &str) -> ! {
     std::process::exit(1);
 }
 
+/// Runs the `bench-noc` throughput benchmark and applies the optional
+/// baseline gate. Never returns.
+fn run_bench_noc(args: &Args) -> ! {
+    let cycles = args
+        .cycles
+        .unwrap_or(if args.smoke { 8_000 } else { 30_000 });
+    let config = SimConfig {
+        cycles,
+        warmup: args.warmup.unwrap_or(cycles / 4),
+        ..SimConfig::default()
+    };
+    let (rates, networks) = experiments::bench_noc_grid(args.smoke);
+    let result = experiments::bench_noc(config, &rates, &networks)
+        .unwrap_or_else(|e| die(&format!("bench-noc: {e}")));
+    for p in &result.points {
+        eprintln!(
+            "bench-noc: {:<24} rate {:<6} optimized {:>8.2} ms ({:>10.0} pkt/s)  \
+             reference {:>8.2} ms ({:>10.0} pkt/s)  speedup {:.2}x",
+            p.network,
+            p.rate,
+            p.wall_ms_optimized,
+            p.packets_per_sec_optimized,
+            p.wall_ms_reference,
+            p.packets_per_sec_reference,
+            p.speedup
+        );
+    }
+    eprintln!(
+        "bench-noc: overall speedup {:.2}x (min {:.2}x, geomean {:.2}x) over {} points \
+         ({} cycles, {} warmup)",
+        result.overall_speedup,
+        result.min_speedup,
+        result.geomean_speedup,
+        result.points.len(),
+        result.cycles,
+        result.warmup
+    );
+    let json = experiments::bench_noc_json(&result);
+    let rendered = serde_json::to_string_pretty(&json).expect("benchmark serializes");
+    match args.out.as_deref() {
+        Some(path) => {
+            std::fs::write(path, rendered + "\n")
+                .unwrap_or_else(|e| die(&format!("cannot write `{path}`: {e}")));
+            eprintln!("bench-noc: artifact written to {path}");
+        }
+        None => println!("{rendered}"),
+    }
+    if let Some(path) = args.baseline.as_deref() {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| die(&format!("cannot read baseline `{path}`: {e}")));
+        let baseline = serde_json::from_str(&text)
+            .unwrap_or_else(|e| die(&format!("cannot parse baseline `{path}`: {e}")));
+        let floor = experiments::speedup_from_json(&baseline)
+            .unwrap_or_else(|| die(&format!("baseline `{path}` lacks `overall_speedup`")))
+            * 0.75;
+        if result.overall_speedup < floor {
+            die(&format!(
+                "bench-noc: speedup regression: measured {:.2}x < 75% of baseline ({floor:.2}x)",
+                result.overall_speedup
+            ));
+        }
+        eprintln!(
+            "bench-noc: baseline gate ok ({:.2}x >= {floor:.2}x)",
+            result.overall_speedup
+        );
+    }
+    std::process::exit(0);
+}
+
 fn main() {
     let args = parse_args();
+    if args.sweep == "bench-noc" {
+        run_bench_noc(&args);
+    }
     let cache = args.cache_dir.as_ref().map(|dir| {
         ResultCache::with_dir(dir)
             .unwrap_or_else(|e| die(&format!("cannot open cache dir `{dir}`: {e}")))
@@ -138,7 +238,7 @@ fn main() {
             experiments::degraded_sweep_artifact(args.fault_seed, args.inject_panic, opts)
         }
         other => die(&format!(
-            "unknown sweep `{other}` (depth, fig27, fig21, degraded)"
+            "unknown sweep `{other}` (depth, fig27, fig21, degraded, bench-noc)"
         )),
     };
 

@@ -7,6 +7,7 @@
 //! [`Fidelity`] knob; analytic ones are exact either way.
 
 mod ablations;
+mod bench_noc;
 mod coherence_validation;
 mod ipc_validation;
 mod noc_figs;
@@ -23,6 +24,9 @@ pub use ablations::{
     ablation_ff_overhead, ablation_interleaving, ablation_wire_thickness, AluCountAblation,
     BusTopologyAblation, DepthSweepAblation, EngineComparisonAblation, FfOverheadAblation,
     InterleavingAblation, WireThicknessAblation,
+};
+pub use bench_noc::{
+    bench_noc, bench_noc_grid, bench_noc_json, speedup_from_json, BenchNocPoint, BenchNocResult,
 };
 pub use coherence_validation::{coherence_cross_validation, CoherenceValidation};
 pub use ipc_validation::{ipc_cross_validation, IpcValidation};

@@ -23,6 +23,21 @@ pub(crate) fn sweep(fidelity: Fidelity, rates: Vec<f64>) -> LoadLatencySweep {
     LoadLatencySweep::new(rates).with_config(config)
 }
 
+/// The one load–latency fan-out behind Figs. 18, 21, 25 and 26: sweeps
+/// `rates` over every network concurrently (one worker per network via
+/// the harness executor). Each network's curve is seeded independently,
+/// so the fan-out is bit-identical to running the networks one by one.
+fn load_latency_curves(
+    fidelity: Fidelity,
+    rates: Vec<f64>,
+    networks: &[&(dyn Network + Sync)],
+    pattern: TrafficPattern,
+) -> Vec<LoadLatencyCurve> {
+    sweep(fidelity, rates)
+        .run_many(networks, pattern)
+        .expect("valid sweep")
+}
+
 /// Fig. 16: L3 hit/miss latency breakdown for the five NoC designs at
 /// 300 K and 77 K.
 #[derive(Debug, Clone, PartialEq)]
@@ -168,15 +183,16 @@ pub fn fig18_bus_load_latency(fidelity: Fidelity) -> Fig18Result {
     let rates = vec![
         0.0002, 0.0005, 0.001, 0.0015, 0.002, 0.003, 0.004, 0.005, 0.006, 0.008, 0.010, 0.013,
     ];
-    let s = sweep(fidelity, rates);
     let bus300 = SharedBus::new(64, Temperature::ambient());
     let bus77 = SharedBus::new(64, Temperature::liquid_nitrogen());
-    let c300 = s
-        .run(&bus300, TrafficPattern::UniformRandom)
-        .expect("valid sweep");
-    let c77 = s
-        .run(&bus77, TrafficPattern::UniformRandom)
-        .expect("valid sweep");
+    let mut curves = load_latency_curves(
+        fidelity,
+        rates,
+        &[&bus300, &bus77],
+        TrafficPattern::UniformRandom,
+    );
+    let c77 = curves.pop().expect("two curves");
+    let c300 = curves.pop().expect("two curves");
     let band_support = WORKLOAD_BANDS
         .iter()
         .map(|b| {
@@ -311,7 +327,7 @@ impl Fig21Result {
     }
 }
 
-fn all_nocs_77k() -> Vec<Box<dyn Network + Sync>> {
+pub(crate) fn all_nocs_77k() -> Vec<Box<dyn Network + Sync>> {
     let t77 = Temperature::liquid_nitrogen();
     let mk = |kind, class| -> Box<dyn Network + Sync> {
         Box::new(RouterNetwork::new(kind, 64, class, t77).expect("valid 64-core networks"))
@@ -399,13 +415,11 @@ pub(crate) fn fig21_rates() -> Vec<f64> {
 }
 
 fn run_pattern(fidelity: Fidelity, pattern: TrafficPattern, name: &str) -> Fig21Result {
-    let s = sweep(fidelity, fig21_rates());
     let nets = all_nocs_77k();
     let refs: Vec<&(dyn Network + Sync)> = nets.iter().map(AsRef::as_ref).collect();
-    let curves = s.run_many(&refs, pattern).expect("valid sweep");
     Fig21Result {
         pattern: name.to_string(),
-        curves,
+        curves: load_latency_curves(fidelity, fig21_rates(), &refs, pattern),
     }
 }
 
@@ -515,7 +529,6 @@ impl Fig26Result {
 pub fn fig26_hybrid_256(fidelity: Fidelity) -> Fig26Result {
     let t77 = Temperature::liquid_nitrogen();
     let rates = vec![0.001, 0.002, 0.004, 0.006, 0.008, 0.012, 0.016, 0.024, 0.04];
-    let s = sweep(fidelity, rates);
     // Realistic 3-cycle industry routers for the 256-core comparison
     // (Section 7.3 positions the hybrid against deployed router NoCs).
     let nets: Vec<Box<dyn Network + Sync>> = vec![
@@ -539,9 +552,7 @@ pub fn fig26_hybrid_256(fidelity: Fidelity) -> Fig26Result {
     ];
     let refs: Vec<&(dyn Network + Sync)> = nets.iter().map(AsRef::as_ref).collect();
     Fig26Result {
-        curves: s
-            .run_many(&refs, TrafficPattern::UniformRandom)
-            .expect("valid sweep"),
+        curves: load_latency_curves(fidelity, rates, &refs, TrafficPattern::UniformRandom),
     }
 }
 

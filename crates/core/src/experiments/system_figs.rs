@@ -1,6 +1,7 @@
 //! System-level experiments: Figs. 3, 17, 23, 24 and Table 4.
 
 use cryowire_device::Temperature;
+use cryowire_harness::Executor;
 use cryowire_system::{SystemDesign, SystemSimulator, Workload};
 
 use crate::report::{fmt2, fmt3, Report};
@@ -8,6 +9,14 @@ use crate::Fidelity;
 
 fn geomean(v: &[f64]) -> f64 {
     (v.iter().map(|x| x.ln()).sum::<f64>() / v.len() as f64).exp()
+}
+
+/// Fans an analytic per-workload evaluation out over the harness
+/// executor, one worker per workload. The evaluator is a pure function
+/// of the workload, and the executor preserves item order, so the rows
+/// are identical to a serial loop at any thread count.
+fn per_workload<T: Send>(workloads: &[Workload], eval: impl Fn(&Workload) -> T + Sync) -> Vec<T> {
+    Executor::new(workloads.len()).run(workloads, |_, w| eval(w))
 }
 
 /// Fig. 3: normalized CPI stacks of the PARSEC workloads on the 300 K
@@ -51,14 +60,12 @@ impl Fig03Result {
 pub fn fig03_cpi_stacks() -> Fig03Result {
     let sim = SystemSimulator::new();
     let design = SystemDesign::baseline_300k();
-    let mut rows = Vec::new();
-    let mut fracs = Vec::new();
-    for w in Workload::parsec() {
-        let m = sim.evaluate(&w, &design);
+    let rows = per_workload(&Workload::parsec(), |w| {
+        let m = sim.evaluate(w, &design);
         let frac = m.stack.noc_fraction();
-        fracs.push(frac);
-        rows.push((w.name.to_string(), m.stack.cpi_at(4.0), frac));
-    }
+        (w.name.to_string(), m.stack.cpi_at(4.0), frac)
+    });
+    let fracs: Vec<f64> = rows.iter().map(|r| r.2).collect();
     Fig03Result {
         rows,
         average_noc_fraction: fracs.iter().sum::<f64>() / fracs.len() as f64,
@@ -106,16 +113,14 @@ pub fn fig17_bus_vs_mesh() -> Fig17Result {
     let ideal = SystemDesign::chp_mesh().with_ideal_noc();
     let mesh = SystemDesign::chp_mesh();
     let bus = SystemDesign::chp_mesh().with_shared_bus(Temperature::liquid_nitrogen());
-    let mut rows = Vec::new();
-    let (mut ms, mut bs) = (Vec::new(), Vec::new());
-    for w in Workload::parsec() {
-        let pi = sim.evaluate(&w, &ideal).performance();
-        let pm = sim.evaluate(&w, &mesh).performance() / pi;
-        let pb = sim.evaluate(&w, &bus).performance() / pi;
-        ms.push(pm);
-        bs.push(pb);
-        rows.push((w.name.to_string(), pm, pb));
-    }
+    let rows = per_workload(&Workload::parsec(), |w| {
+        let pi = sim.evaluate(w, &ideal).performance();
+        let pm = sim.evaluate(w, &mesh).performance() / pi;
+        let pb = sim.evaluate(w, &bus).performance() / pi;
+        (w.name.to_string(), pm, pb)
+    });
+    let ms: Vec<f64> = rows.iter().map(|r| r.1).collect();
+    let bs: Vec<f64> = rows.iter().map(|r| r.2).collect();
     Fig17Result {
         rows,
         mesh_relative: geomean(&ms),
@@ -173,22 +178,24 @@ pub fn fig23_system_performance(_fidelity: Fidelity) -> Fig23Result {
     let designs = SystemDesign::evaluation_set();
     let names: Vec<String> = designs.iter().map(|d| d.name.clone()).collect();
 
-    let mut rows = Vec::new();
+    let rows = per_workload(&Workload::parsec(), |w| {
+        let reference = sim.evaluate(w, &designs[1]).performance(); // CHP (77K, Mesh)
+        let vals: Vec<f64> = designs
+            .iter()
+            .map(|d| sim.evaluate(w, d).performance() / reference)
+            .collect();
+        (w.name.to_string(), vals)
+    });
     let mut per_design: Vec<Vec<f64>> = vec![Vec::new(); designs.len()];
     let mut best: (String, f64) = (String::new(), 0.0);
-    for w in Workload::parsec() {
-        let reference = sim.evaluate(&w, &designs[1]).performance(); // CHP (77K, Mesh)
-        let mut vals = Vec::new();
-        for (i, d) in designs.iter().enumerate() {
-            let v = sim.evaluate(&w, d).performance() / reference;
-            per_design[i].push(v);
-            vals.push(v);
+    for (name, vals) in &rows {
+        for (i, v) in vals.iter().enumerate() {
+            per_design[i].push(*v);
         }
         let full = vals[4];
         if full > best.1 {
-            best = (w.name.to_string(), full);
+            best = (name.clone(), full);
         }
-        rows.push((w.name.to_string(), vals));
     }
 
     Fig23Result {
@@ -257,23 +264,37 @@ pub fn fig24_spec_prefetch(_fidelity: Fidelity) -> Fig24Result {
     ];
     let names: Vec<String> = designs.iter().map(|d| d.name.clone()).collect();
 
+    let workloads: Vec<Workload> = Workload::spec()
+        .into_iter()
+        .map(|w| w.with_prefetcher(PREFETCH_FACTOR))
+        .collect();
+    let evaluated = per_workload(&workloads, |w| {
+        let reference = sim.evaluate(w, &designs[1]).performance();
+        let mut bound = false;
+        let vals: Vec<f64> = designs
+            .iter()
+            .enumerate()
+            .map(|(i, d)| {
+                let m = sim.evaluate(w, d);
+                if i == 2 && m.noc_bound {
+                    bound = true;
+                }
+                m.performance() / reference
+            })
+            .collect();
+        (w.name.to_string(), vals, bound)
+    });
     let mut rows = Vec::new();
     let mut per_design: Vec<Vec<f64>> = vec![Vec::new(); designs.len()];
     let mut contention_bound = Vec::new();
-    for w in Workload::spec() {
-        let w = w.with_prefetcher(PREFETCH_FACTOR);
-        let reference = sim.evaluate(&w, &designs[1]).performance();
-        let mut vals = Vec::new();
-        for (i, d) in designs.iter().enumerate() {
-            let m = sim.evaluate(&w, d);
-            if i == 2 && m.noc_bound {
-                contention_bound.push(w.name.to_string());
-            }
-            let v = m.performance() / reference;
-            per_design[i].push(v);
-            vals.push(v);
+    for (name, vals, bound) in evaluated {
+        for (i, v) in vals.iter().enumerate() {
+            per_design[i].push(*v);
         }
-        rows.push((w.name.to_string(), vals));
+        if bound {
+            contention_bound.push(name.clone());
+        }
+        rows.push((name, vals));
     }
 
     Fig24Result {

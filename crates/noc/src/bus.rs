@@ -247,6 +247,17 @@ impl Network for SharedBus {
             PacketLeg::on(way, self.broadcast_cycles, self.broadcast_cycles),
         ])
     }
+
+    fn route_classes(&self, dead: &[usize]) -> usize {
+        // The tag picks an interleave way: one route class per healthy
+        // way (class c maps to the c-th surviving way, matching the
+        // modular arithmetic of `path`/`path_avoiding` above).
+        if dead.is_empty() {
+            self.ways
+        } else {
+            (0..self.ways).filter(|w| !dead.contains(w)).count().max(1)
+        }
+    }
 }
 
 #[cfg(test)]

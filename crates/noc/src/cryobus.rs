@@ -348,6 +348,10 @@ impl Network for CryoBus {
         // Way resources remap exactly as on the underlying bus.
         self.inner.path_avoiding(src, dst, tag, dead)
     }
+
+    fn route_classes(&self, dead: &[usize]) -> usize {
+        self.inner.route_classes(dead)
+    }
 }
 
 #[cfg(test)]

@@ -27,6 +27,14 @@ pub enum NocError {
         /// The rejected rate.
         rate: f64,
     },
+    /// A simulation window that can produce no statistics: zero cycles,
+    /// or a warm-up period that swallows the whole run.
+    InvalidSimWindow {
+        /// Total simulated cycles.
+        cycles: u64,
+        /// Warm-up cycles excluded from statistics.
+        warmup: u64,
+    },
     /// A fault named an H-tree segment the fabric does not have.
     InvalidHTreeSegment {
         /// Tree level of the named segment.
@@ -49,6 +57,14 @@ impl fmt::Display for NocError {
             }
             NocError::InvalidInjectionRate { rate } => {
                 write!(f, "injection rate {rate} must be in [0, 1]")
+            }
+            NocError::InvalidSimWindow { cycles, warmup } => {
+                write!(
+                    f,
+                    "invalid simulation window: warmup ({warmup}) must be \
+                     smaller than cycles ({cycles}), and cycles must be > 0 \
+                     — no packet could ever be measured"
+                )
             }
             NocError::InvalidHTreeSegment {
                 level,

@@ -148,6 +148,13 @@ impl Network for HybridCryoBus {
         legs.push(PacketLeg::on(bus(dc), occ, occ));
         legs
     }
+
+    fn route_classes(&self, _dead: &[usize]) -> usize {
+        // The tag selects the interleave way regardless of the dead set:
+        // the hybrid keeps the default `path_avoiding` (no remapping), so
+        // a route class is exactly a way.
+        self.ways
+    }
 }
 
 #[cfg(test)]

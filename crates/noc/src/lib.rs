@@ -39,6 +39,7 @@ pub mod flit;
 pub mod hybrid;
 pub mod link;
 pub mod load_latency;
+pub mod route_cache;
 pub mod router;
 pub mod router_timing;
 pub mod segmented_bus;
@@ -56,9 +57,10 @@ pub use link::LinkModel;
 pub use load_latency::{
     LoadLatencyCurve, LoadLatencyPoint, LoadLatencySweep, WorkloadBand, WORKLOAD_BANDS,
 };
+pub use route_cache::PathTable;
 pub use router::{RouterClass, RouterNetwork};
 pub use router_timing::{RouterStage, RouterTimingModel};
 pub use segmented_bus::SegmentedBus;
-pub use sim::{Network, PacketLeg, SimConfig, SimResult, Simulator};
+pub use sim::{Network, PacketLeg, SimConfig, SimResult, SimScratch, Simulator};
 pub use topology::{NocKind, Topology};
 pub use traffic::TrafficPattern;

@@ -4,7 +4,7 @@
 use cryowire_faults::FaultSchedule;
 
 use crate::error::{NocError, SimError};
-use crate::sim::{Network, SimConfig, Simulator};
+use crate::sim::{Network, SimConfig, SimScratch, Simulator};
 use crate::traffic::TrafficPattern;
 
 /// Per-core request injection-rate band of a workload suite
@@ -159,32 +159,23 @@ impl LoadLatencySweep {
         network: &dyn Network,
         pattern: TrafficPattern,
     ) -> Result<LoadLatencyCurve, NocError> {
-        let mut points = Vec::new();
-        let mut saturated_seen = 0;
-        for &rate in &self.rates {
-            let r = self.sim.run(network, pattern, rate)?;
-            points.push(LoadLatencyPoint {
-                rate,
-                latency: r.avg_latency,
-                saturated: r.saturated,
-            });
-            if r.saturated {
-                saturated_seen += 1;
-                if saturated_seen >= 2 {
-                    break;
-                }
+        match self.run_with_faults(network, pattern, &FaultSchedule::default()) {
+            Ok(curve) => Ok(curve),
+            Err(SimError::Noc(e)) => Err(e),
+            Err(SimError::Stalled { .. }) => {
+                unreachable!("the watchdog cannot fire without injected faults")
             }
         }
-        Ok(LoadLatencyCurve {
-            network: network.name(),
-            points,
-        })
     }
 
     /// Runs the sweep with `faults` injected into every point. The
     /// same early-stop applies; the engine's progress watchdog turns a
     /// would-be hang (dead resources nobody can route around) into
     /// [`SimError::Stalled`] instead of looping forever.
+    ///
+    /// All rate points share one [`SimScratch`], so the memoized route
+    /// tables are built once per curve and the per-point hot loop is
+    /// allocation-free.
     ///
     /// # Errors
     ///
@@ -196,10 +187,13 @@ impl LoadLatencySweep {
         pattern: TrafficPattern,
         faults: &FaultSchedule,
     ) -> Result<LoadLatencyCurve, SimError> {
+        let mut scratch = SimScratch::new();
         let mut points = Vec::new();
         let mut saturated_seen = 0;
         for &rate in &self.rates {
-            let r = self.sim.run_with_faults(network, pattern, rate, faults)?;
+            let r = self
+                .sim
+                .run_with_scratch(network, pattern, rate, faults, &mut scratch)?;
             points.push(LoadLatencyPoint {
                 rate,
                 latency: r.avg_latency,

@@ -1,0 +1,213 @@
+//! Memoized routing: the flat route arena behind the simulator hot loop.
+//!
+//! Deterministic networks route a packet as a pure function of
+//! `(src, dst, route_class, dead-set)`, where the route class is
+//! `tag % Network::route_classes(dead)` (the tag only ever selects an
+//! interleave way). [`PathTable`] exploits that: it asks the network for
+//! every `(src, dst, class)` route **once** and stores the legs in one
+//! flat arena (a contiguous `Vec<PacketLeg>` plus an offset table), so
+//! the per-packet cost in the simulator drops from a heap-allocating
+//! [`Network::path`] call to an index computation and a slice borrow.
+//!
+//! Identical leg sequences are hash-consed into one arena window during
+//! the build: on bus-style networks every `(src, dst)` pair shares the
+//! same handful of per-way routes, so the arena collapses to a few legs
+//! and the hot loop stays cache-resident instead of striding through
+//! `nodes² · classes` duplicated paths. Each offset-table entry also
+//! carries its precomputed zero-load latency, so a lookup touches one
+//! 16-byte entry plus the (shared) legs.
+//!
+//! Rebuilding on a fault epoch (a new dead-resource set) reuses the
+//! arena's allocations; steady-state lookups never allocate.
+
+use std::collections::HashMap;
+
+use crate::sim::{Network, PacketLeg};
+
+/// Offset-table entry: a half-open window into the leg arena plus the
+/// window's precomputed zero-load latency (sum of traversal cycles).
+///
+/// `len == Entry::UNROUTABLE` marks an entry for which the network knows
+/// no route around the dead set ([`Network::path_avoiding`] returned
+/// `None`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Entry {
+    start: u32,
+    len: u32,
+    zero: u64,
+}
+
+impl Entry {
+    const UNROUTABLE: u32 = u32::MAX;
+}
+
+/// A memoized route table for one `(network, dead-set)` pair.
+///
+/// Built eagerly over all `(src, dst, route_class)` triples; lookups are
+/// allocation-free. The table relies on the [`Network::route_classes`]
+/// contract — routing depends on `tag` only through
+/// `tag % route_classes(dead)`, with class `c` reproduced by the
+/// representative tag `c` — which the property tests in this crate
+/// verify for every concrete network.
+#[derive(Debug, Clone, Default)]
+pub struct PathTable {
+    nodes: usize,
+    classes: usize,
+    entries: Vec<Entry>,
+    legs: Vec<PacketLeg>,
+}
+
+impl PathTable {
+    /// An empty table; [`PathTable::rebuild`] populates it.
+    #[must_use]
+    pub fn new() -> Self {
+        PathTable::default()
+    }
+
+    /// Number of route classes the table was built with.
+    #[must_use]
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// (Re)builds the table for `network` under the `dead` resource set,
+    /// reusing the arena's existing allocations.
+    pub fn rebuild(&mut self, network: &dyn Network, dead: &[usize]) {
+        let n = network.topology().nodes();
+        self.nodes = n;
+        self.classes = network.route_classes(dead).max(1);
+        self.entries.clear();
+        self.legs.clear();
+        self.entries.reserve(n * n * self.classes);
+        // Hash-consing map: identical leg sequences share one window.
+        // Only lives for the duration of the (cold) build.
+        let mut interned: HashMap<Vec<PacketLeg>, (u32, u32)> = HashMap::new();
+        for src in 0..n {
+            for dst in 0..n {
+                for class in 0..self.classes {
+                    if src == dst {
+                        // Traffic patterns never emit self-sends; keep the
+                        // diagonal as an empty (routable) window so the
+                        // indexing stays dense.
+                        self.entries.push(Entry {
+                            start: 0,
+                            len: 0,
+                            zero: 0,
+                        });
+                        continue;
+                    }
+                    let tag = class as u64;
+                    let route = if dead.is_empty() {
+                        Some(network.path(src, dst, tag))
+                    } else {
+                        network.path_avoiding(src, dst, tag, dead)
+                    };
+                    match route {
+                        Some(route) => {
+                            let zero = route.iter().map(|l| l.traversal_cycles).sum();
+                            let legs = &mut self.legs;
+                            let (start, len) = *interned.entry(route).or_insert_with_key(|route| {
+                                let start = u32::try_from(legs.len())
+                                    .expect("route arena exceeds u32 offsets");
+                                let len =
+                                    u32::try_from(route.len()).expect("route exceeds u32 legs");
+                                assert!(
+                                    len != Entry::UNROUTABLE,
+                                    "route length sentinel collision"
+                                );
+                                legs.extend_from_slice(route);
+                                (start, len)
+                            });
+                            self.entries.push(Entry { start, len, zero });
+                        }
+                        None => {
+                            self.entries.push(Entry {
+                                start: 0,
+                                len: Entry::UNROUTABLE,
+                                zero: 0,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The memoized legs and precomputed zero-load latency for a packet
+    /// from `src` to `dst` carrying `tag`, or `None` when no route
+    /// avoids the dead set the table was built for.
+    #[inline]
+    #[must_use]
+    pub fn lookup(&self, src: usize, dst: usize, tag: u64) -> Option<(&[PacketLeg], u64)> {
+        // Single-class networks (every deterministic router network)
+        // skip the per-packet integer division entirely.
+        let class = if self.classes == 1 {
+            0
+        } else {
+            (tag % self.classes as u64) as usize
+        };
+        let i = (src * self.nodes + dst) * self.classes + class;
+        let entry = self.entries[i];
+        if entry.len == Entry::UNROUTABLE {
+            return None;
+        }
+        let start = entry.start as usize;
+        Some((&self.legs[start..start + entry.len as usize], entry.zero))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bus::SharedBus;
+    use cryowire_device::Temperature;
+
+    #[test]
+    fn table_matches_direct_calls_on_a_bus() {
+        let bus = SharedBus::new(64, Temperature::liquid_nitrogen());
+        let mut table = PathTable::new();
+        table.rebuild(&bus, &[]);
+        for (src, dst, tag) in [(0usize, 1usize, 0u64), (3, 60, 7), (10, 2, u64::MAX)] {
+            let (legs, zero) = table.lookup(src, dst, tag).expect("routable");
+            let direct = bus.path(src, dst, tag);
+            assert_eq!(legs, direct.as_slice());
+            assert_eq!(zero, direct.iter().map(|l| l.traversal_cycles).sum::<u64>());
+        }
+    }
+
+    #[test]
+    fn dead_way_marks_unroutable_or_remaps() {
+        let bus = SharedBus::new(64, Temperature::liquid_nitrogen());
+        // The single-way bus has no alternative: killing resource 0 makes
+        // every entry unroutable.
+        let mut table = PathTable::new();
+        table.rebuild(&bus, &[0]);
+        assert!(table.lookup(0, 1, 0).is_none());
+    }
+
+    #[test]
+    fn identical_routes_are_hash_consed() {
+        // Every (src, dst) pair of the single-way bus takes the same
+        // route, so the whole 64-node arena holds exactly one path.
+        let bus = SharedBus::new(64, Temperature::liquid_nitrogen());
+        let mut table = PathTable::new();
+        table.rebuild(&bus, &[]);
+        let one_path = bus.path(0, 1, 0).len();
+        assert_eq!(table.legs.len(), one_path, "bus arena should dedupe");
+        assert_eq!(table.entries.len(), 64 * 64);
+    }
+
+    #[test]
+    fn rebuild_reuses_allocations() {
+        let bus = SharedBus::new(64, Temperature::liquid_nitrogen());
+        let mut table = PathTable::new();
+        table.rebuild(&bus, &[]);
+        let cap = (table.entries.capacity(), table.legs.capacity());
+        table.rebuild(&bus, &[]);
+        assert_eq!(
+            cap,
+            (table.entries.capacity(), table.legs.capacity()),
+            "rebuild must not reallocate the arena"
+        );
+    }
+}

@@ -9,17 +9,30 @@
 //! and produces the classic load–latency hockey stick as offered load
 //! approaches a resource's service capacity, which is the behaviour the
 //! paper's BookSim analyses (Fig. 18/21/25/26) rely on.
+//!
+//! ## Performance architecture
+//!
+//! The engine's hot loop is allocation-free in steady state: routes are
+//! memoized per `(network, dead-set epoch)` in a flat
+//! [`PathTable`](crate::route_cache::PathTable) arena (legal because
+//! routing is a pure function of `(src, dst, tag % route_classes, dead)`
+//! — see [`Network::route_classes`]), and all mutable run state lives in
+//! a reusable [`SimScratch`]. The route cache consumes no randomness, so
+//! the RNG draw order — injection gate, destination, tag, flit-loss
+//! retries — is exactly that of the retained naive engine in
+//! [`reference`], which the equivalence test-suite pins bit-for-bit.
 
 use cryowire_faults::{FaultSchedule, LinkState};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::error::{NocError, SimError};
+use crate::route_cache::PathTable;
 use crate::topology::Topology;
 use crate::traffic::TrafficPattern;
 
 /// One leg of a packet's journey.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PacketLeg {
     /// Index of the shared resource this leg occupies, or `None` for a
     /// pure-latency leg (e.g. dedicated request/grant control wires).
@@ -95,6 +108,22 @@ pub trait Network {
         }
     }
 
+    /// Number of distinct route classes under the `dead` resource set —
+    /// the memoization contract behind
+    /// [`PathTable`](crate::route_cache::PathTable).
+    ///
+    /// Implementations promise that [`Network::path`] and
+    /// [`Network::path_avoiding`] depend on `tag` only through
+    /// `tag % route_classes(dead)`, and that class `c` is reproduced by
+    /// the representative tag `c as u64`. The default of 1 declares the
+    /// network tag-independent (routes ignore the tag entirely), which
+    /// holds for the router networks and segmented buses; interleaved
+    /// buses override this with their live way count.
+    fn route_classes(&self, dead: &[usize]) -> usize {
+        let _ = dead;
+        1
+    }
+
     /// Zero-load (uncontended) latency from `src` to `dst`, cycles.
     fn zero_load_latency(&self, src: usize, dst: usize) -> u64 {
         self.path(src, dst, 0)
@@ -137,6 +166,26 @@ pub struct SimConfig {
     pub watchdog_blocked_packets: u64,
 }
 
+impl SimConfig {
+    /// Rejects windows that can never measure a packet (`cycles == 0`,
+    /// or a warm-up period swallowing the whole run) — configurations
+    /// that previously produced silent `avg_latency = 0`/0-packet
+    /// results.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NocError::InvalidSimWindow`] for a degenerate window.
+    pub fn validate(&self) -> Result<(), NocError> {
+        if self.cycles == 0 || self.warmup >= self.cycles {
+            return Err(NocError::InvalidSimWindow {
+                cycles: self.cycles,
+                warmup: self.warmup,
+            });
+        }
+        Ok(())
+    }
+}
+
 impl Default for SimConfig {
     fn default() -> Self {
         SimConfig {
@@ -168,6 +217,64 @@ pub struct SimResult {
     pub unrouted: u64,
 }
 
+/// Reusable per-run mutable state: the resource `free` vector plus one
+/// memoized [`PathTable`] per dead-set epoch seen so far.
+///
+/// A scratch is bound to one network (by address identity); passing a
+/// different network rebuilds everything, so reuse only pays off when
+/// the same network object is swept repeatedly — exactly the
+/// load–latency sweep shape, where
+/// [`LoadLatencySweep`](crate::load_latency::LoadLatencySweep) shares
+/// one scratch across all rate points. After the first run warms the
+/// tables, subsequent fault-free runs perform **zero heap allocations**
+/// (pinned by the counting-allocator test in `tests/zero_alloc.rs`).
+#[derive(Debug, Default)]
+pub struct SimScratch {
+    free: Vec<u64>,
+    /// `(dead set, memoized routes)` pairs; epoch 0 is always the empty
+    /// dead set. Kept across runs so a sweep rebuilds nothing.
+    epochs: Vec<(Vec<usize>, PathTable)>,
+    /// Address identity of the network the epochs were built for.
+    net_token: usize,
+}
+
+impl SimScratch {
+    /// An empty scratch; the first run populates it.
+    #[must_use]
+    pub fn new() -> Self {
+        SimScratch::default()
+    }
+
+    /// Binds the scratch to `network`, discarding memoized routes that
+    /// belong to a different network object.
+    fn bind(&mut self, network: &dyn Network) {
+        let token = std::ptr::from_ref(network).cast::<u8>() as usize;
+        if token != self.net_token {
+            self.net_token = token;
+            self.epochs.clear();
+        }
+        self.free.resize(network.resource_count(), 0);
+        self.free.fill(0);
+    }
+}
+
+/// Finds (or builds) the epoch whose dead set equals `dead`, returning
+/// its index. Free function so the caller can keep `scratch.free`
+/// mutably borrowed.
+fn epoch_index(
+    epochs: &mut Vec<(Vec<usize>, PathTable)>,
+    network: &dyn Network,
+    dead: &[usize],
+) -> usize {
+    if let Some(i) = epochs.iter().position(|(d, _)| d == dead) {
+        return i;
+    }
+    let mut table = PathTable::new();
+    table.rebuild(network, dead);
+    epochs.push((dead.to_vec(), table));
+    epochs.len() - 1
+}
+
 /// The reservation-based contention simulator.
 #[derive(Debug, Clone)]
 pub struct Simulator {
@@ -187,7 +294,8 @@ impl Simulator {
     /// # Errors
     ///
     /// Returns [`NocError::InvalidInjectionRate`] if `rate` is not in
-    /// `[0, 1]`, or a pattern validation error.
+    /// `[0, 1]`, [`NocError::InvalidSimWindow`] for a degenerate
+    /// configuration, or a pattern validation error.
     pub fn run(
         &self,
         network: &dyn Network,
@@ -205,7 +313,8 @@ impl Simulator {
         }
     }
 
-    /// Runs `network` under `pattern` at `rate` with `faults` injected.
+    /// Runs `network` under `pattern` at `rate` with `faults` injected,
+    /// using a fresh [`SimScratch`].
     ///
     /// Dead resources are avoided via [`Network::path_avoiding`]
     /// (deadlock-free detours where the network has routing freedom);
@@ -228,14 +337,122 @@ impl Simulator {
         rate: f64,
         faults: &FaultSchedule,
     ) -> Result<SimResult, SimError> {
+        self.run_with_scratch(network, pattern, rate, faults, &mut SimScratch::new())
+    }
+
+    /// Like [`Simulator::run_with_faults`], but reusing `scratch` —
+    /// memoized route tables and the resource-reservation vector — so
+    /// repeated runs over the same network (a load–latency sweep)
+    /// allocate nothing in steady state.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Simulator::run_with_faults`].
+    pub fn run_with_scratch(
+        &self,
+        network: &dyn Network,
+        pattern: TrafficPattern,
+        rate: f64,
+        faults: &FaultSchedule,
+        scratch: &mut SimScratch,
+    ) -> Result<SimResult, SimError> {
         if !(0.0..=1.0).contains(&rate) || !rate.is_finite() {
             return Err(NocError::InvalidInjectionRate { rate }.into());
         }
+        self.config.validate()?;
         let topo = *network.topology();
         pattern.validate(&topo)?;
+        scratch.bind(network);
+        if faults.is_empty() {
+            Ok(self.run_fault_free(network, pattern, rate, &topo, scratch))
+        } else {
+            self.run_faulted(network, pattern, rate, faults, &topo, scratch)
+        }
+    }
+
+    /// The fault-free fast path: no fault lookups anywhere, no loss
+    /// draws, routes and zero-load sums straight from the arena.
+    fn run_fault_free(
+        &self,
+        network: &dyn Network,
+        pattern: TrafficPattern,
+        rate: f64,
+        topo: &Topology,
+        scratch: &mut SimScratch,
+    ) -> SimResult {
+        let SimScratch { free, epochs, .. } = scratch;
+        let table_idx = epoch_index(epochs, network, &[]);
+        let table = &epochs[table_idx].1;
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let n = topo.nodes();
-        let mut free = vec![0u64; network.resource_count()];
+
+        let mut measured_total = 0u64;
+        let mut measured_count = 0u64;
+        let mut zero_load_sum = 0u64;
+
+        for cycle in 0..self.config.cycles {
+            let p = rate * pattern.burst_scale(cycle);
+            if p <= 0.0 {
+                // Preserve the RNG stream: every node still consumes its
+                // injection-gate draw even in a zero-injection cycle
+                // (burst off-phases), it just cannot pass the gate.
+                for _ in 0..n {
+                    let _ = rng.gen::<f64>();
+                }
+                continue;
+            }
+            for src in 0..n {
+                if rng.gen::<f64>() >= p {
+                    continue;
+                }
+                let dst = pattern.destination(src, topo, &mut rng);
+                let tag = rng.gen::<u64>();
+                let (legs, zero) = table
+                    .lookup(src, dst, tag)
+                    .expect("fault-free routes always exist");
+                let mut t = cycle;
+                for leg in legs {
+                    if let Some(r) = leg.resource {
+                        let start = t.max(free[r]);
+                        free[r] = start + leg.occupancy_cycles;
+                        t = start;
+                    }
+                    t += leg.traversal_cycles;
+                }
+                if cycle >= self.config.warmup {
+                    measured_total += t - cycle;
+                    measured_count += 1;
+                    zero_load_sum += zero;
+                }
+            }
+        }
+        self.finish(
+            rate,
+            measured_total,
+            measured_count,
+            zero_load_sum,
+            0,
+            0,
+            free,
+        )
+    }
+
+    /// The general engine under an active fault schedule. Route tables
+    /// are swapped (and lazily built) only when the dead set actually
+    /// changes at a schedule change point.
+    #[allow(clippy::too_many_lines)]
+    fn run_faulted(
+        &self,
+        network: &dyn Network,
+        pattern: TrafficPattern,
+        rate: f64,
+        faults: &FaultSchedule,
+        topo: &Topology,
+        scratch: &mut SimScratch,
+    ) -> Result<SimResult, SimError> {
+        let SimScratch { free, epochs, .. } = scratch;
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let n = topo.nodes();
 
         let mut measured_total = 0u64;
         let mut measured_count = 0u64;
@@ -245,45 +462,53 @@ impl Simulator {
         let watchdog = self.config.watchdog_blocked_packets.max(1);
 
         // The active fault set only changes at event boundaries, so the
-        // dead set is re-derived there instead of every cycle.
+        // dead set (and with it the route-table epoch) is re-derived
+        // there instead of every cycle.
         let change_points = faults.change_points();
         let mut next_change = 0usize;
-        let mut dead: Vec<usize> = Vec::new();
+        let mut cur = epoch_index(epochs, network, &[]);
 
         for cycle in 0..self.config.cycles {
+            let mut at_change_point = false;
             while change_points.get(next_change).is_some_and(|&c| c <= cycle) {
                 next_change += 1;
-                dead = faults.dead_resources_at(cycle);
+                at_change_point = true;
             }
+            if at_change_point {
+                let dead_now = faults.dead_resources_at(cycle);
+                if dead_now != epochs[cur].0 {
+                    cur = epoch_index(epochs, network, &dead_now);
+                }
+            }
+            let table = &epochs[cur].1;
             let loss = faults.flit_loss_at(cycle);
             let p = rate * pattern.burst_scale(cycle);
+            if p <= 0.0 {
+                // Same stream-preserving gate draws as the fast path.
+                for _ in 0..n {
+                    let _ = rng.gen::<f64>();
+                }
+                continue;
+            }
             for src in 0..n {
                 if rng.gen::<f64>() >= p {
                     continue;
                 }
-                let dst = pattern.destination(src, &topo, &mut rng);
+                let dst = pattern.destination(src, topo, &mut rng);
                 let tag = rng.gen::<u64>();
-                let legs = if dead.is_empty() {
-                    network.path(src, dst, tag)
-                } else {
-                    match network.path_avoiding(src, dst, tag, &dead) {
-                        Some(legs) => legs,
-                        None => {
-                            unrouted += 1;
-                            if unrouted >= watchdog {
-                                return Err(SimError::Stalled {
-                                    cycle,
-                                    blocked_resources: dead,
-                                });
-                            }
-                            continue;
-                        }
+                let Some((legs, zero)) = table.lookup(src, dst, tag) else {
+                    unrouted += 1;
+                    if unrouted >= watchdog {
+                        return Err(SimError::Stalled {
+                            cycle,
+                            blocked_resources: epochs[cur].0.clone(),
+                        });
                     }
+                    continue;
                 };
                 let mut t = cycle;
-                let mut zero = 0u64;
                 let mut lost = false;
-                for leg in &legs {
+                for leg in legs {
                     let mut occupancy = leg.occupancy_cycles;
                     let mut traversal = leg.traversal_cycles;
                     if let Some(r) = leg.resource {
@@ -298,7 +523,10 @@ impl Simulator {
                         if let Some(l) = loss {
                             // Each loss repays the leg (occupancy and
                             // traversal); past the budget the packet is
-                            // dropped mid-flight.
+                            // dropped mid-flight, and the attempt that
+                            // lost it never completes its reservation —
+                            // only the repaid attempts charge the
+                            // resource.
                             let mut retries = 0u32;
                             while rng.gen::<f64>() < l.probability {
                                 if retries == l.max_retransmits {
@@ -307,15 +535,19 @@ impl Simulator {
                                 }
                                 retries += 1;
                             }
-                            occupancy += occupancy * u64::from(retries);
-                            traversal += traversal * u64::from(retries);
+                            if lost {
+                                occupancy *= u64::from(retries);
+                                traversal *= u64::from(retries);
+                            } else {
+                                occupancy += occupancy * u64::from(retries);
+                                traversal += traversal * u64::from(retries);
+                            }
                         }
                         let start = t.max(free[r]);
                         free[r] = start + occupancy;
                         t = start;
                     }
                     t += traversal;
-                    zero += leg.traversal_cycles;
                     if lost {
                         dropped += 1;
                         break;
@@ -328,7 +560,29 @@ impl Simulator {
                 }
             }
         }
+        Ok(self.finish(
+            rate,
+            measured_total,
+            measured_count,
+            zero_load_sum,
+            dropped,
+            unrouted,
+            free,
+        ))
+    }
 
+    /// Shared result assembly (statistics + saturation verdict).
+    #[allow(clippy::too_many_arguments)]
+    fn finish(
+        &self,
+        rate: f64,
+        measured_total: u64,
+        measured_count: u64,
+        zero_load_sum: u64,
+        dropped: u64,
+        unrouted: u64,
+        free: &[u64],
+    ) -> SimResult {
         let avg_latency = if measured_count == 0 {
             0.0
         } else {
@@ -349,15 +603,14 @@ impl Simulator {
         let saturated = measured_count > 0
             && (avg_latency > self.config.saturation_factor * avg_zero
                 || backlog > self.config.cycles / 4);
-
-        Ok(SimResult {
+        SimResult {
             offered_rate: rate,
             avg_latency,
             packets: measured_count,
             saturated,
             dropped,
             unrouted,
-        })
+        }
     }
 }
 
@@ -373,6 +626,210 @@ fn scale_cycles(cycles: u64, factor: f64) -> u64 {
 impl Default for Simulator {
     fn default() -> Self {
         Simulator::new(SimConfig::default())
+    }
+}
+
+#[cfg(any(test, feature = "reference-sim"))]
+pub mod reference {
+    //! The naive per-packet-allocation engine, retained verbatim as the
+    //! correctness oracle for the memoized hot loop (and as the baseline
+    //! the `noc_hot_loop` bench and `BENCH_noc.json` speedups are
+    //! measured against). Behind `feature = "reference-sim"` outside
+    //! tests so release binaries of downstream crates opt in explicitly.
+    //!
+    //! The only differences from the historical code are the two audited
+    //! bugfixes, applied to **both** engines so they stay bit-identical:
+    //! degenerate-window validation ([`SimConfig::validate`]) and the
+    //! lost-leg retransmit accounting (a dropped packet's fatal attempt
+    //! no longer charges the resource).
+
+    use super::{
+        scale_cycles, FaultSchedule, LinkState, Network, NocError, Rng, SeedableRng, SimConfig,
+        SimError, SimResult, StdRng, TrafficPattern,
+    };
+
+    /// The reference simulator: same configuration surface as
+    /// [`Simulator`](super::Simulator), no memoization, no scratch
+    /// reuse.
+    #[derive(Debug, Clone)]
+    pub struct ReferenceSimulator {
+        config: SimConfig,
+    }
+
+    impl ReferenceSimulator {
+        /// Creates a reference simulator with `config`.
+        #[must_use]
+        pub fn new(config: SimConfig) -> Self {
+            ReferenceSimulator { config }
+        }
+
+        /// Fault-free reference run.
+        ///
+        /// # Errors
+        ///
+        /// As for [`Simulator::run`](super::Simulator::run).
+        pub fn run(
+            &self,
+            network: &dyn Network,
+            pattern: TrafficPattern,
+            rate: f64,
+        ) -> Result<SimResult, NocError> {
+            match self.run_with_faults(network, pattern, rate, &FaultSchedule::default()) {
+                Ok(r) => Ok(r),
+                Err(SimError::Noc(e)) => Err(e),
+                Err(SimError::Stalled { .. }) => {
+                    unreachable!("the watchdog cannot fire without injected faults")
+                }
+            }
+        }
+
+        /// Fault-injected reference run.
+        ///
+        /// # Errors
+        ///
+        /// As for
+        /// [`Simulator::run_with_faults`](super::Simulator::run_with_faults).
+        #[allow(clippy::too_many_lines)]
+        pub fn run_with_faults(
+            &self,
+            network: &dyn Network,
+            pattern: TrafficPattern,
+            rate: f64,
+            faults: &FaultSchedule,
+        ) -> Result<SimResult, SimError> {
+            if !(0.0..=1.0).contains(&rate) || !rate.is_finite() {
+                return Err(NocError::InvalidInjectionRate { rate }.into());
+            }
+            self.config.validate()?;
+            let topo = *network.topology();
+            pattern.validate(&topo)?;
+            let mut rng = StdRng::seed_from_u64(self.config.seed);
+            let n = topo.nodes();
+            let mut free = vec![0u64; network.resource_count()];
+
+            let mut measured_total = 0u64;
+            let mut measured_count = 0u64;
+            let mut zero_load_sum = 0u64;
+            let mut dropped = 0u64;
+            let mut unrouted = 0u64;
+            let watchdog = self.config.watchdog_blocked_packets.max(1);
+
+            let change_points = faults.change_points();
+            let mut next_change = 0usize;
+            let mut dead: Vec<usize> = Vec::new();
+
+            for cycle in 0..self.config.cycles {
+                while change_points.get(next_change).is_some_and(|&c| c <= cycle) {
+                    next_change += 1;
+                    dead = faults.dead_resources_at(cycle);
+                }
+                let loss = faults.flit_loss_at(cycle);
+                let p = rate * pattern.burst_scale(cycle);
+                for src in 0..n {
+                    if rng.gen::<f64>() >= p {
+                        continue;
+                    }
+                    let dst = pattern.destination(src, &topo, &mut rng);
+                    let tag = rng.gen::<u64>();
+                    let legs = if dead.is_empty() {
+                        network.path(src, dst, tag)
+                    } else {
+                        match network.path_avoiding(src, dst, tag, &dead) {
+                            Some(legs) => legs,
+                            None => {
+                                unrouted += 1;
+                                if unrouted >= watchdog {
+                                    return Err(SimError::Stalled {
+                                        cycle,
+                                        blocked_resources: dead,
+                                    });
+                                }
+                                continue;
+                            }
+                        }
+                    };
+                    let mut t = cycle;
+                    let mut zero = 0u64;
+                    let mut lost = false;
+                    for leg in &legs {
+                        let mut occupancy = leg.occupancy_cycles;
+                        let mut traversal = leg.traversal_cycles;
+                        if let Some(r) = leg.resource {
+                            match faults.link_state(r, cycle) {
+                                LinkState::Degraded(factor) => {
+                                    occupancy = scale_cycles(occupancy, factor);
+                                    traversal = scale_cycles(traversal, factor);
+                                }
+                                LinkState::Healthy | LinkState::Dead => {}
+                            }
+                            traversal += faults.stall_cycles(r, cycle);
+                            if let Some(l) = loss {
+                                // Repay-the-leg semantics: the attempt
+                                // that exceeded the budget is dropped
+                                // mid-flight and charges nothing.
+                                let mut retries = 0u32;
+                                while rng.gen::<f64>() < l.probability {
+                                    if retries == l.max_retransmits {
+                                        lost = true;
+                                        break;
+                                    }
+                                    retries += 1;
+                                }
+                                if lost {
+                                    occupancy *= u64::from(retries);
+                                    traversal *= u64::from(retries);
+                                } else {
+                                    occupancy += occupancy * u64::from(retries);
+                                    traversal += traversal * u64::from(retries);
+                                }
+                            }
+                            let start = t.max(free[r]);
+                            free[r] = start + occupancy;
+                            t = start;
+                        }
+                        t += traversal;
+                        zero += leg.traversal_cycles;
+                        if lost {
+                            dropped += 1;
+                            break;
+                        }
+                    }
+                    if !lost && cycle >= self.config.warmup {
+                        measured_total += t - cycle;
+                        measured_count += 1;
+                        zero_load_sum += zero;
+                    }
+                }
+            }
+
+            let avg_latency = if measured_count == 0 {
+                0.0
+            } else {
+                measured_total as f64 / measured_count as f64
+            };
+            let avg_zero = if measured_count == 0 {
+                1.0
+            } else {
+                zero_load_sum as f64 / measured_count as f64
+            };
+            let backlog = free
+                .iter()
+                .map(|&f| f.saturating_sub(self.config.cycles))
+                .max()
+                .unwrap_or(0);
+            let saturated = measured_count > 0
+                && (avg_latency > self.config.saturation_factor * avg_zero
+                    || backlog > self.config.cycles / 4);
+
+            Ok(SimResult {
+                offered_rate: rate,
+                avg_latency,
+                packets: measured_count,
+                saturated,
+                dropped,
+                unrouted,
+            })
+        }
     }
 }
 
@@ -468,6 +925,44 @@ mod tests {
     }
 
     #[test]
+    fn scratch_reuse_is_bit_identical() {
+        // Three consecutive rates through one warm scratch must equal
+        // three fresh-scratch runs exactly.
+        let sim = Simulator::default();
+        let net = toy();
+        let empty = FaultSchedule::default();
+        let mut scratch = SimScratch::new();
+        for rate in [0.001, 0.003, 0.006] {
+            let warm = sim
+                .run_with_scratch(
+                    &net,
+                    TrafficPattern::UniformRandom,
+                    rate,
+                    &empty,
+                    &mut scratch,
+                )
+                .unwrap();
+            let fresh = sim.run(&net, TrafficPattern::UniformRandom, rate).unwrap();
+            assert_eq!(warm, fresh, "rate {rate}");
+        }
+    }
+
+    #[test]
+    fn matches_reference_engine() {
+        let sim = Simulator::default();
+        let refsim = reference::ReferenceSimulator::new(SimConfig::default());
+        for rate in [0.001, 0.004, 0.02] {
+            let a = sim
+                .run(&toy(), TrafficPattern::UniformRandom, rate)
+                .unwrap();
+            let b = refsim
+                .run(&toy(), TrafficPattern::UniformRandom, rate)
+                .unwrap();
+            assert_eq!(a, b, "rate {rate}");
+        }
+    }
+
+    #[test]
     fn empty_schedule_matches_fault_free_run() {
         let sim = Simulator::default();
         let plain = sim
@@ -560,6 +1055,36 @@ mod tests {
     }
 
     #[test]
+    fn lost_packet_repays_only_completed_attempts() {
+        use cryowire_faults::{FaultEvent, FaultKind, FaultSchedule};
+        // probability = 1 with a zero retransmit budget: every packet is
+        // lost on its first (and only) attempt, which is dropped
+        // mid-flight and must charge the resource nothing. Before the
+        // accounting fix the dropped packets still held the bus, so this
+        // overload rate spuriously saturated an empty network.
+        let sim = Simulator::default();
+        let faults = FaultSchedule::from_events(
+            vec![FaultEvent::permanent(
+                0,
+                FaultKind::FlitLoss {
+                    probability: 1.0,
+                    max_retransmits: 0,
+                },
+            )],
+            30_000,
+        );
+        let r = sim
+            .run_with_faults(&toy(), TrafficPattern::UniformRandom, 0.05, &faults)
+            .unwrap();
+        assert!(r.dropped > 0, "every injected packet is lost");
+        assert_eq!(r.packets, 0, "nothing ever arrives");
+        assert!(
+            !r.saturated,
+            "dropped packets must not charge occupancy (backlog would saturate)"
+        );
+    }
+
+    #[test]
     fn faulted_run_is_deterministic() {
         use cryowire_faults::FaultPlan;
         let sim = Simulator::default();
@@ -586,5 +1111,38 @@ mod tests {
         assert!(sim
             .run(&toy(), TrafficPattern::UniformRandom, f64::NAN)
             .is_err());
+    }
+
+    #[test]
+    fn rejects_degenerate_sim_window() {
+        // Regression: these windows used to return a silent 0-packet
+        // result with avg_latency 0 instead of an error.
+        for (cycles, warmup) in [(0u64, 0u64), (1_000, 1_000), (1_000, 2_000)] {
+            let sim = Simulator::new(SimConfig {
+                cycles,
+                warmup,
+                ..SimConfig::default()
+            });
+            let err = sim
+                .run(&toy(), TrafficPattern::UniformRandom, 0.003)
+                .unwrap_err();
+            assert_eq!(
+                err,
+                NocError::InvalidSimWindow { cycles, warmup },
+                "cycles={cycles} warmup={warmup}"
+            );
+            // The reference engine rejects the same windows identically.
+            let refsim = reference::ReferenceSimulator::new(SimConfig {
+                cycles,
+                warmup,
+                ..SimConfig::default()
+            });
+            assert_eq!(
+                refsim
+                    .run(&toy(), TrafficPattern::UniformRandom, 0.003)
+                    .unwrap_err(),
+                NocError::InvalidSimWindow { cycles, warmup }
+            );
+        }
     }
 }

@@ -23,7 +23,7 @@ use std::collections::BinaryHeap;
 
 use cryowire_device::Temperature;
 use cryowire_faults::{FaultSchedule, LinkState};
-use cryowire_noc::{LinkModel, Network, SimError};
+use cryowire_noc::{LinkModel, Network, PathTable, SimError};
 use cryowire_pipeline::CriticalPathModel;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -181,6 +181,15 @@ impl EventSimulator {
         let resource_count = design.noc.network().map_or(0, Network::resource_count);
         let mut free = vec![0.0f64; resource_count];
 
+        // Memoized routes: every (src, dst, route-class) path is computed
+        // once per dead-set epoch instead of once per memory access.
+        // Rebuilds draw no randomness, so the RNG stream — and therefore
+        // every metric — is bit-identical to the direct-routing loop.
+        let mut routes = PathTable::new();
+        if let Some(net) = design.noc.network() {
+            routes.rebuild(net, &[]);
+        }
+
         // Fault state caches, refreshed only at schedule change points
         // (heap pops are monotone in time, so a cursor suffices).
         let base_t = Self::base_temperature(design);
@@ -234,7 +243,13 @@ impl EventSimulator {
             let cycle = (c.time_ns * f_noc) as u64;
             while change_points.get(next_change).is_some_and(|&p| p <= cycle) {
                 next_change += 1;
-                dead = faults.dead_resources_at(cycle);
+                let dead_now = faults.dead_resources_at(cycle);
+                if dead_now != dead {
+                    dead = dead_now;
+                    if let Some(net) = design.noc.network() {
+                        routes.rebuild(net, &dead);
+                    }
+                }
             }
             if has_transient {
                 let t_now = faults.temperature_at(cycle, base_t);
@@ -287,7 +302,7 @@ impl EventSimulator {
             c.to_next_mem = insts_per_mem;
             let start = c.time_ns;
             let Some(t_after_noc) = self.traverse(
-                design, &mut free, &mut rng, c.time_ns, f_noc_now, faults, &dead, cycle,
+                design, &mut free, &mut rng, c.time_ns, f_noc_now, faults, &routes, cycle,
             ) else {
                 // No usable route: bounded retry backoff, counted against
                 // the watchdog so a disconnected fabric cannot spin
@@ -320,7 +335,7 @@ impl EventSimulator {
                         t_after_noc + mem,
                         f_noc_now,
                         faults,
-                        &dead,
+                        &routes,
                         cycle,
                     ) {
                         Some(t) => t,
@@ -365,7 +380,8 @@ impl EventSimulator {
 
     /// Reserves one network traversal starting at `t_ns`; returns the
     /// completion time in ns, or `None` when every allowed route crosses
-    /// a dead resource.
+    /// a dead resource (the memoized `routes` table holds the sentinel
+    /// for the current dead-set epoch).
     #[allow(clippy::too_many_arguments)]
     fn traverse(
         &self,
@@ -375,7 +391,7 @@ impl EventSimulator {
         t_ns: f64,
         f_noc: f64,
         faults: &FaultSchedule,
-        dead: &[usize],
+        routes: &PathTable,
         cycle: u64,
     ) -> Option<f64> {
         let Some(net) = design.noc.network() else {
@@ -388,11 +404,7 @@ impl EventSimulator {
             dst = (dst + 1) % n;
         }
         let tag: u64 = rng.gen();
-        let legs = if dead.is_empty() {
-            net.path(src, dst, tag)
-        } else {
-            net.path_avoiding(src, dst, tag, dead)?
-        };
+        let (legs, _zero) = routes.lookup(src, dst, tag)?;
         let mut t = t_ns;
         for leg in legs {
             let mut occupancy = leg.occupancy_cycles as f64;

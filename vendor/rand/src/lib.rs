@@ -99,10 +99,14 @@ macro_rules! impl_sample_uniform_int {
                 assert!(low <= high, "gen_range: empty range");
                 let span = (high as i128 - low as i128) + i128::from(high_inclusive);
                 assert!(span > 0, "gen_range: empty range");
+                // The draw is a non-negative u64, so for spans that fit
+                // in u64 the i128 `rem_euclid` reduces to a plain u64
+                // modulo — same value, without the 128-bit division
+                // (this sits on the simulator's per-packet hot path).
                 let offset = if span >= 1 << 64 {
                     rng.next_u64() as i128
                 } else {
-                    (rng.next_u64() as i128).rem_euclid(span)
+                    (rng.next_u64() % (span as u64)) as i128
                 };
                 (low as i128 + offset) as $t
             }
