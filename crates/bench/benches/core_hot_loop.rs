@@ -1,0 +1,58 @@
+//! Bench target for the constant-memory core-sim hot loop.
+//!
+//! Measures the ring-buffer engine in its steady state (warm
+//! [`CoreScratch`], arena-shared traces) against the retained
+//! full-trace reference engine on both trace shapes that stress it —
+//! parsec-like (mixed, window-bounded dependencies) and serial-chain
+//! (distance-1 dependencies, latency-bound) — crossed with a
+//! small-window and a large-window core, plus the four-run
+//! `cpi_stack_with_scratch` decomposition. The ratio between paired
+//! measurements is the same figure `--sweep bench-core` gates on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cryowire::ooo::core::reference::ReferenceCoreSimulator;
+use cryowire::ooo::{CoreConfig, CoreScratch, CoreSimulator, TraceArena, TraceConfig};
+
+const INSTS: usize = 200_000;
+const SEED: u64 = 7;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("core_hot_loop");
+    group.sample_size(10);
+    let traces = [
+        ("parsec", TraceConfig::parsec_like()),
+        ("serial", TraceConfig::serial_chain()),
+    ];
+    let configs = [
+        ("small-window", CoreConfig::cryocore_4_wide()),
+        ("large-window", CoreConfig::skylake_8_wide()),
+    ];
+    for (trace_name, trace_config) in &traces {
+        let trace = TraceArena::global().get(trace_config, INSTS, SEED);
+        for (config_name, config) in configs {
+            let sim = CoreSimulator::new(config);
+            let mut scratch = CoreScratch::new();
+            // Warm run: sizes the rings once so the measured iterations
+            // see the steady (allocation-free) state.
+            let _ = sim.run_with_scratch(&trace, &mut scratch);
+            group.bench_function(format!("optimized/{trace_name}/{config_name}"), |b| {
+                b.iter(|| std::hint::black_box(sim.run_with_scratch(&trace, &mut scratch)))
+            });
+            let reference = ReferenceCoreSimulator::new(config);
+            group.bench_function(format!("reference/{trace_name}/{config_name}"), |b| {
+                b.iter(|| std::hint::black_box(reference.run(&trace)))
+            });
+        }
+    }
+    let trace = TraceArena::global().get(&TraceConfig::parsec_like(), INSTS, SEED);
+    let sim = CoreSimulator::new(CoreConfig::cryosp());
+    let mut scratch = CoreScratch::new();
+    let _ = sim.cpi_stack_with_scratch(&trace, &mut scratch);
+    group.bench_function("cpi_stack/cryosp", |b| {
+        b.iter(|| std::hint::black_box(sim.cpi_stack_with_scratch(&trace, &mut scratch)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -39,8 +39,10 @@ const IDS: &[&str] = &[
     "abl-thick",
     "abl-depth",
     "abl-engine",
+    "abl-core-engine",
     "abl-ipc",
     "abl-coherence",
+    "cpi-sim",
     "summary",
 ];
 
@@ -75,7 +77,9 @@ fn run(id: &str, fidelity: Fidelity) -> Option<Report> {
         "abl-thick" => experiments::ablation_wire_thickness().report(),
         "abl-depth" => experiments::ablation_depth_sweep().report(),
         "abl-engine" => experiments::ablation_engine_comparison().report(),
+        "abl-core-engine" => experiments::ablation_core_engine().report(),
         "abl-ipc" => experiments::ipc_cross_validation().report(),
+        "cpi-sim" => experiments::cpi_stack_cycle_level().report(),
         "abl-coherence" => experiments::coherence_cross_validation().report(),
         "summary" => experiments::headline_summary(fidelity).report(),
         _ => return None,

@@ -77,7 +77,9 @@ fn tasks(fidelity: Fidelity) -> Vec<Task> {
         Box::new(|| only(experiments::ablation_wire_thickness().report())),
         Box::new(|| only(experiments::ablation_depth_sweep().report())),
         Box::new(|| only(experiments::ablation_engine_comparison().report())),
+        Box::new(|| only(experiments::ablation_core_engine().report())),
         Box::new(|| only(experiments::ipc_cross_validation().report())),
+        Box::new(|| only(experiments::cpi_stack_cycle_level().report())),
         Box::new(|| only(experiments::coherence_cross_validation().report())),
         Box::new(move || only(experiments::headline_summary(fidelity).report())),
     ]

@@ -28,6 +28,13 @@
 //! machines of different absolute speed. `--cycles`/`--warmup` override
 //! the simulated window and are validated up front.
 //!
+//! The `bench-core` mode is the same contract for the out-of-order core
+//! engine: it times the constant-memory ring-buffer engine against the
+//! retained reference engine over a frontend-depth × width × bypass
+//! design grid and writes `BENCH_core.json` (`--smoke` halves the grid,
+//! `--cycles` overrides the trace length in instructions, `--baseline`
+//! gates identically).
+//!
 //! Exit codes: 0 on success, 2 when the sweep completed but some
 //! points failed (their errors are recorded in the artifact), 1 on
 //! fatal errors (bad arguments, unwritable output, benchmark
@@ -98,16 +105,21 @@ fn parse_args() -> Args {
             "--warmup" => args.warmup = Some(parse(&value("--warmup"), "--warmup")),
             "--help" | "-h" => {
                 println!(
-                    "usage: sweep [--sweep depth|fig27|fig21|degraded|bench-noc] [--threads N]\n\
-                     \x20            [--out FILE] [--cache-dir DIR] [--temps N] [--max-split K]\n\
-                     \x20            [--full] [--fault-seed N] [--inject-panic] [--canonical]\n\
-                     \x20            [--smoke] [--baseline FILE] [--cycles N] [--warmup N]\n\
+                    "usage: sweep [--sweep depth|fig27|fig21|degraded|bench-noc|bench-core]\n\
+                     \x20            [--threads N] [--out FILE] [--cache-dir DIR] [--temps N]\n\
+                     \x20            [--max-split K] [--full] [--fault-seed N] [--inject-panic]\n\
+                     \x20            [--canonical] [--smoke] [--baseline FILE] [--cycles N]\n\
+                     \x20            [--warmup N]\n\
                      --canonical emits only the deterministic portion (no timing or\n\
                      cache provenance), byte-identical across thread counts.\n\
                      bench-noc: times the memoized NoC engine vs the reference engine\n\
                      and writes BENCH_noc.json; --smoke runs the 2-point CI grid,\n\
                      --baseline FILE fails (exit 1) on a >25% relative-speedup\n\
                      regression, --cycles/--warmup override the simulated window.\n\
+                     bench-core: same contract for the OoO core engine; times the\n\
+                     ring-buffer engine vs the reference over a depth x width x\n\
+                     bypass grid and writes BENCH_core.json (--cycles overrides the\n\
+                     trace length in instructions).\n\
                      exit codes: 0 ok, 2 partial point failures, 1 fatal"
                 );
                 std::process::exit(0);
@@ -206,10 +218,79 @@ fn run_bench_noc(args: &Args) -> ! {
     std::process::exit(0);
 }
 
+/// Runs the `bench-core` throughput benchmark and applies the optional
+/// baseline gate. Never returns.
+fn run_bench_core(args: &Args) -> ! {
+    // Six million instructions per point: long enough that the
+    // reference engine's O(n) scoreboards (5 series x 8 B x n, ~240 MB
+    // per run) leave the cache hierarchy and pay their allocation and
+    // DRAM cost, which is the steady-state regime real sweeps run in;
+    // the ring-buffer engine's footprint is a few KB regardless.
+    let insts = args.cycles.unwrap_or(6_000_000) as usize;
+    let grid = experiments::bench_core_grid(args.smoke);
+    let result = experiments::bench_core(insts, 7, &grid);
+    for p in &result.points {
+        eprintln!(
+            "bench-core: {:<12} ipc {:<5.2} optimized {:>7.2} ms ({:>7.1} Minst/s)  \
+             reference {:>7.2} ms ({:>7.1} Minst/s)  speedup {:.2}x",
+            p.name,
+            p.ipc,
+            p.wall_ms_optimized,
+            p.minsts_per_sec_optimized,
+            p.wall_ms_reference,
+            p.minsts_per_sec_reference,
+            p.speedup
+        );
+    }
+    eprintln!(
+        "bench-core: overall speedup {:.2}x (min {:.2}x, geomean {:.2}x) over {} points \
+         ({} instructions, seed {})",
+        result.overall_speedup,
+        result.min_speedup,
+        result.geomean_speedup,
+        result.points.len(),
+        result.insts,
+        result.seed
+    );
+    let json = experiments::bench_core_json(&result);
+    let rendered = serde_json::to_string_pretty(&json).expect("benchmark serializes");
+    match args.out.as_deref() {
+        Some(path) => {
+            std::fs::write(path, rendered + "\n")
+                .unwrap_or_else(|e| die(&format!("cannot write `{path}`: {e}")));
+            eprintln!("bench-core: artifact written to {path}");
+        }
+        None => println!("{rendered}"),
+    }
+    if let Some(path) = args.baseline.as_deref() {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| die(&format!("cannot read baseline `{path}`: {e}")));
+        let baseline = serde_json::from_str(&text)
+            .unwrap_or_else(|e| die(&format!("cannot parse baseline `{path}`: {e}")));
+        let floor = experiments::speedup_from_json(&baseline)
+            .unwrap_or_else(|| die(&format!("baseline `{path}` lacks `overall_speedup`")))
+            * 0.75;
+        if result.overall_speedup < floor {
+            die(&format!(
+                "bench-core: speedup regression: measured {:.2}x < 75% of baseline ({floor:.2}x)",
+                result.overall_speedup
+            ));
+        }
+        eprintln!(
+            "bench-core: baseline gate ok ({:.2}x >= {floor:.2}x)",
+            result.overall_speedup
+        );
+    }
+    std::process::exit(0);
+}
+
 fn main() {
     let args = parse_args();
     if args.sweep == "bench-noc" {
         run_bench_noc(&args);
+    }
+    if args.sweep == "bench-core" {
+        run_bench_core(&args);
     }
     let cache = args.cache_dir.as_ref().map(|dir| {
         ResultCache::with_dir(dir)
@@ -238,7 +319,7 @@ fn main() {
             experiments::degraded_sweep_artifact(args.fault_seed, args.inject_panic, opts)
         }
         other => die(&format!(
-            "unknown sweep `{other}` (depth, fig27, fig21, degraded, bench-noc)"
+            "unknown sweep `{other}` (depth, fig27, fig21, degraded, bench-noc, bench-core)"
         )),
     };
 

@@ -12,7 +12,9 @@
 //! * the Section 7.5 "draw wires thicker" mitigation
 //!   ([`ablation_wire_thickness`]),
 //! * reservation-engine vs flit-level simulation agreement
-//!   ([`ablation_engine_comparison`]).
+//!   ([`ablation_engine_comparison`]),
+//! * ring-buffer vs full-trace core-simulator engine agreement and
+//!   footprint ([`ablation_core_engine`]).
 
 use cryowire_device::{MosfetModel, ResistivityModel, Temperature, Wire, WireClass};
 use cryowire_floorplan::Floorplan;
@@ -384,9 +386,123 @@ pub fn ablation_engine_comparison() -> EngineComparisonAblation {
     EngineComparisonAblation { rows }
 }
 
+/// Core-engine ablation result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoreEngineAblation {
+    /// (trace profile, cycles, IPC, ring slots, full-trace slots,
+    /// footprint ratio).
+    pub rows: Vec<(String, u64, f64, usize, usize, f64)>,
+}
+
+impl CoreEngineAblation {
+    /// Report rendering.
+    #[must_use]
+    pub fn report(&self) -> Report {
+        let mut r = Report::new(
+            "abl-core-engine",
+            "ablation: ring-buffer vs full-trace core-simulator engine",
+            &[
+                "profile",
+                "cycles",
+                "IPC",
+                "ring slots",
+                "full-trace slots",
+                "ratio",
+            ],
+        );
+        for (name, cycles, ipc, ring, full, ratio) in &self.rows {
+            r.push_row(vec![
+                name.clone(),
+                cycles.to_string(),
+                fmt2(*ipc),
+                ring.to_string(),
+                full.to_string(),
+                format!("{ratio:.0}x"),
+            ]);
+        }
+        r
+    }
+}
+
+/// Compares the ring-buffer core engine against the retained full-trace
+/// reference on three trace profiles: asserts their `CoreMetrics` agree
+/// bit-for-bit, and reports the scoreboard footprint each needs (the
+/// reference keeps five full `u64` series plus the two memory-op commit
+/// logs; the rings hold only the live structural window).
+///
+/// Traces come from the shared [`cryowire_ooo::TraceArena`]; the three
+/// profiles are independent runs and fan out through the harness
+/// executor.
+///
+/// # Panics
+///
+/// Panics if the two engines ever disagree on a profile.
+#[must_use]
+pub fn ablation_core_engine() -> CoreEngineAblation {
+    use cryowire_harness::Executor;
+    use cryowire_ooo::core::reference::ReferenceCoreSimulator;
+    use cryowire_ooo::{CoreConfig, CoreScratch, CoreSimulator, TraceArena, TraceConfig};
+
+    let n = 60_000;
+    let profiles = [
+        ("parsec-like", TraceConfig::parsec_like()),
+        ("serial chain", TraceConfig::serial_chain()),
+        ("independent", TraceConfig::independent()),
+    ];
+    let rows = Executor::new(profiles.len()).run(&profiles, |_, (name, cfg)| {
+        let trace = TraceArena::global().get(cfg, n, 7);
+        let config = CoreConfig::skylake_8_wide();
+        let mut scratch = CoreScratch::new();
+        let metrics = CoreSimulator::new(config).run_with_scratch(&trace, &mut scratch);
+        let reference = ReferenceCoreSimulator::new(config).run(&trace);
+        assert_eq!(metrics, reference, "engines diverged on {name}");
+        let ring = scratch.ring_slots();
+        // Five timestamp series plus the load/store commit logs, one
+        // u64 per instruction (resp. per memory op) each.
+        let mem_ops = trace
+            .insts()
+            .iter()
+            .filter(|i| {
+                matches!(
+                    i.kind,
+                    cryowire_ooo::InstKind::Load { .. } | cryowire_ooo::InstKind::Store
+                )
+            })
+            .count();
+        let full = 5 * n + mem_ops;
+        (
+            (*name).to_string(),
+            metrics.cycles,
+            metrics.ipc(),
+            ring,
+            full,
+            full as f64 / ring as f64,
+        )
+    });
+    CoreEngineAblation { rows }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn core_engine_agreement_and_footprint() {
+        // Bit-identity is asserted inside the ablation itself; here we
+        // pin the footprint claim: the rings are orders of magnitude
+        // smaller than the full-trace scoreboards on window-bounded
+        // traces (`independent` has huge dependency distances, so its
+        // `complete` ring legitimately grows toward the trace length).
+        let r = ablation_core_engine();
+        assert_eq!(r.rows.len(), 3);
+        for (name, cycles, _, ring, full, ratio) in &r.rows {
+            assert!(*cycles > 0);
+            assert!(ring < full, "{name}: ring {ring} vs full {full}");
+            assert!(*ratio > 10.0, "{name}: footprint ratio only {ratio}");
+        }
+        let parsec = &r.rows[0];
+        assert!(parsec.5 > 100.0, "parsec-like ratio only {}", parsec.5);
+    }
 
     #[test]
     fn bus_topology_needs_both_ingredients() {

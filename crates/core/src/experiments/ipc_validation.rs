@@ -8,7 +8,8 @@
 //! `cryowire-ooo` (which *simulates* the structures and the predictor).
 //! This experiment runs both and reports the agreement.
 
-use cryowire_ooo::{CoreConfig, CoreSimulator, TraceConfig};
+use cryowire_harness::Executor;
+use cryowire_ooo::{CoreConfig, CoreSimulator, TraceArena, TraceConfig};
 use cryowire_pipeline::IpcModel;
 
 use crate::report::{fmt3, Report};
@@ -51,17 +52,35 @@ impl IpcValidation {
     }
 }
 
+/// The trace every core-simulator experiment shares: PARSEC-like mix,
+/// 120 k instructions, seed 7. Pulled from the process-wide
+/// [`TraceArena`] so the experiment suite generates it exactly once.
+pub(crate) fn shared_parsec_trace() -> std::sync::Arc<cryowire_ooo::Trace> {
+    TraceArena::global().get(&TraceConfig::parsec_like(), 120_000, 7)
+}
+
 /// Runs the cross-validation on a PARSEC-like trace.
+///
+/// The five configurations are independent simulations of one shared
+/// arena trace, so they fan out through the harness executor; the
+/// executor preserves item order and each run is a pure function, which
+/// keeps the result identical at any worker count.
 #[must_use]
 pub fn ipc_cross_validation() -> IpcValidation {
-    let trace = TraceConfig::parsec_like().generate(120_000, 7);
-    let run = |cfg: CoreConfig| CoreSimulator::new(cfg).run(&trace).ipc();
-
-    let base = run(CoreConfig::skylake_8_wide());
-    let deep = run(CoreConfig::superpipelined_8_wide());
-    let narrow = run(CoreConfig::cryocore_4_wide());
-    let cryosp = run(CoreConfig::cryosp());
-    let piped_backend = run(CoreConfig::skylake_8_wide().with_bypass_cycles(2));
+    let trace = shared_parsec_trace();
+    let configs = [
+        CoreConfig::skylake_8_wide(),
+        CoreConfig::superpipelined_8_wide(),
+        CoreConfig::cryocore_4_wide(),
+        CoreConfig::cryosp(),
+        CoreConfig::skylake_8_wide().with_bypass_cycles(2),
+    ];
+    let ipcs = Executor::new(configs.len()).run(&configs, |_, cfg| {
+        CoreSimulator::new(*cfg).run(&trace).ipc()
+    });
+    let [base, deep, narrow, cryosp, piped_backend] = ipcs[..] else {
+        unreachable!("executor returns one result per config");
+    };
 
     let analytic = IpcModel::parsec_calibrated();
     let rows = vec![

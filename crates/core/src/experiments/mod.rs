@@ -7,6 +7,7 @@
 //! [`Fidelity`] knob; analytic ones are exact either way.
 
 mod ablations;
+mod bench_core;
 mod bench_noc;
 mod coherence_validation;
 mod ipc_validation;
@@ -20,10 +21,14 @@ mod wires;
 
 pub use crate::Fidelity;
 pub use ablations::{
-    ablation_alu_count, ablation_bus_topology, ablation_depth_sweep, ablation_engine_comparison,
-    ablation_ff_overhead, ablation_interleaving, ablation_wire_thickness, AluCountAblation,
-    BusTopologyAblation, DepthSweepAblation, EngineComparisonAblation, FfOverheadAblation,
-    InterleavingAblation, WireThicknessAblation,
+    ablation_alu_count, ablation_bus_topology, ablation_core_engine, ablation_depth_sweep,
+    ablation_engine_comparison, ablation_ff_overhead, ablation_interleaving,
+    ablation_wire_thickness, AluCountAblation, BusTopologyAblation, CoreEngineAblation,
+    DepthSweepAblation, EngineComparisonAblation, FfOverheadAblation, InterleavingAblation,
+    WireThicknessAblation,
+};
+pub use bench_core::{
+    bench_core, bench_core_grid, bench_core_json, BenchCorePoint, BenchCoreResult,
 };
 pub use bench_noc::{
     bench_noc, bench_noc_grid, bench_noc_json, speedup_from_json, BenchNocPoint, BenchNocResult,
@@ -36,9 +41,9 @@ pub use noc_figs::{
     Fig20Result, Fig21Result, Fig22Result, Fig25Result, Fig26Result,
 };
 pub use pipeline_figs::{
-    fig02_stage_breakdown, fig09_validation, fig12_critical_path_300k, fig13_critical_path_77k,
-    fig14_superpipelined, tab01_floorplan, tab03_core_specs, Fig02Result, Fig09Result, Fig12Result,
-    Fig14Result, Tab01Result, Tab03Result,
+    cpi_stack_cycle_level, fig02_stage_breakdown, fig09_validation, fig12_critical_path_300k,
+    fig13_critical_path_77k, fig14_superpipelined, tab01_floorplan, tab03_core_specs, CpiStackSim,
+    Fig02Result, Fig09Result, Fig12Result, Fig14Result, Tab01Result, Tab03Result,
 };
 pub use summary::{headline_summary, HeadlineSummary};
 pub use sweeps::{

@@ -376,6 +376,73 @@ pub fn fig09_validation() -> Fig09Result {
     }
 }
 
+/// Cycle-level CPI stacks: idealization decomposition of the core
+/// designs' execution time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpiStackSim {
+    /// (configuration, [base, frontend/branch, structure, memory]
+    /// cycles, total cycles).
+    pub rows: Vec<(String, [u64; 4], u64)>,
+}
+
+impl CpiStackSim {
+    /// Report rendering.
+    #[must_use]
+    pub fn report(&self) -> Report {
+        let mut r = Report::new(
+            "cpi-sim",
+            "cycle-level CPI stacks of the core designs (idealization decomposition)",
+            &[
+                "configuration",
+                "base %",
+                "frontend %",
+                "structure %",
+                "memory %",
+            ],
+        );
+        for (name, stack, total) in &self.rows {
+            let pct = |c: u64| format!("{:.1}%", c as f64 / *total as f64 * 100.0);
+            r.push_row(vec![
+                name.clone(),
+                pct(stack[0]),
+                pct(stack[1]),
+                pct(stack[2]),
+                pct(stack[3]),
+            ]);
+        }
+        r
+    }
+}
+
+/// Decomposes each core design's cycles into stall sources with
+/// [`cryowire_ooo::CoreSimulator::cpi_stack`] on the shared arena trace.
+///
+/// Each configuration is an independent four-run decomposition of the
+/// same trace, fanned out through the harness executor; one scratch per
+/// worker serves all four idealized runs of its configuration.
+#[must_use]
+pub fn cpi_stack_cycle_level() -> CpiStackSim {
+    use cryowire_harness::Executor;
+    use cryowire_ooo::{CoreConfig, CoreScratch, CoreSimulator};
+
+    let trace = crate::experiments::ipc_validation::shared_parsec_trace();
+    let configs = [
+        ("300K Baseline (8-wide)", CoreConfig::skylake_8_wide()),
+        (
+            "77K Superpipeline (8-wide, +3)",
+            CoreConfig::superpipelined_8_wide(),
+        ),
+        ("CHP-core (4-wide)", CoreConfig::cryocore_4_wide()),
+        ("CryoSP (4-wide, +3)", CoreConfig::cryosp()),
+    ];
+    let rows = Executor::new(configs.len()).run(&configs, |_, (name, cfg)| {
+        let mut scratch = CoreScratch::new();
+        let stack = CoreSimulator::new(*cfg).cpi_stack_with_scratch(&trace, &mut scratch);
+        ((*name).to_string(), stack, stack.iter().sum())
+    });
+    CpiStackSim { rows }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -428,5 +495,27 @@ mod tests {
         let r = fig09_validation();
         assert!(r.pipeline_error < 0.06);
         assert_eq!(r.routers.len(), 3);
+    }
+
+    #[test]
+    fn cpi_stack_sim_components_behave() {
+        let r = cpi_stack_cycle_level();
+        assert_eq!(r.rows.len(), 4);
+        for (name, stack, total) in &r.rows {
+            assert_eq!(
+                stack.iter().sum::<u64>(),
+                *total,
+                "{name}: components must sum to the real run"
+            );
+            assert!(stack[0] > 0, "{name}: base CPI cannot be zero");
+            assert!(stack[3] > 0, "{name}: memory stalls cannot be zero");
+        }
+        // The +3 frontend stages show up as frontend stall cycles.
+        let base_frontend = r.rows[0].1[1] as f64 / r.rows[0].2 as f64;
+        let deep_frontend = r.rows[1].1[1] as f64 / r.rows[1].2 as f64;
+        assert!(
+            deep_frontend > base_frontend,
+            "superpipelined frontend share {deep_frontend} vs baseline {base_frontend}"
+        );
     }
 }

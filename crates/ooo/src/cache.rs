@@ -58,12 +58,34 @@ impl CacheConfig {
     }
 }
 
+/// Precomputed shift/mask address decomposition, available when both
+/// the line size and the set count are powers of two (every shipped
+/// geometry is).
+#[derive(Debug, Clone, Copy)]
+struct CacheMasks {
+    line_shift: u32,
+    set_mask: u64,
+    set_shift: u32,
+}
+
 /// A set-associative cache with true-LRU replacement.
+///
+/// Set storage is one flat, set-major array (`slot = set * ways + way`)
+/// instead of a `Vec` per set: a single allocation, no pointer chasing
+/// on the access path, and the whole set's tags land on one cache line
+/// for the shipped 8-way geometries. A stamp of 0 marks an invalid way
+/// (the global use counter starts at 1), and invalid ways always form a
+/// suffix of their set, so fills preserve the old push order and LRU
+/// picks the same victim the nested-`Vec` version did.
 #[derive(Debug, Clone)]
 pub struct Cache {
     config: CacheConfig,
-    /// Per set: (tag, last-use stamp), most recent stamp wins.
-    sets: Vec<Vec<(u64, u64)>>,
+    num_sets: usize,
+    masks: Option<CacheMasks>,
+    /// Flat set-major tags.
+    tags: Vec<u64>,
+    /// Flat set-major last-use stamps; 0 = invalid way.
+    stamps: Vec<u64>,
     stamp: u64,
     hits: u64,
     misses: u64,
@@ -73,9 +95,22 @@ impl Cache {
     /// Creates an empty cache.
     #[must_use]
     pub fn new(config: CacheConfig) -> Self {
+        let num_sets = config.sets();
+        let masks = if config.line_bytes.is_power_of_two() && num_sets.is_power_of_two() {
+            Some(CacheMasks {
+                line_shift: config.line_bytes.trailing_zeros(),
+                set_mask: num_sets as u64 - 1,
+                set_shift: num_sets.trailing_zeros(),
+            })
+        } else {
+            None
+        };
         Cache {
             config,
-            sets: vec![Vec::new(); config.sets()],
+            num_sets,
+            masks,
+            tags: vec![0; num_sets * config.ways],
+            stamps: vec![0; num_sets * config.ways],
             stamp: 0,
             hits: 0,
             misses: 0,
@@ -83,10 +118,15 @@ impl Cache {
     }
 
     fn index_tag(&self, addr: u64) -> (usize, u64) {
-        let line = addr / self.config.line_bytes as u64;
-        let idx = (line % self.sets.len() as u64) as usize;
-        let tag = line / self.sets.len() as u64;
-        (idx, tag)
+        if let Some(m) = self.masks {
+            let line = addr >> m.line_shift;
+            ((line & m.set_mask) as usize, line >> m.set_shift)
+        } else {
+            let line = addr / self.config.line_bytes as u64;
+            let idx = (line % self.num_sets as u64) as usize;
+            let tag = line / self.num_sets as u64;
+            (idx, tag)
+        }
     }
 
     /// Accesses `addr`; returns true on hit. Misses allocate (LRU
@@ -96,22 +136,34 @@ impl Cache {
         let stamp = self.stamp;
         let ways = self.config.ways;
         let (idx, tag) = self.index_tag(addr);
-        let set = &mut self.sets[idx];
-        if let Some(entry) = set.iter_mut().find(|(t, _)| *t == tag) {
-            entry.1 = stamp;
-            self.hits += 1;
-            return true;
+        let base = idx * ways;
+        let tags = &mut self.tags[base..base + ways];
+        let stamps = &mut self.stamps[base..base + ways];
+        // Victim selection doubles as the hit scan: the first invalid
+        // way (fill in push order) or, with the set full, the
+        // smallest-stamp way (true LRU; stamps are unique).
+        let mut victim = 0;
+        let mut victim_stamp = u64::MAX;
+        for way in 0..ways {
+            let s = stamps[way];
+            if s == 0 {
+                // Invalid ways are a suffix: no hit further right.
+                victim = way;
+                break;
+            }
+            if tags[way] == tag {
+                stamps[way] = stamp;
+                self.hits += 1;
+                return true;
+            }
+            if s < victim_stamp {
+                victim_stamp = s;
+                victim = way;
+            }
         }
         self.misses += 1;
-        if set.len() < ways {
-            set.push((tag, stamp));
-        } else {
-            let lru = set
-                .iter_mut()
-                .min_by_key(|(_, s)| *s)
-                .expect("set is non-empty");
-            *lru = (tag, stamp);
-        }
+        tags[victim] = tag;
+        stamps[victim] = stamp;
         false
     }
 

@@ -15,17 +15,49 @@
 //! The trace is the committed path; wrong-path fetch is modelled as the
 //! refill delay rather than simulated instruction-by-instruction, which
 //! is the standard trace-driven approximation.
+//!
+//! ## Performance architecture
+//!
+//! Timestamps live in window-bounded ring buffers inside a reusable
+//! [`CoreScratch`] (see the [`crate::scratch`] module docs), and the hot
+//! loop iterates the scratch's decoded structure-of-arrays form of the
+//! trace instead of the `Inst` enum — so `run_with_scratch` is
+//! constant-memory in the trace length and allocation-free in steady
+//! state. Every optimization preserves **bit-identical** `CoreMetrics`
+//! (including the predictor train order) with the retained naive engine
+//! in [`reference`], which the equivalence suite pins across
+//! seeds × traces × configs.
 
 use crate::cache::{AddressModel, CacheHierarchy};
 use crate::config::CoreConfig;
 use crate::metrics::CoreMetrics;
-use crate::predictor::{OverridingPredictor, PredictOutcome};
-use crate::trace::{InstKind, Trace};
+use crate::scratch::{
+    CoreScratch, FLAG_LOAD, FLAG_MISPREDICT, FLAG_OVERRIDE, FLAG_STORE, LANE_COMMIT, LANE_FETCH,
+    LANE_ISSUE, LANE_RENAME,
+};
+use crate::trace::Trace;
 
 /// The core simulator.
 #[derive(Debug, Clone)]
 pub struct CoreSimulator {
     config: CoreConfig,
+}
+
+/// Asserts that `config` is simulatable (shared by both engines).
+fn validate_config(config: &CoreConfig) {
+    assert!(config.width > 0, "core width must be positive");
+    assert!(
+        config.rob > 0 && config.issue_queue > 0,
+        "OoO structures must be non-empty"
+    );
+    assert!(
+        config.load_queue > 0 && config.store_queue > 0,
+        "load/store queues must be non-empty"
+    );
+    assert!(
+        config.bypass_cycles >= 1,
+        "bypass latency is at least one cycle"
+    );
 }
 
 impl CoreSimulator {
@@ -36,23 +68,24 @@ impl CoreSimulator {
     /// Panics on degenerate configurations (zero width or capacities).
     #[must_use]
     pub fn new(config: CoreConfig) -> Self {
-        assert!(config.width > 0, "core width must be positive");
-        assert!(
-            config.rob > 0 && config.issue_queue > 0,
-            "OoO structures must be non-empty"
-        );
-        assert!(
-            config.bypass_cycles >= 1,
-            "bypass latency is at least one cycle"
-        );
+        validate_config(&config);
         CoreSimulator { config }
     }
 
     /// Runs the trace to completion with the trace's pre-rolled load
-    /// latencies.
+    /// latencies, using a throwaway scratch. Prefer
+    /// [`CoreSimulator::run_with_scratch`] when running more than once.
     #[must_use]
     pub fn run(&self, trace: &Trace) -> CoreMetrics {
-        self.run_inner(trace, |_| None)
+        self.run_with_scratch(trace, &mut CoreScratch::new())
+    }
+
+    /// Runs the trace with pre-rolled load latencies, reusing `scratch`
+    /// (ring buffers + decoded trace) so repeated runs perform zero
+    /// steady-state heap allocations.
+    #[must_use]
+    pub fn run_with_scratch(&self, trace: &Trace, scratch: &mut CoreScratch) -> CoreMetrics {
+        self.run_inner(trace, scratch, |_| None)
     }
 
     /// Runs the trace with loads resolved by a simulated cache hierarchy
@@ -65,7 +98,21 @@ impl CoreSimulator {
         memory: &mut CacheHierarchy,
         addrs: &mut AddressModel,
     ) -> CoreMetrics {
-        self.run_inner(trace, |_| Some(memory.load_latency(addrs.next_addr())))
+        self.run_with_memory_scratch(trace, memory, addrs, &mut CoreScratch::new())
+    }
+
+    /// [`CoreSimulator::run_with_memory`] with a caller-owned scratch.
+    #[must_use]
+    pub fn run_with_memory_scratch(
+        &self,
+        trace: &Trace,
+        memory: &mut CacheHierarchy,
+        addrs: &mut AddressModel,
+        scratch: &mut CoreScratch,
+    ) -> CoreMetrics {
+        self.run_inner(trace, scratch, |_| {
+            Some(memory.load_latency(addrs.next_addr()))
+        })
     }
 
     /// Decomposes execution time into stall sources by idealization
@@ -76,9 +123,17 @@ impl CoreSimulator {
     /// Returns `[base, frontend/branch, structure, memory]` cycles.
     #[must_use]
     pub fn cpi_stack(&self, trace: &Trace) -> [u64; 4] {
-        let real = self.run(trace).cycles;
+        self.cpi_stack_with_scratch(trace, &mut CoreScratch::new())
+    }
+
+    /// [`CoreSimulator::cpi_stack`] reusing one scratch across the four
+    /// idealized runs (the trace is decoded once; the rings serve all
+    /// four window shapes).
+    #[must_use]
+    pub fn cpi_stack_with_scratch(&self, trace: &Trace, scratch: &mut CoreScratch) -> [u64; 4] {
+        let real = self.run_with_scratch(trace, scratch).cycles;
         // Ideal memory: every load is a 1-cycle hit.
-        let ideal_mem = self.run_inner(trace, |_| Some(1)).cycles;
+        let ideal_mem = self.run_inner(trace, scratch, |_| Some(1)).cycles;
         // Ideal structures on top: unbounded ROB/IQ/LSQ.
         let roomy = CoreSimulator::new(CoreConfig {
             rob: usize::MAX / 2,
@@ -87,7 +142,7 @@ impl CoreSimulator {
             store_queue: usize::MAX / 2,
             ..self.config
         });
-        let ideal_struct = roomy.run_inner(trace, |_| Some(1)).cycles;
+        let ideal_struct = roomy.run_inner(trace, scratch, |_| Some(1)).cycles;
         // Ideal frontend on top: zero-depth refill (mispredicts still
         // redirect, but the refill pipe is free).
         let perfect = CoreSimulator::new(CoreConfig {
@@ -98,7 +153,7 @@ impl CoreSimulator {
             frontend_depth: 0,
             ..self.config
         });
-        let base = perfect.run_inner(trace, |_| Some(1)).cycles;
+        let base = perfect.run_inner(trace, scratch, |_| Some(1)).cycles;
         [
             base,
             ideal_struct.saturating_sub(base),
@@ -107,133 +162,394 @@ impl CoreSimulator {
         ]
     }
 
+    /// The hot loop: program-order timestamp recurrence over the decoded
+    /// trace, with every timestamp series in a window-bounded ring.
+    ///
+    /// `load_latency` is consulted once per load, in program order;
+    /// `None` falls back to the trace's pre-rolled latency. The
+    /// recurrence, predictor train order and counter updates replicate
+    /// [`reference::ReferenceCoreSimulator`] exactly — bit-identity is
+    /// the invariant every optimization here must preserve.
     fn run_inner(
         &self,
         trace: &Trace,
+        scratch: &mut CoreScratch,
         mut load_latency: impl FnMut(usize) -> Option<u32>,
     ) -> CoreMetrics {
         let c = self.config;
         let n = trace.len();
-        let mut fetch = vec![0u64; n];
-        let mut rename = vec![0u64; n];
-        let mut issue = vec![0u64; n];
-        let mut complete = vec![0u64; n];
-        let mut commit = vec![0u64; n];
-        // Load/store queue release tracking by memory-op ordinal.
-        let mut load_commits: Vec<u64> = Vec::new();
-        let mut store_commits: Vec<u64> = Vec::new();
+        scratch.decode(trace);
+        scratch.size_rings(&c, n, trace.max_src_distance() as usize);
 
-        let mut predictor = OverridingPredictor::boom_like();
+        // Ring slices and their index masks. Capacities are powers of
+        // two and never zero; the explicit non-empty assertion is what
+        // lets the compiler prove `idx & (len - 1) < len` and drop both
+        // the per-access bounds check and the per-access `len == 0`
+        // guard it otherwise keeps (the mask would be `usize::MAX` for
+        // an empty ring).
+        fn ring<T>(buf: &mut [T]) -> (&mut [T], usize) {
+            assert!(!buf.is_empty(), "rings always hold at least one slot");
+            let mask = buf.len() - 1;
+            (buf, mask)
+        }
+        let (pipe, pipe_mask) = ring(&mut scratch.pipe);
+        let (complete, complete_mask) = ring(&mut scratch.complete);
+        let (load_ring, load_mask) = ring(&mut scratch.load_ring);
+        let (store_ring, store_mask) = ring(&mut scratch.store_ring);
+
+        // Decoded trace (one packed record per instruction).
+        let decoded = &scratch.decoded[..n];
+
+        // The loop body below is **branch-free** apart from the memory
+        // model's per-load callout: every structural constraint reads
+        // its ring unconditionally (a wrapped index is always in-bounds)
+        // and cmov-gates the value, because whether a constraint applies
+        // at instruction `i` depends on the (random) instruction mix —
+        // a conditional here mispredicts constantly on the host.
+        // Constraints that can never fire within `n` instructions are
+        // gated by these hoisted flags, so stale ring slots they would
+        // read are discarded.
+        let rob = c.rob;
+        let iq = c.issue_queue;
+        let rob_active = rob < n;
+        let iq_active = iq < n;
+        let lq = c.load_queue;
+        let sq = c.store_queue;
+        let lq_active = lq <= n;
+        let sq_active = sq <= n;
+
         let mut redirect_barrier: u64 = 0; // earliest fetch after a refill
         let mut fetch_bubble: u64 = 0; // accumulated override bubbles
+        let mut prev_commit: u64 = 0; // commit[i - 1]
 
-        let mut branches = 0u64;
-        let mut mispredicts = 0u64;
-        let mut overrides = 0u64;
+        let mut loads_committed: usize = 0;
+        let mut stores_committed: usize = 0;
 
         let fd = u64::from(c.frontend_depth);
         let bypass_extra = u64::from(c.bypass_cycles - 1);
+        let override_bubble = u64::from(c.override_bubble);
+        let w = c.width;
 
         for i in 0..n {
-            let inst = &trace.insts[i];
+            let [flag, base_latency, d1, d2] = decoded[i];
+
+            // The `i - width` lookback serves all four pipeline lanes;
+            // with the fused ring that is one slot (one cache line).
+            // When the capacity equals `width` this is the very slot
+            // lane writes below recycle — each lane reads its previous
+            // value before overwriting it, exactly like the split rings
+            // did.
+            let wslot = pipe[i.wrapping_sub(w) & pipe_mask].0;
+            let in_window = i >= w;
 
             // -- Fetch: width per cycle, after any redirect barrier.
-            let bw_fetch = if i >= c.width {
-                fetch[i - c.width] + 1
-            } else {
-                0
-            };
-            fetch[i] = bw_fetch.max(redirect_barrier).max(fetch_bubble);
+            let bw_fetch = if in_window { wslot[LANE_FETCH] + 1 } else { 0 };
+            let fe = bw_fetch.max(redirect_barrier).max(fetch_bubble);
 
             // -- Rename: frontend depth later, limited by width and by
             //    structural capacity (a slot frees when the displacing
             //    entry leaves).
-            let mut r = fetch[i] + fd;
-            if i >= c.width {
-                r = r.max(rename[i - c.width] + 1);
-            }
-            if i >= c.rob {
-                r = r.max(commit[i - c.rob]); // ROB slot frees at commit
-            }
-            if i >= c.issue_queue {
-                r = r.max(issue[i - c.issue_queue] + 1); // IQ entry frees at issue
-            }
-            match inst.kind {
-                InstKind::Load { .. } if load_commits.len() >= c.load_queue => {
-                    r = r.max(load_commits[load_commits.len() - c.load_queue]);
-                }
-                InstKind::Store if store_commits.len() >= c.store_queue => {
-                    r = r.max(store_commits[store_commits.len() - c.store_queue]);
-                }
-                _ => {}
-            }
-            rename[i] = r;
+            let mut r = fe + fd;
+            r = r.max(if in_window { wslot[LANE_RENAME] + 1 } else { 0 });
+            // ROB slot frees at commit; IQ entry frees at issue.
+            let robv = pipe[i.wrapping_sub(rob) & pipe_mask].0[LANE_COMMIT];
+            r = r.max(if rob_active & (i >= rob) { robv } else { 0 });
+            let iqv = pipe[i.wrapping_sub(iq) & pipe_mask].0[LANE_ISSUE] + 1;
+            r = r.max(if iq_active & (i >= iq) { iqv } else { 0 });
+            // LQ/SQ capacity: a slot frees when the displacing memory
+            // op commits.
+            let is_load = flag & FLAG_LOAD != 0;
+            let is_store = flag & FLAG_STORE != 0;
+            let lv = load_ring[loads_committed.wrapping_sub(lq) & load_mask];
+            let sv = store_ring[stores_committed.wrapping_sub(sq) & store_mask];
+            let l_gate = is_load & lq_active & (loads_committed >= lq);
+            let s_gate = is_store & sq_active & (stores_committed >= sq);
+            r = r.max(if l_gate { lv } else { 0 });
+            r = r.max(if s_gate { sv } else { 0 });
 
             // -- Ready: all sources produced, plus the bypass penalty.
-            let mut ready = rename[i] + 1;
-            for src in inst.srcs.into_iter().flatten() {
-                let p = i - src as usize;
-                ready = ready.max(complete[p] + bypass_extra);
-            }
+            //    Distance 0 ("no operand") selects a wrapped stale slot
+            //    that the cmov discards.
+            let mut ready = r + 1;
+            let d1 = d1 as usize;
+            let v1 = complete[i.wrapping_sub(d1) & complete_mask] + bypass_extra;
+            ready = ready.max(if d1 != 0 { v1 } else { 0 });
+            let d2 = d2 as usize;
+            let v2 = complete[i.wrapping_sub(d2) & complete_mask] + bypass_extra;
+            ready = ready.max(if d2 != 0 { v2 } else { 0 });
 
             // -- Issue: port bandwidth `width` per cycle.
-            let mut iss = ready;
-            if i >= c.width {
-                iss = iss.max(issue[i - c.width] + 1);
-            }
-            issue[i] = iss;
+            let iss = ready.max(if in_window { wslot[LANE_ISSUE] + 1 } else { 0 });
 
-            // -- Execute.
-            let latency = match inst.kind {
-                InstKind::Alu | InstKind::Store => 1,
-                InstKind::Mul => 3,
-                InstKind::Load { latency } => load_latency(i).unwrap_or(latency).max(1),
-                InstKind::Branch { .. } => 1,
-            };
-            complete[i] = issue[i] + u64::from(latency);
+            // -- Execute. Decode pre-clamps stored latencies, so only a
+            //    memory-model answer needs the `.max(1)` here.
+            let mut latency = base_latency;
+            if flag & FLAG_LOAD != 0 {
+                if let Some(v) = load_latency(i) {
+                    latency = v.max(1);
+                }
+            }
+            let comp = iss + u64::from(latency);
+            complete[i & complete_mask] = comp;
 
             // -- Commit: in order, width per cycle.
-            let mut cm = complete[i] + 1;
-            if i > 0 {
-                cm = cm.max(commit[i - 1]);
-            }
-            if i >= c.width {
-                cm = cm.max(commit[i - c.width] + 1);
-            }
-            commit[i] = cm;
+            let mut cm = comp + 1;
+            cm = cm.max(prev_commit);
+            cm = cm.max(if in_window { wslot[LANE_COMMIT] + 1 } else { 0 });
+            prev_commit = cm;
 
-            match inst.kind {
-                InstKind::Load { .. } => load_commits.push(commit[i]),
-                InstKind::Store => store_commits.push(commit[i]),
-                InstKind::Branch { taken } => {
-                    branches += 1;
-                    match predictor.predict_and_train(inst.pc, taken) {
-                        PredictOutcome::Correct => {}
-                        PredictOutcome::Overridden => {
-                            overrides += 1;
-                            // The backup predictor redirects fetch a couple
-                            // of cycles after this branch was fetched.
-                            fetch_bubble =
-                                fetch_bubble.max(fetch[i] + u64::from(c.override_bubble));
-                        }
-                        PredictOutcome::Mispredicted => {
-                            mispredicts += 1;
-                            // Full refill: younger fetch restarts after
-                            // resolution and re-traverses the frontend.
-                            redirect_barrier = redirect_barrier.max(complete[i]);
-                        }
-                    }
-                }
-                _ => {}
-            }
+            // One fused 32-byte slot store per instruction (instead of
+            // four lane stores spread across the body): every
+            // same-iteration lane read above wants the slot's *previous*
+            // occupant, so deferring the write to the end is
+            // behaviour-preserving and halves the store-buffer traffic.
+            pipe[i & pipe_mask] = crate::scratch::PipeSlot([fe, r, iss, cm]);
+
+            // Branchless memory-op bookkeeping: both rings' next slots
+            // are written unconditionally (their capacity exceeds the
+            // queue depth, so the next slot is never one a constraint
+            // read can select), and only the matching counter advances.
+            load_ring[loads_committed & load_mask] = cm;
+            store_ring[stores_committed & store_mask] = cm;
+            loads_committed += usize::from(is_load);
+            stores_committed += usize::from(is_store);
+            // Branch outcomes are baked in at decode; which way any one
+            // branch went is random, so both updates are cmov-selected
+            // rather than branched on. `FLAG_OVERRIDE` wins over
+            // `FLAG_MISPREDICT` exactly as the reference's if/else does.
+            let overridden = flag & FLAG_OVERRIDE != 0;
+            let mispredicted = flag & FLAG_MISPREDICT != 0;
+            // The backup predictor redirects fetch a couple of cycles
+            // after this branch was fetched.
+            let ov = fe + override_bubble;
+            fetch_bubble = fetch_bubble.max(if overridden { ov } else { 0 });
+            // Full refill: younger fetch restarts after resolution and
+            // re-traverses the frontend.
+            redirect_barrier =
+                redirect_barrier.max(if mispredicted & !overridden { comp } else { 0 });
         }
 
+        // Branch statistics come from the decode-time predictor replay:
+        // the train sequence is trace-determined, so the totals are the
+        // same for every configuration (the equivalence suite pins this
+        // against the reference engine's in-loop predictor).
         CoreMetrics {
             instructions: n as u64,
-            cycles: commit.last().copied().unwrap_or(0),
-            branches,
-            mispredicts,
-            overrides,
+            cycles: prev_commit,
+            branches: scratch.trace_branches,
+            mispredicts: scratch.trace_mispredicts,
+            overrides: scratch.trace_overrides,
+        }
+    }
+}
+
+/// The retained naive engine: full-trace scoreboards, one `Vec<u64>` per
+/// timestamp series, exactly as the simulator shipped before the
+/// ring-buffer rework. Compiled under `cfg(test)` or the
+/// `reference-sim` feature; the equivalence suite and the `bench-core`
+/// emitter assert the optimized engine reproduces it bit-for-bit.
+#[cfg(any(test, feature = "reference-sim"))]
+pub mod reference {
+    use super::{validate_config, AddressModel, CacheHierarchy, CoreConfig, CoreMetrics};
+    use crate::predictor::{OverridingPredictor, PredictOutcome};
+    use crate::trace::{InstKind, Trace};
+
+    /// The reference core simulator (naive O(trace) memory engine).
+    #[derive(Debug, Clone)]
+    pub struct ReferenceCoreSimulator {
+        config: CoreConfig,
+    }
+
+    impl ReferenceCoreSimulator {
+        /// Creates a reference simulator for `config`.
+        ///
+        /// # Panics
+        ///
+        /// Panics on degenerate configurations, matching
+        /// [`CoreSimulator`](super::CoreSimulator::new).
+        #[must_use]
+        pub fn new(config: CoreConfig) -> Self {
+            validate_config(&config);
+            ReferenceCoreSimulator { config }
+        }
+
+        /// Runs the trace with its pre-rolled load latencies.
+        #[must_use]
+        pub fn run(&self, trace: &Trace) -> CoreMetrics {
+            self.run_inner(trace, |_| None)
+        }
+
+        /// Runs the trace against a simulated cache hierarchy.
+        #[must_use]
+        pub fn run_with_memory(
+            &self,
+            trace: &Trace,
+            memory: &mut CacheHierarchy,
+            addrs: &mut AddressModel,
+        ) -> CoreMetrics {
+            self.run_inner(trace, |_| Some(memory.load_latency(addrs.next_addr())))
+        }
+
+        /// CPI stack by idealization, like
+        /// [`CoreSimulator::cpi_stack`](super::CoreSimulator::cpi_stack).
+        #[must_use]
+        pub fn cpi_stack(&self, trace: &Trace) -> [u64; 4] {
+            let real = self.run(trace).cycles;
+            let ideal_mem = self.run_inner(trace, |_| Some(1)).cycles;
+            let roomy = ReferenceCoreSimulator::new(CoreConfig {
+                rob: usize::MAX / 2,
+                issue_queue: usize::MAX / 2,
+                load_queue: usize::MAX / 2,
+                store_queue: usize::MAX / 2,
+                ..self.config
+            });
+            let ideal_struct = roomy.run_inner(trace, |_| Some(1)).cycles;
+            let perfect = ReferenceCoreSimulator::new(CoreConfig {
+                rob: usize::MAX / 2,
+                issue_queue: usize::MAX / 2,
+                load_queue: usize::MAX / 2,
+                store_queue: usize::MAX / 2,
+                frontend_depth: 0,
+                ..self.config
+            });
+            let base = perfect.run_inner(trace, |_| Some(1)).cycles;
+            [
+                base,
+                ideal_struct.saturating_sub(base),
+                ideal_mem.saturating_sub(ideal_struct),
+                real.saturating_sub(ideal_mem),
+            ]
+        }
+
+        fn run_inner(
+            &self,
+            trace: &Trace,
+            mut load_latency: impl FnMut(usize) -> Option<u32>,
+        ) -> CoreMetrics {
+            let c = self.config;
+            let n = trace.len();
+            let insts = trace.insts();
+            let mut fetch = vec![0u64; n];
+            let mut rename = vec![0u64; n];
+            let mut issue = vec![0u64; n];
+            let mut complete = vec![0u64; n];
+            let mut commit = vec![0u64; n];
+            // Load/store queue release tracking by memory-op ordinal.
+            let mut load_commits: Vec<u64> = Vec::new();
+            let mut store_commits: Vec<u64> = Vec::new();
+
+            let mut predictor = OverridingPredictor::boom_like();
+            let mut redirect_barrier: u64 = 0; // earliest fetch after a refill
+            let mut fetch_bubble: u64 = 0; // accumulated override bubbles
+
+            let mut branches = 0u64;
+            let mut mispredicts = 0u64;
+            let mut overrides = 0u64;
+
+            let fd = u64::from(c.frontend_depth);
+            let bypass_extra = u64::from(c.bypass_cycles - 1);
+
+            for i in 0..n {
+                let inst = &insts[i];
+
+                // -- Fetch: width per cycle, after any redirect barrier.
+                let bw_fetch = if i >= c.width {
+                    fetch[i - c.width] + 1
+                } else {
+                    0
+                };
+                fetch[i] = bw_fetch.max(redirect_barrier).max(fetch_bubble);
+
+                // -- Rename: frontend depth later, limited by width and by
+                //    structural capacity (a slot frees when the displacing
+                //    entry leaves).
+                let mut r = fetch[i] + fd;
+                if i >= c.width {
+                    r = r.max(rename[i - c.width] + 1);
+                }
+                if i >= c.rob {
+                    r = r.max(commit[i - c.rob]); // ROB slot frees at commit
+                }
+                if i >= c.issue_queue {
+                    r = r.max(issue[i - c.issue_queue] + 1); // IQ entry frees at issue
+                }
+                match inst.kind {
+                    InstKind::Load { .. } if load_commits.len() >= c.load_queue => {
+                        r = r.max(load_commits[load_commits.len() - c.load_queue]);
+                    }
+                    InstKind::Store if store_commits.len() >= c.store_queue => {
+                        r = r.max(store_commits[store_commits.len() - c.store_queue]);
+                    }
+                    _ => {}
+                }
+                rename[i] = r;
+
+                // -- Ready: all sources produced, plus the bypass penalty.
+                let mut ready = rename[i] + 1;
+                for src in inst.srcs.into_iter().flatten() {
+                    let p = i - src as usize;
+                    ready = ready.max(complete[p] + bypass_extra);
+                }
+
+                // -- Issue: port bandwidth `width` per cycle.
+                let mut iss = ready;
+                if i >= c.width {
+                    iss = iss.max(issue[i - c.width] + 1);
+                }
+                issue[i] = iss;
+
+                // -- Execute.
+                let latency = match inst.kind {
+                    InstKind::Alu | InstKind::Store => 1,
+                    InstKind::Mul => 3,
+                    InstKind::Load { latency } => load_latency(i).unwrap_or(latency).max(1),
+                    InstKind::Branch { .. } => 1,
+                };
+                complete[i] = issue[i] + u64::from(latency);
+
+                // -- Commit: in order, width per cycle.
+                let mut cm = complete[i] + 1;
+                if i > 0 {
+                    cm = cm.max(commit[i - 1]);
+                }
+                if i >= c.width {
+                    cm = cm.max(commit[i - c.width] + 1);
+                }
+                commit[i] = cm;
+
+                match inst.kind {
+                    InstKind::Load { .. } => load_commits.push(commit[i]),
+                    InstKind::Store => store_commits.push(commit[i]),
+                    InstKind::Branch { taken } => {
+                        branches += 1;
+                        match predictor.predict_and_train(inst.pc, taken) {
+                            PredictOutcome::Correct => {}
+                            PredictOutcome::Overridden => {
+                                overrides += 1;
+                                // The backup predictor redirects fetch a couple
+                                // of cycles after this branch was fetched.
+                                fetch_bubble =
+                                    fetch_bubble.max(fetch[i] + u64::from(c.override_bubble));
+                            }
+                            PredictOutcome::Mispredicted => {
+                                mispredicts += 1;
+                                // Full refill: younger fetch restarts after
+                                // resolution and re-traverses the frontend.
+                                redirect_barrier = redirect_barrier.max(complete[i]);
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+
+            CoreMetrics {
+                instructions: n as u64,
+                cycles: commit.last().copied().unwrap_or(0),
+                branches,
+                mispredicts,
+                overrides,
+            }
         }
     }
 }
@@ -369,6 +685,34 @@ mod tests {
     }
 
     #[test]
+    fn scratch_reuse_is_result_invariant() {
+        // One scratch across traces, configs and window shapes must
+        // never change any result.
+        let mut scratch = CoreScratch::new();
+        let traces = [
+            parsec(20_000),
+            TraceConfig::serial_chain().generate(5_000, 2),
+        ];
+        let configs = [
+            CoreConfig::skylake_8_wide(),
+            CoreConfig::cryosp(),
+            CoreConfig {
+                rob: 16,
+                issue_queue: 8,
+                ..CoreConfig::cryocore_4_wide()
+            },
+        ];
+        for t in &traces {
+            for cfg in configs {
+                let sim = CoreSimulator::new(cfg);
+                let fresh = sim.run(t);
+                let reused = sim.run_with_scratch(t, &mut scratch);
+                assert_eq!(fresh, reused, "scratch reuse changed a result");
+            }
+        }
+    }
+
+    #[test]
     fn cache_capacity_shapes_ipc() {
         // Address-driven loads: a working set that fits L2 but not L1
         // must run faster on the real hierarchy than a pure streaming
@@ -423,6 +767,15 @@ mod tests {
     fn zero_width_rejected() {
         let _ = CoreSimulator::new(CoreConfig {
             width: 0,
+            ..CoreConfig::skylake_8_wide()
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "queues must be non-empty")]
+    fn zero_load_queue_rejected() {
+        let _ = CoreSimulator::new(CoreConfig {
+            load_queue: 0,
             ..CoreConfig::skylake_8_wide()
         });
     }

@@ -27,16 +27,20 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod arena;
 pub mod cache;
 pub mod config;
 pub mod core;
 pub mod metrics;
 pub mod predictor;
+pub mod scratch;
 pub mod trace;
 
+pub use arena::TraceArena;
 pub use cache::{AddressModel, Cache, CacheConfig, CacheHierarchy};
 pub use config::CoreConfig;
 pub use core::CoreSimulator;
 pub use metrics::CoreMetrics;
 pub use predictor::{Btb, GShare, OverridingPredictor};
-pub use trace::{Inst, InstKind, Trace, TraceConfig};
+pub use scratch::CoreScratch;
+pub use trace::{Inst, InstKind, Trace, TraceConfig, TraceError};

@@ -48,6 +48,11 @@ impl Btb {
         let idx = self.index(pc);
         self.entries[idx] = Some((pc, taken));
     }
+
+    /// Restores the untrained state in place (no reallocation).
+    pub fn reset(&mut self) {
+        self.entries.fill(None);
+    }
 }
 
 /// GShare-family history predictor: 2-bit saturating counters indexed by
@@ -106,6 +111,12 @@ impl GShare {
         }
         self.history = (self.history << 1) | u64::from(taken);
     }
+
+    /// Restores the untrained state in place (no reallocation).
+    pub fn reset(&mut self) {
+        self.counters.fill(2); // weakly taken
+        self.history = 0;
+    }
 }
 
 /// What the overriding frontend did for one branch.
@@ -126,6 +137,12 @@ pub struct OverridingPredictor {
     gshare: GShare,
 }
 
+impl Default for OverridingPredictor {
+    fn default() -> Self {
+        OverridingPredictor::boom_like()
+    }
+}
+
 impl OverridingPredictor {
     /// The BOOM-like configuration used throughout (512-entry BTB,
     /// 4K-counter GShare over 4 bits of global history — enough context
@@ -137,6 +154,14 @@ impl OverridingPredictor {
             btb: Btb::new(512),
             gshare: GShare::new(12, 4),
         }
+    }
+
+    /// Restores the untrained [`OverridingPredictor::boom_like`] state
+    /// in place — no reallocation, so a scratch-held predictor keeps the
+    /// hot loop allocation-free while every run still starts cold.
+    pub fn reset(&mut self) {
+        self.btb.reset();
+        self.gshare.reset();
     }
 
     /// Runs one branch through the overriding structure and trains both
@@ -166,7 +191,7 @@ mod tests {
     fn branch_stream(n: usize, seed: u64) -> Vec<(u64, bool)> {
         TraceConfig::parsec_like()
             .generate(n, seed)
-            .insts
+            .insts()
             .iter()
             .filter_map(|i| match i.kind {
                 InstKind::Branch { taken } => Some((i.pc, taken)),

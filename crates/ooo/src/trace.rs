@@ -6,6 +6,12 @@
 //! (branches follow a hidden function of recent history plus noise, so a
 //! history-based predictor like GShare genuinely has something to learn —
 //! and a too-shallow predictor genuinely mispredicts).
+//!
+//! Traces are validated at construction: every source-operand distance
+//! must point at an earlier instruction ([`Trace::new`] returns a
+//! [`TraceError`] otherwise), so the simulation engines can index
+//! producers without per-instruction bounds logic — a malformed trace is
+//! a structured error at the boundary, never a panic in the hot loop.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -32,7 +38,7 @@ pub enum InstKind {
 }
 
 /// One instruction of a trace.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Inst {
     /// Program counter (synthetic).
     pub pc: u64,
@@ -43,14 +49,84 @@ pub struct Inst {
     pub srcs: [Option<u32>; 2],
 }
 
-/// A generated instruction stream.
-#[derive(Debug, Clone, PartialEq)]
+/// A malformed instruction stream, rejected at [`Trace`] construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceError {
+    /// A source-operand distance reaches before the start of the trace
+    /// (`distance > index`) or names the instruction itself
+    /// (`distance == 0`); the producer does not exist.
+    DanglingDependency {
+        /// Index of the offending instruction.
+        index: usize,
+        /// The invalid backward distance.
+        distance: u32,
+    },
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::DanglingDependency { index, distance } => write!(
+                f,
+                "instruction {index} depends on a producer {distance} back, \
+                 which does not exist"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// A generated instruction stream, validated at construction.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Trace {
-    /// The instructions, in program order.
-    pub insts: Vec<Inst>,
+    /// The instructions, in program order. Private so the construction
+    /// invariant (no dangling dependencies) cannot be broken after
+    /// validation.
+    insts: Vec<Inst>,
+    /// Largest source-operand distance in the trace — the dependency
+    /// window the simulation engines must keep live.
+    max_src: u32,
 }
 
 impl Trace {
+    /// Builds a trace from raw instructions, validating every
+    /// source-operand distance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::DanglingDependency`] if any source distance
+    /// is zero (self-dependency) or reaches before the trace start.
+    pub fn new(insts: Vec<Inst>) -> Result<Self, TraceError> {
+        let mut max_src = 0u32;
+        for (i, inst) in insts.iter().enumerate() {
+            for src in inst.srcs.into_iter().flatten() {
+                if src == 0 || src as usize > i {
+                    return Err(TraceError::DanglingDependency {
+                        index: i,
+                        distance: src,
+                    });
+                }
+                max_src = max_src.max(src);
+            }
+        }
+        Ok(Trace { insts, max_src })
+    }
+
+    /// The instructions, in program order.
+    #[must_use]
+    pub fn insts(&self) -> &[Inst] {
+        &self.insts
+    }
+
+    /// Largest source-operand distance in the trace (0 for a trace with
+    /// no register dependencies). The engines size their completion
+    /// window by this.
+    #[must_use]
+    pub fn max_src_distance(&self) -> u32 {
+        self.max_src
+    }
+
     /// Number of instructions.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -155,6 +231,34 @@ impl TraceConfig {
         }
     }
 
+    /// A stable content key over the profile's parameters, used by
+    /// [`TraceArena`](crate::arena::TraceArena) to share generated
+    /// traces between experiments. Two configs with identical field
+    /// values (bit-for-bit for the floats) share one key.
+    #[must_use]
+    pub fn content_key(&self) -> u64 {
+        // FNV-1a over the field bits: stable across runs and platforms,
+        // unlike `DefaultHasher`.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |v: u64| {
+            for byte in v.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        mix(self.load_frac.to_bits());
+        mix(self.store_frac.to_bits());
+        mix(self.branch_frac.to_bits());
+        mix(self.mul_frac.to_bits());
+        mix(self.load_miss_rate.to_bits());
+        mix(u64::from(self.load_hit_latency));
+        mix(u64::from(self.load_miss_latency));
+        mix(self.mean_dep_distance.to_bits());
+        mix(self.branch_predictability.to_bits());
+        mix(self.branch_sites);
+        h
+    }
+
     /// Generates `n` instructions with RNG `seed`.
     ///
     /// # Panics
@@ -219,7 +323,7 @@ impl TraceConfig {
             insts.push(Inst { pc, kind, srcs });
             pc += 4;
         }
-        Trace { insts }
+        Trace::new(insts).expect("the generator emits only in-range dependency distances")
     }
 }
 
@@ -232,7 +336,7 @@ mod tests {
         let t = TraceConfig::parsec_like().generate(50_000, 1);
         assert!((t.branch_fraction() - 0.18).abs() < 0.01);
         let loads = t
-            .insts
+            .insts()
             .iter()
             .filter(|i| matches!(i.kind, InstKind::Load { .. }))
             .count() as f64
@@ -243,17 +347,19 @@ mod tests {
     #[test]
     fn serial_chain_depends_on_previous() {
         let t = TraceConfig::serial_chain().generate(100, 2);
-        for (i, inst) in t.insts.iter().enumerate().skip(1) {
+        for (i, inst) in t.insts().iter().enumerate().skip(1) {
             assert_eq!(inst.srcs[0], Some(1), "inst {i} must depend on {}", i - 1);
         }
+        assert_eq!(t.max_src_distance(), 1);
     }
 
     #[test]
     fn dependencies_never_dangle() {
         let t = TraceConfig::parsec_like().generate(10_000, 3);
-        for (i, inst) in t.insts.iter().enumerate() {
+        for (i, inst) in t.insts().iter().enumerate() {
             for src in inst.srcs.into_iter().flatten() {
                 assert!(src as usize <= i, "dependency before trace start");
+                assert!(src <= t.max_src_distance());
             }
         }
     }
@@ -268,12 +374,71 @@ mod tests {
     }
 
     #[test]
+    fn malformed_distance_is_a_structured_error() {
+        // An out-of-range backward distance must be rejected at
+        // construction (the engines would otherwise underflow computing
+        // `i - distance`).
+        let bad = vec![Inst {
+            pc: 0x1000,
+            kind: InstKind::Alu,
+            srcs: [Some(3), None],
+        }];
+        assert_eq!(
+            Trace::new(bad),
+            Err(TraceError::DanglingDependency {
+                index: 0,
+                distance: 3
+            })
+        );
+        // A self-dependency (distance 0) is equally impossible.
+        let cyclic = vec![
+            Inst {
+                pc: 0x1000,
+                kind: InstKind::Alu,
+                srcs: [None, None],
+            },
+            Inst {
+                pc: 0x1004,
+                kind: InstKind::Alu,
+                srcs: [None, Some(0)],
+            },
+        ];
+        let err = Trace::new(cyclic).unwrap_err();
+        assert_eq!(
+            err,
+            TraceError::DanglingDependency {
+                index: 1,
+                distance: 0
+            }
+        );
+        assert!(err.to_string().contains("instruction 1"));
+    }
+
+    #[test]
+    fn valid_insts_round_trip() {
+        let t = TraceConfig::parsec_like().generate(500, 4);
+        let rebuilt = Trace::new(t.insts().to_vec()).expect("generated traces validate");
+        assert_eq!(rebuilt, t);
+    }
+
+    #[test]
+    fn content_key_separates_configs() {
+        let a = TraceConfig::parsec_like().content_key();
+        let b = TraceConfig::parsec_like().content_key();
+        assert_eq!(a, b);
+        assert_ne!(a, TraceConfig::serial_chain().content_key());
+        let mut tweaked = TraceConfig::parsec_like();
+        tweaked.load_miss_rate += 1e-9;
+        assert_ne!(a, tweaked.content_key());
+    }
+
+    #[test]
     fn branch_outcomes_are_learnable() {
         // The hidden rule must produce a non-trivially-biased stream
         // (history matters, not a constant).
         let t = TraceConfig::parsec_like().generate(20_000, 4);
         let taken: Vec<bool> = t
-            .insts
+            .insts()
             .iter()
             .filter_map(|i| match i.kind {
                 InstKind::Branch { taken } => Some(taken),

@@ -1,0 +1,239 @@
+//! Bit-identity suite: the ring-buffer engine must reproduce the
+//! retained naive engine (`core::reference`) exactly — same
+//! `CoreMetrics` (so same predictor train order: branches, overrides and
+//! mispredicts are order-sensitive counters), same CPI stacks, same
+//! address-driven memory runs — across seeds × traces × configs, both
+//! hand-picked and property-generated.
+
+use cryowire_ooo::core::reference::ReferenceCoreSimulator;
+use cryowire_ooo::{
+    AddressModel, CacheHierarchy, CoreConfig, CoreScratch, CoreSimulator, Inst, InstKind, Trace,
+    TraceConfig,
+};
+use proptest::prelude::*;
+
+fn trace_profiles() -> Vec<(&'static str, TraceConfig)> {
+    let mut memory_heavy = TraceConfig::parsec_like();
+    memory_heavy.load_frac = 0.45;
+    memory_heavy.load_miss_rate = 0.25;
+    memory_heavy.load_miss_latency = 90;
+    memory_heavy.mean_dep_distance = 40.0;
+    let mut branchy = TraceConfig::parsec_like();
+    branchy.branch_frac = 0.30;
+    branchy.branch_predictability = 0.7;
+    branchy.branch_sites = 1024;
+    vec![
+        ("parsec", TraceConfig::parsec_like()),
+        ("serial", TraceConfig::serial_chain()),
+        ("independent", TraceConfig::independent()),
+        ("memory-heavy", memory_heavy),
+        ("branchy", branchy),
+    ]
+}
+
+fn configs() -> Vec<(&'static str, CoreConfig)> {
+    vec![
+        ("skylake", CoreConfig::skylake_8_wide()),
+        ("cryocore", CoreConfig::cryocore_4_wide()),
+        ("cryosp", CoreConfig::cryosp()),
+        ("superpipelined", CoreConfig::superpipelined_8_wide()),
+        (
+            "tiny",
+            CoreConfig {
+                width: 1,
+                rob: 4,
+                issue_queue: 2,
+                load_queue: 1,
+                store_queue: 1,
+                frontend_depth: 2,
+                bypass_cycles: 1,
+                override_bubble: 1,
+            },
+        ),
+        (
+            "piped-backend",
+            CoreConfig {
+                bypass_cycles: 3,
+                ..CoreConfig::skylake_8_wide()
+            },
+        ),
+        (
+            "lsq-bound",
+            CoreConfig {
+                load_queue: 2,
+                store_queue: 2,
+                ..CoreConfig::cryocore_4_wide()
+            },
+        ),
+    ]
+}
+
+#[test]
+fn engines_bit_identical_across_seeds_traces_configs() {
+    let mut scratch = CoreScratch::new();
+    for (trace_name, profile) in trace_profiles() {
+        for seed in [1u64, 7, 42] {
+            let trace = profile.generate(12_000, seed);
+            for (cfg_name, cfg) in configs() {
+                let optimized = CoreSimulator::new(cfg).run_with_scratch(&trace, &mut scratch);
+                let reference = ReferenceCoreSimulator::new(cfg).run(&trace);
+                assert_eq!(
+                    optimized, reference,
+                    "engine divergence: trace={trace_name} seed={seed} config={cfg_name}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn cpi_stacks_bit_identical() {
+    let mut scratch = CoreScratch::new();
+    for (trace_name, profile) in trace_profiles() {
+        let trace = profile.generate(12_000, 3);
+        for (cfg_name, cfg) in configs() {
+            let optimized = CoreSimulator::new(cfg).cpi_stack_with_scratch(&trace, &mut scratch);
+            let reference = ReferenceCoreSimulator::new(cfg).cpi_stack(&trace);
+            assert_eq!(
+                optimized, reference,
+                "CPI-stack divergence: trace={trace_name} config={cfg_name}"
+            );
+        }
+    }
+}
+
+#[test]
+fn memory_driven_runs_bit_identical() {
+    // Address-driven loads thread a stateful cache hierarchy through the
+    // run; both engines must consult it in the same order with the same
+    // addresses.
+    let trace = TraceConfig::parsec_like().generate(20_000, 11);
+    for (cfg_name, cfg) in configs() {
+        let mut opt_mem = CacheHierarchy::table4_300k();
+        let mut opt_addrs = AddressModel::new(64 * 1024, 0.8, 5);
+        let optimized =
+            CoreSimulator::new(cfg).run_with_memory(&trace, &mut opt_mem, &mut opt_addrs);
+
+        let mut ref_mem = CacheHierarchy::table4_300k();
+        let mut ref_addrs = AddressModel::new(64 * 1024, 0.8, 5);
+        let reference =
+            ReferenceCoreSimulator::new(cfg).run_with_memory(&trace, &mut ref_mem, &mut ref_addrs);
+
+        assert_eq!(optimized, reference, "memory-run divergence: {cfg_name}");
+        assert_eq!(
+            opt_mem.miss_ratios(),
+            ref_mem.miss_ratios(),
+            "hierarchy state divergence: {cfg_name}"
+        );
+    }
+}
+
+#[test]
+fn empty_trace_is_identical_and_zero_cycles() {
+    let empty = Trace::new(Vec::new()).expect("empty trace is valid");
+    let cfg = CoreConfig::skylake_8_wide();
+    let optimized = CoreSimulator::new(cfg).run(&empty);
+    let reference = ReferenceCoreSimulator::new(cfg).run(&empty);
+    assert_eq!(optimized, reference);
+    assert_eq!(optimized.cycles, 0);
+    assert_eq!(optimized.instructions, 0);
+}
+
+// -- Property-based pinning over random configs and raw random traces
+//    (not just generator output: any validated `Trace` must agree).
+
+fn arb_config() -> impl Strategy<Value = CoreConfig> {
+    (
+        1usize..=8,  // width
+        1usize..=96, // rob
+        1usize..=48, // issue_queue
+        1usize..=24, // load_queue
+        1usize..=24, // store_queue
+        0u32..=10,   // frontend_depth
+        1u32..=3,    // bypass_cycles
+        0u32..=4,    // override_bubble
+    )
+        .prop_map(
+            |(width, rob, issue_queue, load_queue, store_queue, fd, bypass, bubble)| CoreConfig {
+                width,
+                rob,
+                issue_queue,
+                load_queue,
+                store_queue,
+                frontend_depth: fd,
+                bypass_cycles: bypass,
+                override_bubble: bubble,
+            },
+        )
+}
+
+fn arb_trace(max_len: usize) -> impl Strategy<Value = Trace> {
+    // Raw per-instruction material; dependency distances are folded into
+    // the valid `1..=i` range so construction always succeeds.
+    let inst = (
+        0u8..5,
+        0u64..64,
+        any::<u32>(),
+        any::<u32>(),
+        1u32..40,
+        any::<bool>(),
+    );
+    proptest::collection::vec(inst, 0..max_len).prop_map(|raw| {
+        let insts: Vec<Inst> = raw
+            .into_iter()
+            .enumerate()
+            .map(|(i, (class, site, s1, s2, latency, taken))| {
+                let fold = |raw_src: u32| {
+                    if i == 0 || raw_src.is_multiple_of(3) {
+                        None
+                    } else {
+                        Some(1 + raw_src % i as u32)
+                    }
+                };
+                let kind = match class {
+                    0 => InstKind::Alu,
+                    1 => InstKind::Mul,
+                    2 => InstKind::Load { latency },
+                    3 => InstKind::Store,
+                    _ => InstKind::Branch { taken },
+                };
+                Inst {
+                    pc: 0x1000 + site * 16,
+                    kind,
+                    srcs: [fold(s1), fold(s2)],
+                }
+            })
+            .collect();
+        Trace::new(insts).expect("folded distances are always in range")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_config_random_trace_engines_agree(
+        cfg in arb_config(),
+        trace in arb_trace(400),
+    ) {
+        let optimized = CoreSimulator::new(cfg).run(&trace);
+        let reference = ReferenceCoreSimulator::new(cfg).run(&trace);
+        prop_assert_eq!(optimized, reference);
+    }
+
+    #[test]
+    fn random_config_cpi_stack_agrees_and_sums(
+        cfg in arb_config(),
+        seed in 0u64..1_000,
+    ) {
+        let trace = TraceConfig::parsec_like().generate(2_000, seed);
+        let sim = CoreSimulator::new(cfg);
+        let optimized = sim.cpi_stack(&trace);
+        let reference = ReferenceCoreSimulator::new(cfg).cpi_stack(&trace);
+        prop_assert_eq!(optimized, reference);
+        // Invariant: components are the non-negative decomposition of
+        // the real cycle count.
+        let real = sim.run(&trace).cycles;
+        prop_assert_eq!(optimized.iter().sum::<u64>(), real);
+    }
+}

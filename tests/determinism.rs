@@ -47,6 +47,17 @@ fn simulation_experiments_are_deterministic() {
         experiments::coherence_cross_validation(),
         experiments::coherence_cross_validation()
     );
+    // The cycle-level experiments fan out across the harness executor
+    // and share traces through the global arena; neither may perturb
+    // the results run-to-run.
+    assert_eq!(
+        experiments::ablation_core_engine(),
+        experiments::ablation_core_engine()
+    );
+    assert_eq!(
+        experiments::cpi_stack_cycle_level(),
+        experiments::cpi_stack_cycle_level()
+    );
 }
 
 #[test]
