@@ -1,0 +1,318 @@
+//! Shared engine plumbing and the one-stop [`CoherenceSystem`] facade.
+//!
+//! Both cycle-level engines — the snooping bus ([`SnoopEngine`]) and
+//! the directory mesh ([`DirectoryEngine`]) — share the same run
+//! anatomy: per-core in-order streams with a single MSHR each,
+//! transitions applied at the fabric serialization point, completions
+//! delivered through a delayed event queue, and a progress watchdog.
+//! The types here hold that shared state; [`CoherenceScratch`] owns
+//! every reusable allocation so a sweep re-runs hundreds of configs
+//! without steady-state allocation (the PR-3/PR-4 discipline).
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use cryowire_faults::FaultSchedule;
+use cryowire_memory::llc_path::CoherenceStyle;
+use cryowire_memory::MemoryDesign;
+use cryowire_noc::{CryoBus, RouterNetwork, SharedBus};
+
+use crate::cache::{CacheGeometry, PrivateCache};
+use crate::directory::DirectoryEngine;
+use crate::error::CoherenceError;
+use crate::metrics::CommitEntry;
+use crate::snoop::{SnoopEngine, SnoopFabric};
+use crate::trace::AccessTrace;
+
+/// Which per-line state machine the engine runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Protocol {
+    /// Invalidation-based MESI (Illinois).
+    Mesi,
+    /// Update-based 4-state Dragon.
+    Dragon,
+}
+
+impl Protocol {
+    /// Display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Protocol::Mesi => "MESI",
+            Protocol::Dragon => "Dragon",
+        }
+    }
+}
+
+/// Engine configuration shared by the snooping and directory variants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoherenceConfig {
+    /// The protocol (the directory engine accepts only
+    /// [`Protocol::Mesi`]).
+    pub protocol: Protocol,
+    /// Private-cache geometry.
+    pub geometry: CacheGeometry,
+    /// Progress-watchdog budget: the run aborts with
+    /// [`CoherenceError::Stalled`] once the clock passes
+    /// `accesses * this + 100_000` cycles.
+    pub watchdog_cycles_per_access: u64,
+    /// Record the serialization-order commit log (for the reference
+    /// replay suite). Off in benchmarks.
+    pub record_commits: bool,
+}
+
+impl Default for CoherenceConfig {
+    fn default() -> Self {
+        CoherenceConfig {
+            protocol: Protocol::Mesi,
+            geometry: CacheGeometry::default_l1(),
+            watchdog_cycles_per_access: 10_000,
+            record_commits: false,
+        }
+    }
+}
+
+/// What a run produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOutcome {
+    /// Counters and timing.
+    pub metrics: crate::metrics::CoherenceMetrics,
+    /// Serialization-order commit log (empty unless
+    /// [`CoherenceConfig::record_commits`]).
+    pub commits: Vec<CommitEntry>,
+}
+
+/// A core's in-flight miss (its single MSHR).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PendingOp {
+    pub(crate) line: u64,
+    pub(crate) write: bool,
+    pub(crate) issued_at: u64,
+}
+
+/// A directory entry: the exclusive holder (E or M — E can upgrade
+/// silently, so the home must treat it as a potential owner) and the
+/// S-state sharer bitmask.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct DirEntry {
+    pub(crate) owner: Option<usize>,
+    pub(crate) sharers: u64,
+}
+
+/// Reusable run state: caches, queues, version maps. Reusing one
+/// scratch across sweep points keeps the steady-state loop free of
+/// per-run allocation churn.
+#[derive(Debug, Default)]
+pub struct CoherenceScratch {
+    pub(crate) caches: Vec<PrivateCache>,
+    pub(crate) geometry: Option<CacheGeometry>,
+    /// Latest committed version per line (the write serial).
+    pub(crate) latest: HashMap<u64, u64>,
+    /// Backing-store version per line (updated by flush/writeback).
+    pub(crate) memory: HashMap<u64, u64>,
+    pub(crate) requests: Vec<bool>,
+    pub(crate) pending: Vec<Option<PendingOp>>,
+    pub(crate) ready_at: Vec<u64>,
+    pub(crate) next_idx: Vec<usize>,
+    pub(crate) inflight: Vec<u64>,
+    pub(crate) completions: BinaryHeap<Reverse<(u64, u64, usize)>>,
+    pub(crate) commits: Vec<CommitEntry>,
+    /// Directory state per line (directory engine only).
+    pub(crate) dir: HashMap<u64, DirEntry>,
+    /// Cycle each home directory is busy until (directory engine only).
+    pub(crate) home_busy: Vec<u64>,
+}
+
+impl CoherenceScratch {
+    /// Fresh scratch.
+    #[must_use]
+    pub fn new() -> Self {
+        CoherenceScratch::default()
+    }
+
+    /// Prepares the scratch for `cores` caches of `geometry`,
+    /// reallocating only when the shape changed.
+    pub(crate) fn ensure(
+        &mut self,
+        cores: usize,
+        geometry: CacheGeometry,
+    ) -> Result<(), CoherenceError> {
+        if self.caches.len() != cores || self.geometry != Some(geometry) {
+            self.caches.clear();
+            for _ in 0..cores {
+                self.caches.push(PrivateCache::new(geometry)?);
+            }
+            self.geometry = Some(geometry);
+        } else {
+            for c in &mut self.caches {
+                c.reset();
+            }
+        }
+        self.latest.clear();
+        self.memory.clear();
+        self.requests.clear();
+        self.requests.resize(cores, false);
+        self.pending.clear();
+        self.pending.resize(cores, None);
+        self.ready_at.clear();
+        self.ready_at.resize(cores, 0);
+        self.next_idx.clear();
+        self.next_idx.resize(cores, 0);
+        self.inflight.clear();
+        self.completions.clear();
+        self.commits.clear();
+        self.dir.clear();
+        self.home_busy.clear();
+        Ok(())
+    }
+}
+
+/// The interconnect a [`CoherenceSystem`] owns.
+#[derive(Debug)]
+pub enum SystemFabric {
+    /// The paper's 77 K H-tree snooping bus.
+    CryoBus(CryoBus),
+    /// A conventional shared snooping bus.
+    SharedBus(SharedBus),
+    /// A router mesh carrying directory messages at `clock_ghz`.
+    Mesh {
+        /// The routed network.
+        network: RouterNetwork,
+        /// Network clock, GHz (prices the L3 fill).
+        clock_ghz: f64,
+    },
+}
+
+/// One coherent multi-core configuration: protocol + fabric + memory.
+/// The facade the sweeps and the integration tests drive.
+#[derive(Debug)]
+pub struct CoherenceSystem {
+    config: CoherenceConfig,
+    fabric: SystemFabric,
+    mem: MemoryDesign,
+}
+
+impl CoherenceSystem {
+    /// A snooping system over a bus fabric.
+    ///
+    /// # Errors
+    ///
+    /// [`CoherenceError::InvalidConfig`] if `fabric` is a mesh (snooping
+    /// broadcasts; a routed mesh carries directory traffic), or if the
+    /// geometry is invalid.
+    pub fn snooping(
+        fabric: SystemFabric,
+        mem: MemoryDesign,
+        config: CoherenceConfig,
+    ) -> Result<Self, CoherenceError> {
+        if matches!(fabric, SystemFabric::Mesh { .. }) {
+            return Err(CoherenceError::InvalidConfig {
+                reason: "snooping needs a broadcast bus, not a routed mesh".to_string(),
+            });
+        }
+        config.geometry.validate()?;
+        Ok(CoherenceSystem {
+            config,
+            fabric,
+            mem,
+        })
+    }
+
+    /// A directory system over a routed mesh.
+    ///
+    /// # Errors
+    ///
+    /// [`CoherenceError::InvalidConfig`] for a Dragon protocol (the
+    /// directory engine is MESI-only — update broadcasts do not map to
+    /// point-to-point forwarding) or an invalid geometry.
+    pub fn directory(
+        network: RouterNetwork,
+        clock_ghz: f64,
+        mem: MemoryDesign,
+        config: CoherenceConfig,
+    ) -> Result<Self, CoherenceError> {
+        if config.protocol == Protocol::Dragon {
+            return Err(CoherenceError::InvalidConfig {
+                reason: "the directory engine supports MESI only".to_string(),
+            });
+        }
+        config.geometry.validate()?;
+        Ok(CoherenceSystem {
+            config,
+            fabric: SystemFabric::Mesh { network, clock_ghz },
+            mem,
+        })
+    }
+
+    /// The coherence style this system models.
+    #[must_use]
+    pub fn style(&self) -> CoherenceStyle {
+        match self.fabric {
+            SystemFabric::Mesh { .. } => CoherenceStyle::Directory,
+            _ => CoherenceStyle::Snooping,
+        }
+    }
+
+    /// The engine configuration.
+    #[must_use]
+    pub fn config(&self) -> &CoherenceConfig {
+        &self.config
+    }
+
+    /// Display name, e.g. `MESI-snooping/CryoBus(64)`.
+    #[must_use]
+    pub fn name(&self) -> String {
+        let fabric = match &self.fabric {
+            SystemFabric::CryoBus(b) => cryowire_noc::Network::name(b),
+            SystemFabric::SharedBus(b) => cryowire_noc::Network::name(b),
+            SystemFabric::Mesh { network, .. } => cryowire_noc::Network::name(network),
+        };
+        let style = match self.style() {
+            CoherenceStyle::Snooping => "snooping",
+            CoherenceStyle::Directory => "directory",
+        };
+        format!("{}-{style}/{fabric}", self.config.protocol.name())
+    }
+
+    /// Runs `trace` with a fresh scratch and no faults.
+    ///
+    /// # Errors
+    ///
+    /// [`CoherenceError::Stalled`] if the watchdog fires.
+    pub fn run(&self, trace: &AccessTrace) -> Result<RunOutcome, CoherenceError> {
+        let mut scratch = CoherenceScratch::new();
+        self.run_with(trace, None, &mut scratch)
+    }
+
+    /// Runs `trace` under an optional fault schedule, reusing `scratch`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoherenceError::Stalled`] if the watchdog fires — e.g. a fault
+    /// severed every route between a core and a line's home.
+    pub fn run_with(
+        &self,
+        trace: &AccessTrace,
+        schedule: Option<&FaultSchedule>,
+        scratch: &mut CoherenceScratch,
+    ) -> Result<RunOutcome, CoherenceError> {
+        match &self.fabric {
+            SystemFabric::CryoBus(bus) => SnoopEngine::new(self.config)?.run_with_scratch(
+                trace,
+                SnoopFabric::CryoBus(bus),
+                &self.mem,
+                schedule,
+                scratch,
+            ),
+            SystemFabric::SharedBus(bus) => SnoopEngine::new(self.config)?.run_with_scratch(
+                trace,
+                SnoopFabric::SharedBus(bus),
+                &self.mem,
+                schedule,
+                scratch,
+            ),
+            SystemFabric::Mesh { network, clock_ghz } => DirectoryEngine::new(self.config)?
+                .run_with_scratch(trace, network, *clock_ghz, &self.mem, schedule, scratch),
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Structured errors of the coherence engine.
+//!
+//! Malformed access streams are rejected at the boundary with a typed
+//! [`CoherenceError`] (the `TraceError::DanglingDependency` pattern from
+//! `cryowire-ooo`), never a panic in the engine; fault-induced forward-
+//! progress loss surfaces as [`CoherenceError::Stalled`] via the same
+//! progress-watchdog discipline the NoC engine uses for
+//! `SimError::Stalled`.
+
+use std::fmt;
+
+/// Everything that can go wrong constructing or running a coherence
+/// simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoherenceError {
+    /// An interleaved event names a core the system does not have.
+    CoreOutOfRange {
+        /// Index of the offending event in the input stream.
+        index: usize,
+        /// The core id the event named.
+        core: usize,
+        /// Number of cores in the system.
+        cores: usize,
+    },
+    /// An access address is not aligned to the cache-line size.
+    UnalignedAddress {
+        /// Core whose stream holds the access.
+        core: usize,
+        /// Index of the access within that core's stream.
+        index: usize,
+        /// The offending byte address.
+        addr: u64,
+        /// The configured line size, bytes.
+        line_bytes: u64,
+    },
+    /// An access address falls outside the modelled physical range.
+    AddressOutOfRange {
+        /// Core whose stream holds the access.
+        core: usize,
+        /// Index of the access within that core's stream.
+        index: usize,
+        /// The offending byte address.
+        addr: u64,
+        /// First address past the modelled range.
+        limit: u64,
+    },
+    /// A structurally invalid configuration (non-power-of-two geometry,
+    /// zero cores, a Dragon directory, ...).
+    InvalidConfig {
+        /// What is wrong.
+        reason: String,
+    },
+    /// The progress watchdog fired: the engine stopped making forward
+    /// progress within its cycle budget (typically because injected
+    /// faults removed every usable path or stalled the arbiter beyond
+    /// recovery). Mirrors the NoC engine's `SimError::Stalled` so a hang
+    /// can never outlive the watchdog budget.
+    Stalled {
+        /// Cycle at which the watchdog fired.
+        cycle: u64,
+        /// Accesses that had completed by then.
+        completed: u64,
+        /// Accesses still outstanding.
+        pending: u64,
+    },
+}
+
+impl fmt::Display for CoherenceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoherenceError::CoreOutOfRange { index, core, cores } => write!(
+                f,
+                "event {index} names core {core}, but the system has {cores} cores"
+            ),
+            CoherenceError::UnalignedAddress {
+                core,
+                index,
+                addr,
+                line_bytes,
+            } => write!(
+                f,
+                "core {core} access {index}: address {addr:#x} is not {line_bytes}-byte line-aligned"
+            ),
+            CoherenceError::AddressOutOfRange {
+                core,
+                index,
+                addr,
+                limit,
+            } => write!(
+                f,
+                "core {core} access {index}: address {addr:#x} is outside the modelled range (< {limit:#x})"
+            ),
+            CoherenceError::InvalidConfig { reason } => {
+                write!(f, "invalid coherence configuration: {reason}")
+            }
+            CoherenceError::Stalled {
+                cycle,
+                completed,
+                pending,
+            } => write!(
+                f,
+                "coherence engine stalled at cycle {cycle}: {completed} accesses done, {pending} pending"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CoherenceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_their_context() {
+        let e = CoherenceError::CoreOutOfRange {
+            index: 3,
+            core: 9,
+            cores: 4,
+        };
+        let s = e.to_string();
+        assert!(s.contains("core 9") && s.contains("4 cores"));
+        let e = CoherenceError::Stalled {
+            cycle: 100,
+            completed: 5,
+            pending: 7,
+        };
+        assert!(e.to_string().contains("cycle 100"));
+    }
+}

@@ -1,0 +1,133 @@
+//! Measured outcomes of a coherence run.
+
+/// Counters and timing of one engine run. All counters are monotone
+/// over the run (the proptest suite pins this).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CoherenceMetrics {
+    /// Completed accesses.
+    pub accesses: u64,
+    /// Completed loads.
+    pub reads: u64,
+    /// Completed stores.
+    pub writes: u64,
+    /// Accesses served by the private cache without fabric traffic.
+    pub hits: u64,
+    /// Accesses that needed a line fetch.
+    pub misses: u64,
+    /// Write hits on shared copies that needed an ownership/update
+    /// transaction but no data fetch.
+    pub upgrades: u64,
+    /// Arbitrated bus transactions (snooping) — the contended resource.
+    pub bus_transactions: u64,
+    /// Point-to-point messages (directory).
+    pub network_messages: u64,
+    /// Dragon `BusUpd` word broadcasts.
+    pub updates: u64,
+    /// Copies invalidated in other caches.
+    pub invalidations: u64,
+    /// Misses served cache-to-cache.
+    pub c2c_transfers: u64,
+    /// Misses served by the backing store (LLC).
+    pub fills: u64,
+    /// Dirty lines flushed on eviction or ownership transfer.
+    pub writebacks: u64,
+    /// Lines displaced by fills.
+    pub evictions: u64,
+    /// Cycle the last access completed (makespan).
+    pub cycles: u64,
+    /// Sum over accesses of (completion − issue) cycles.
+    pub total_latency_cycles: u64,
+    /// Worst single-access latency.
+    pub max_latency_cycles: u64,
+    /// Cycles the bus data wires (or the busiest directory) were held.
+    pub fabric_busy_cycles: u64,
+}
+
+impl CoherenceMetrics {
+    /// Average access latency, cycles.
+    #[must_use]
+    pub fn avg_latency(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.total_latency_cycles as f64 / self.accesses as f64
+        }
+    }
+
+    /// Miss ratio in `[0, 1]`.
+    #[must_use]
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+
+    /// Fabric utilization over the makespan in `[0, 1]`.
+    #[must_use]
+    pub fn fabric_utilization(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            (self.fabric_busy_cycles as f64 / self.cycles as f64).min(1.0)
+        }
+    }
+
+    /// Aggregate accesses per cycle across all cores — the system
+    /// throughput the makespan implies.
+    #[must_use]
+    pub fn throughput(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.accesses as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// One entry of the serialization-order commit log (recorded only when
+/// the engine is asked to): the protocol-visible outcome of one access,
+/// in the global order the coherence fabric serialized it. Replaying
+/// this log through the hop-count reference engines must reproduce the
+/// same versions — the equivalence contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommitEntry {
+    /// Core that performed the access.
+    pub core: usize,
+    /// Line number accessed.
+    pub line: u64,
+    /// Store (true) or load (false).
+    pub write: bool,
+    /// Version observed (loads) or produced (stores).
+    pub version: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_rates_handle_empty_runs() {
+        let m = CoherenceMetrics::default();
+        assert_eq!(m.avg_latency(), 0.0);
+        assert_eq!(m.miss_ratio(), 0.0);
+        assert_eq!(m.fabric_utilization(), 0.0);
+    }
+
+    #[test]
+    fn derived_rates_divide_correctly() {
+        let m = CoherenceMetrics {
+            accesses: 10,
+            misses: 4,
+            cycles: 100,
+            total_latency_cycles: 250,
+            fabric_busy_cycles: 40,
+            ..CoherenceMetrics::default()
+        };
+        assert!((m.avg_latency() - 25.0).abs() < 1e-12);
+        assert!((m.miss_ratio() - 0.4).abs() < 1e-12);
+        assert!((m.fabric_utilization() - 0.4).abs() < 1e-12);
+        assert!((m.throughput() - 0.1).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,762 @@
+//! The cycle-level snooping engine: blocking private caches, per-core
+//! MSHRs, matrix-arbitrated bus transactions, cache-to-cache transfers,
+//! and a delayed-completion queue (the `cachesim-rs-mp` stepping model).
+//!
+//! Each core executes its access stream in order. A hit costs one cycle;
+//! a miss or ownership upgrade allocates the core's single MSHR, raises
+//! a request line, and halts the core until the transaction's data
+//! arrives. A [`MatrixArbiter`] per interleaving way grants one request
+//! per free way per cycle (least-recently-granted, the CryoBus Fig. 19
+//! mechanism); snoop state transitions are applied at **grant** time —
+//! the bus serialization point — and the data completion is delivered
+//! through a delayed event queue priced by [`BusTiming`]. Lines with an
+//! in-flight transaction are masked from arbitration (MSHR-style line
+//! blocking), so two transactions never race on one line.
+//!
+//! Both MESI and Dragon (4-state, update-based) run on this engine; the
+//! protocol decides what a grant does to the other caches.
+
+use std::cmp::Reverse;
+use std::collections::HashMap;
+
+use cryowire_faults::FaultSchedule;
+use cryowire_memory::MemoryDesign;
+use cryowire_noc::{CryoBus, MatrixArbiter, SegmentedBus, SharedBus};
+
+use crate::cache::{LineState, PrivateCache};
+use crate::engine::{CoherenceConfig, CoherenceScratch, PendingOp, Protocol, RunOutcome};
+use crate::error::CoherenceError;
+use crate::metrics::CoherenceMetrics;
+use crate::metrics::CommitEntry;
+use crate::timing::BusTiming;
+
+/// The snooping fabric a run prices through.
+#[derive(Debug, Clone, Copy)]
+pub enum SnoopFabric<'a> {
+    /// The paper's 77 K H-tree bus with dynamic link connection.
+    CryoBus(&'a CryoBus),
+    /// A conventional bidirectional bus.
+    SharedBus(&'a SharedBus),
+    /// A segmented bus with its underlying phase source.
+    Segmented {
+        /// The segmented broadcast model.
+        bus: &'a SegmentedBus,
+        /// The bus providing request/arbitration/grant phases.
+        inner: &'a SharedBus,
+    },
+}
+
+impl SnoopFabric<'_> {
+    /// Display name.
+    #[must_use]
+    pub fn name(&self) -> String {
+        match self {
+            SnoopFabric::CryoBus(b) => cryowire_noc::Network::name(*b),
+            SnoopFabric::SharedBus(b) => cryowire_noc::Network::name(*b),
+            SnoopFabric::Segmented { bus, .. } => format!("SegmentedBus({})", bus.segments()),
+        }
+    }
+
+    /// Transaction prices under the faults active at `cycle`: a dead
+    /// H-tree segment re-forms the CryoBus (longer broadcast span), a
+    /// cooling transient leaves timing untouched here (the bus keeps
+    /// its clock; device derates live elsewhere).
+    fn timing_at(
+        &self,
+        mem: &MemoryDesign,
+        schedule: Option<&FaultSchedule>,
+        cycle: u64,
+    ) -> BusTiming {
+        match self {
+            SnoopFabric::CryoBus(bus) => {
+                if let Some(s) = schedule {
+                    let dead = s.dead_htree_segments_at(cycle);
+                    if !dead.is_empty() {
+                        if let Ok(reformed) = bus.reform_around(&dead) {
+                            return BusTiming::from_cryobus(&reformed, mem);
+                        }
+                    }
+                }
+                BusTiming::from_cryobus(bus, mem)
+            }
+            SnoopFabric::SharedBus(bus) => BusTiming::from_shared_bus(bus, mem),
+            SnoopFabric::Segmented { bus, inner } => BusTiming::from_segmented_bus(bus, inner, mem),
+        }
+    }
+}
+
+/// The snooping-bus coherence engine.
+#[derive(Debug, Clone, Copy)]
+pub struct SnoopEngine {
+    config: CoherenceConfig,
+}
+
+impl SnoopEngine {
+    /// Creates the engine.
+    ///
+    /// # Errors
+    ///
+    /// Propagates geometry validation.
+    pub fn new(config: CoherenceConfig) -> Result<Self, CoherenceError> {
+        config.geometry.validate()?;
+        Ok(SnoopEngine { config })
+    }
+
+    /// Runs `trace` over `fabric` with a fresh scratch.
+    ///
+    /// # Errors
+    ///
+    /// [`CoherenceError::Stalled`] if the watchdog fires.
+    pub fn run(
+        &self,
+        trace: &crate::trace::AccessTrace,
+        fabric: SnoopFabric<'_>,
+        mem: &MemoryDesign,
+    ) -> Result<RunOutcome, CoherenceError> {
+        let mut scratch = CoherenceScratch::new();
+        self.run_with_scratch(trace, fabric, mem, None, &mut scratch)
+    }
+
+    /// Runs `trace` under an optional fault schedule, reusing `scratch`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoherenceError::Stalled`] if the watchdog fires (e.g. the
+    /// arbiter is stalled beyond the budget).
+    #[allow(clippy::too_many_lines)]
+    pub fn run_with_scratch(
+        &self,
+        trace: &crate::trace::AccessTrace,
+        fabric: SnoopFabric<'_>,
+        mem: &MemoryDesign,
+        schedule: Option<&FaultSchedule>,
+        scratch: &mut CoherenceScratch,
+    ) -> Result<RunOutcome, CoherenceError> {
+        let cores = trace.cores();
+        scratch.ensure(cores, self.config.geometry)?;
+        let protocol = self.config.protocol;
+        let mut timing = fabric.timing_at(mem, schedule, 0);
+        let ways = timing.ways.max(1);
+        let mut arbiters: Vec<MatrixArbiter> =
+            (0..ways).map(|_| MatrixArbiter::new(cores)).collect();
+        let mut way_busy = vec![0u64; ways];
+        let mut req_buf = vec![false; cores];
+
+        let total = trace.total_accesses();
+        let watchdog_limit = total
+            .saturating_mul(self.config.watchdog_cycles_per_access)
+            .saturating_add(100_000);
+        let change_points: Vec<u64> = schedule.map_or_else(Vec::new, FaultSchedule::change_points);
+        let mut change_idx = 0;
+
+        let mut metrics = CoherenceMetrics::default();
+        let mut completed = 0u64;
+        let mut seq = 0u64;
+        let mut cycle = 0u64;
+
+        // Initial think time before each core's first reference.
+        for core in 0..cores {
+            scratch.ready_at[core] = trace.stream(core).first().map_or(0, |a| u64::from(a.think));
+        }
+
+        loop {
+            if cycle > watchdog_limit {
+                return Err(CoherenceError::Stalled {
+                    cycle,
+                    completed,
+                    pending: total - completed,
+                });
+            }
+            // Fault epoch: re-derive bus prices past each change point.
+            while change_idx < change_points.len() && cycle >= change_points[change_idx] {
+                timing = fabric.timing_at(mem, schedule, cycle);
+                change_idx += 1;
+            }
+
+            // 1. Deliver due completions: data arrives, MSHR frees.
+            while let Some(&Reverse((when, _, core))) = scratch.completions.peek() {
+                if when > cycle {
+                    break;
+                }
+                scratch.completions.pop();
+                let op = scratch.pending[core]
+                    .take()
+                    .expect("completion without MSHR");
+                if let Some(i) = scratch.inflight.iter().position(|&l| l == op.line) {
+                    scratch.inflight.swap_remove(i);
+                }
+                let latency = when - op.issued_at;
+                metrics.accesses += 1;
+                if op.write {
+                    metrics.writes += 1;
+                } else {
+                    metrics.reads += 1;
+                }
+                metrics.misses += 1;
+                metrics.total_latency_cycles += latency;
+                metrics.max_latency_cycles = metrics.max_latency_cycles.max(latency);
+                metrics.cycles = metrics.cycles.max(when);
+                completed += 1;
+                scratch.next_idx[core] += 1;
+                scratch.ready_at[core] = when
+                    + 1
+                    + trace
+                        .stream(core)
+                        .get(scratch.next_idx[core])
+                        .map_or(0, |a| u64::from(a.think));
+            }
+
+            // 2. Ready cores issue their next reference.
+            for core in 0..cores {
+                if scratch.pending[core].is_some() || scratch.ready_at[core] > cycle {
+                    continue;
+                }
+                let Some(&a) = trace.stream(core).get(scratch.next_idx[core]) else {
+                    continue;
+                };
+                let line = trace.line_of(a.addr);
+                let state = scratch.caches[core]
+                    .probe(line)
+                    .map_or(LineState::Invalid, |(s, _)| s);
+                let hit = match (protocol, a.write, state) {
+                    (_, false, s) if s.is_present() => true,
+                    (_, true, LineState::Modified | LineState::Exclusive) => true,
+                    _ => false,
+                };
+                if hit {
+                    let version = if a.write {
+                        let v = scratch.latest.entry(line).or_insert(0);
+                        *v += 1;
+                        let v = *v;
+                        scratch.caches[core].update(line, LineState::Modified, Some(v));
+                        v
+                    } else {
+                        let v = scratch.caches[core]
+                            .version(line)
+                            .expect("hit line is resident");
+                        debug_assert_eq!(
+                            v,
+                            scratch.latest.get(&line).copied().unwrap_or(0),
+                            "read hit observed a stale version on line {line}"
+                        );
+                        v
+                    };
+                    if self.config.record_commits {
+                        scratch.commits.push(CommitEntry {
+                            core,
+                            line,
+                            write: a.write,
+                            version,
+                        });
+                    }
+                    metrics.accesses += 1;
+                    metrics.hits += 1;
+                    if a.write {
+                        metrics.writes += 1;
+                    } else {
+                        metrics.reads += 1;
+                    }
+                    metrics.total_latency_cycles += 1;
+                    metrics.max_latency_cycles = metrics.max_latency_cycles.max(1);
+                    metrics.cycles = metrics.cycles.max(cycle + 1);
+                    completed += 1;
+                    scratch.next_idx[core] += 1;
+                    scratch.ready_at[core] = cycle
+                        + 1
+                        + trace
+                            .stream(core)
+                            .get(scratch.next_idx[core])
+                            .map_or(0, |a| u64::from(a.think));
+                } else {
+                    scratch.pending[core] = Some(PendingOp {
+                        line,
+                        write: a.write,
+                        issued_at: cycle,
+                    });
+                    scratch.requests[core] = true;
+                }
+            }
+
+            // 3. Grant one transaction per free way.
+            for way in 0..ways {
+                if way_busy[way] > cycle {
+                    continue;
+                }
+                let mut any = false;
+                for (core, slot) in req_buf.iter_mut().enumerate().take(cores) {
+                    let ok = scratch.requests[core]
+                        && scratch.pending[core].is_some_and(|p| {
+                            (p.line % ways as u64) as usize == way
+                                && !scratch.inflight.contains(&p.line)
+                        });
+                    *slot = ok;
+                    any |= ok;
+                }
+                if !any {
+                    continue;
+                }
+                let winner = arbiters[way]
+                    .arbitrate(&req_buf)
+                    .expect("a request was raised");
+                scratch.requests[winner] = false;
+                let op = scratch.pending[winner].expect("winner has an MSHR");
+                // Snoop transitions happen now: the grant is the bus
+                // serialization point.
+                let tx = apply_snoop_transaction(protocol, winner, op, scratch, &mut metrics);
+                debug_assert!(
+                    verify_invariants(protocol, &scratch.caches, &scratch.latest),
+                    "protocol invariant broken after a grant on line {}",
+                    op.line
+                );
+                if self.config.record_commits {
+                    scratch.commits.push(CommitEntry {
+                        core: winner,
+                        line: op.line,
+                        write: op.write,
+                        version: tx.version,
+                    });
+                }
+                // A router-stall fault on resource `way` delays the
+                // arbiter's grant.
+                let stall = schedule.map_or(0, |s| s.stall_cycles(way, cycle));
+                let done = cycle + stall + timing.overhead_cycles + tx.wait_cycles(&timing);
+                let held = tx.occupancy_cycles(&timing);
+                // The request/arb/grant phases ride dedicated control
+                // wires and pipeline with the previous transaction's
+                // data beats: the way is reserved for `held` data
+                // cycles only, so bus bandwidth is data-limited, not
+                // handshake-limited.
+                way_busy[way] = cycle + stall + held;
+                metrics.fabric_busy_cycles += held;
+                metrics.bus_transactions += 1;
+                scratch.inflight.push(op.line);
+                seq += 1;
+                scratch.completions.push(Reverse((done, seq, winner)));
+            }
+
+            // 4. Done?
+            if completed == total && scratch.completions.is_empty() {
+                break;
+            }
+
+            // 5. Jump to the next interesting cycle.
+            let mut next = u64::MAX;
+            if let Some(&Reverse((when, _, _))) = scratch.completions.peek() {
+                next = next.min(when);
+            }
+            for core in 0..cores {
+                if scratch.pending[core].is_none()
+                    && scratch.next_idx[core] < trace.stream(core).len()
+                {
+                    next = next.min(scratch.ready_at[core]);
+                }
+            }
+            for (way, &busy) in way_busy.iter().enumerate() {
+                let waiting = (0..cores).any(|c| {
+                    scratch.requests[c]
+                        && scratch.pending[c].is_some_and(|p| {
+                            (p.line % ways as u64) as usize == way
+                                && !scratch.inflight.contains(&p.line)
+                        })
+                });
+                if waiting {
+                    next = next.min(busy);
+                }
+            }
+            if next == u64::MAX {
+                // No event can ever fire again; only legal if finished.
+                return Err(CoherenceError::Stalled {
+                    cycle,
+                    completed,
+                    pending: total - completed,
+                });
+            }
+            cycle = next.max(cycle + 1);
+        }
+
+        debug_assert!(verify_invariants(
+            protocol,
+            &scratch.caches,
+            &scratch.latest
+        ));
+        Ok(RunOutcome {
+            metrics,
+            commits: std::mem::take(&mut scratch.commits),
+        })
+    }
+}
+
+/// What a granted transaction needs from the bus.
+#[derive(Debug, Clone, Copy)]
+enum TxClass {
+    /// Full line moved cache-to-cache.
+    LineC2c,
+    /// Full line fetched from the backing store.
+    LineFill,
+    /// Ownership upgrade, address broadcast only.
+    Upgrade,
+    /// Dragon word update.
+    Update,
+    /// Line fetch (c2c or fill) plus a Dragon update broadcast.
+    LineWithUpdate {
+        /// Whether a cache supplied the line.
+        c2c: bool,
+    },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct TxOutcome {
+    class: TxClass,
+    /// Extra bus beats for a victim writeback folded into the
+    /// transaction.
+    writeback_beats: u64,
+    version: u64,
+}
+
+impl TxOutcome {
+    /// Cycles the shared data wires are held.
+    fn occupancy_cycles(&self, t: &BusTiming) -> u64 {
+        let base = match self.class {
+            TxClass::LineC2c | TxClass::LineFill => t.line_transfer_cycles(),
+            TxClass::Upgrade => t.broadcast_cycles,
+            TxClass::Update => t.update_cycles(),
+            TxClass::LineWithUpdate { .. } => t.line_transfer_cycles() + t.update_beats,
+        };
+        base + self.writeback_beats
+    }
+
+    /// Cycles until the requester's data arrives (occupancy plus any
+    /// backing-store wait that does not hold the wires).
+    fn wait_cycles(&self, t: &BusTiming) -> u64 {
+        let fill = match self.class {
+            TxClass::LineFill | TxClass::LineWithUpdate { c2c: false } => t.fill_cycles,
+            _ => 0,
+        };
+        self.occupancy_cycles(t) + fill
+    }
+}
+
+/// Applies one granted transaction's state transitions and version
+/// bookkeeping across all caches; returns the transaction's class and
+/// committed version.
+fn apply_snoop_transaction(
+    protocol: Protocol,
+    requester: usize,
+    op: PendingOp,
+    scratch: &mut CoherenceScratch,
+    metrics: &mut CoherenceMetrics,
+) -> TxOutcome {
+    match protocol {
+        Protocol::Mesi => apply_mesi(requester, op, scratch, metrics),
+        Protocol::Dragon => apply_dragon(requester, op, scratch, metrics),
+    }
+}
+
+fn fill_with_eviction(
+    core: usize,
+    line: u64,
+    state: LineState,
+    version: u64,
+    scratch: &mut CoherenceScratch,
+    metrics: &mut CoherenceMetrics,
+) -> u64 {
+    let Some(victim) = scratch.caches[core].fill(line, state, version) else {
+        return 0;
+    };
+    metrics.evictions += 1;
+    if victim.state.is_dirty() {
+        metrics.writebacks += 1;
+        scratch.memory.insert(victim.line, victim.version);
+        // The flush rides the same arbitration: a line transfer's worth
+        // of extra beats.
+        crate::timing::LINE_BEATS
+    } else {
+        0
+    }
+}
+
+fn apply_mesi(
+    requester: usize,
+    op: PendingOp,
+    scratch: &mut CoherenceScratch,
+    metrics: &mut CoherenceMetrics,
+) -> TxOutcome {
+    let line = op.line;
+    let cores = scratch.caches.len();
+    let here = scratch.caches[requester].state(line);
+    if op.write {
+        if here == LineState::Shared {
+            // BusUpgr: invalidate the other sharers, no data moves.
+            for other in 0..cores {
+                if other != requester && scratch.caches[other].invalidate(line) {
+                    metrics.invalidations += 1;
+                }
+            }
+            let v = scratch.latest.entry(line).or_insert(0);
+            *v += 1;
+            let v = *v;
+            scratch.caches[requester].update(line, LineState::Modified, Some(v));
+            metrics.upgrades += 1;
+            return TxOutcome {
+                class: TxClass::Upgrade,
+                writeback_beats: 0,
+                version: v,
+            };
+        }
+        // BusRdX: fetch-and-own, invalidating every other copy.
+        let mut supplier_version = None;
+        for other in 0..cores {
+            if other == requester {
+                continue;
+            }
+            if scratch.caches[other].state(line).is_present() {
+                // Any copy can supply: the MESI invariant keeps every
+                // resident copy at the latest version.
+                if supplier_version.is_none() {
+                    supplier_version = scratch.caches[other].version(line);
+                }
+                scratch.caches[other].invalidate(line);
+                metrics.invalidations += 1;
+            }
+        }
+        let c2c = supplier_version.is_some();
+        if c2c {
+            metrics.c2c_transfers += 1;
+        } else {
+            metrics.fills += 1;
+        }
+        let v = scratch.latest.entry(line).or_insert(0);
+        *v += 1;
+        let v = *v;
+        let wb = fill_with_eviction(requester, line, LineState::Modified, v, scratch, metrics);
+        TxOutcome {
+            class: if c2c {
+                TxClass::LineC2c
+            } else {
+                TxClass::LineFill
+            },
+            writeback_beats: wb,
+            version: v,
+        }
+    } else {
+        // BusRd: owner flushes and demotes, clean copies demote E→S.
+        let mut version = scratch.memory.get(&line).copied().unwrap_or(0);
+        let mut shared = false;
+        for other in 0..cores {
+            if other == requester {
+                continue;
+            }
+            let s = scratch.caches[other].state(line);
+            match s {
+                LineState::Modified | LineState::SharedModified => {
+                    let v = scratch.caches[other]
+                        .version(line)
+                        .expect("owner is resident");
+                    version = v;
+                    scratch.memory.insert(line, v);
+                    scratch.caches[other].update(line, LineState::Shared, None);
+                    shared = true;
+                }
+                LineState::Exclusive | LineState::Shared | LineState::SharedClean => {
+                    version = scratch.caches[other].version(line).expect("copy resident");
+                    scratch.caches[other].update(line, LineState::Shared, None);
+                    shared = true;
+                }
+                LineState::Invalid => {}
+            }
+        }
+        debug_assert_eq!(
+            version,
+            scratch.latest.get(&line).copied().unwrap_or(0),
+            "BusRd fetched a stale version of line {line}"
+        );
+        if shared {
+            metrics.c2c_transfers += 1;
+        } else {
+            metrics.fills += 1;
+        }
+        let state = if shared {
+            LineState::Shared
+        } else {
+            LineState::Exclusive
+        };
+        let wb = fill_with_eviction(requester, line, state, version, scratch, metrics);
+        TxOutcome {
+            class: if shared {
+                TxClass::LineC2c
+            } else {
+                TxClass::LineFill
+            },
+            writeback_beats: wb,
+            version,
+        }
+    }
+}
+
+fn apply_dragon(
+    requester: usize,
+    op: PendingOp,
+    scratch: &mut CoherenceScratch,
+    metrics: &mut CoherenceMetrics,
+) -> TxOutcome {
+    let line = op.line;
+    let cores = scratch.caches.len();
+    let here = scratch.caches[requester].state(line);
+    // Who else holds the line right now?
+    let mut owner_version = None;
+    let mut sharer_version = None;
+    let mut others = 0usize;
+    for other in 0..cores {
+        if other == requester {
+            continue;
+        }
+        let s = scratch.caches[other].state(line);
+        if s.is_present() {
+            others += 1;
+            let v = scratch.caches[other].version(line).expect("resident");
+            if s.is_owner() {
+                owner_version = Some(v);
+            } else {
+                sharer_version = Some(v);
+            }
+        }
+    }
+    let supplied = owner_version.or(sharer_version);
+
+    if op.write {
+        if here.is_present() {
+            // BusUpd from Sc/Sm: broadcast the new word to every sharer.
+            let v = scratch.latest.entry(line).or_insert(0);
+            *v += 1;
+            let v = *v;
+            metrics.updates += 1;
+            if others > 0 {
+                for other in 0..cores {
+                    if other != requester && scratch.caches[other].state(line).is_present() {
+                        // The writer becomes the sole owner; previous Sm
+                        // owners demote to Sc.
+                        scratch.caches[other].update(line, LineState::SharedClean, Some(v));
+                    }
+                }
+                scratch.caches[requester].update(line, LineState::SharedModified, Some(v));
+            } else {
+                scratch.caches[requester].update(line, LineState::Modified, Some(v));
+            }
+            TxOutcome {
+                class: TxClass::Update,
+                writeback_beats: 0,
+                version: v,
+            }
+        } else {
+            // Write miss: BusRd + BusUpd in one arbitration.
+            let v = scratch.latest.entry(line).or_insert(0);
+            *v += 1;
+            let v = *v;
+            metrics.updates += 1;
+            let c2c = supplied.is_some();
+            if c2c {
+                metrics.c2c_transfers += 1;
+            } else {
+                metrics.fills += 1;
+            }
+            let state = if others > 0 {
+                for other in 0..cores {
+                    if other != requester && scratch.caches[other].state(line).is_present() {
+                        scratch.caches[other].update(line, LineState::SharedClean, Some(v));
+                    }
+                }
+                LineState::SharedModified
+            } else {
+                LineState::Modified
+            };
+            let wb = fill_with_eviction(requester, line, state, v, scratch, metrics);
+            TxOutcome {
+                class: TxClass::LineWithUpdate { c2c },
+                writeback_beats: wb,
+                version: v,
+            }
+        }
+    } else {
+        // Read miss: BusRd. Owners stay owners (M → Sm), clean suppliers
+        // demote E → Sc.
+        let version = supplied.unwrap_or_else(|| scratch.memory.get(&line).copied().unwrap_or(0));
+        debug_assert_eq!(
+            version,
+            scratch.latest.get(&line).copied().unwrap_or(0),
+            "Dragon BusRd fetched a stale version of line {line}"
+        );
+        for other in 0..cores {
+            if other == requester {
+                continue;
+            }
+            match scratch.caches[other].state(line) {
+                LineState::Modified => {
+                    scratch.caches[other].update(line, LineState::SharedModified, None);
+                }
+                LineState::Exclusive => {
+                    scratch.caches[other].update(line, LineState::SharedClean, None);
+                }
+                _ => {}
+            }
+        }
+        let c2c = supplied.is_some();
+        if c2c {
+            metrics.c2c_transfers += 1;
+        } else {
+            metrics.fills += 1;
+        }
+        let state = if others > 0 {
+            LineState::SharedClean
+        } else {
+            LineState::Exclusive
+        };
+        let wb = fill_with_eviction(requester, line, state, version, scratch, metrics);
+        TxOutcome {
+            class: if c2c {
+                TxClass::LineC2c
+            } else {
+                TxClass::LineFill
+            },
+            writeback_beats: wb,
+            version,
+        }
+    }
+}
+
+/// Checks the protocol invariants over every resident line: at most one
+/// owner per line, `Modified`/`Exclusive` imply a sole copy, and all
+/// copies of a line agree on the version a reader would observe.
+#[must_use]
+pub fn verify_invariants(
+    protocol: Protocol,
+    caches: &[PrivateCache],
+    latest: &HashMap<u64, u64>,
+) -> bool {
+    let mut per_line: HashMap<u64, (usize, usize, Vec<u64>)> = HashMap::new();
+    for cache in caches {
+        for (line, state, version) in cache.resident_lines() {
+            let e = per_line.entry(line).or_insert((0, 0, Vec::new()));
+            e.0 += 1;
+            if match protocol {
+                Protocol::Mesi => matches!(state, LineState::Modified | LineState::Exclusive),
+                Protocol::Dragon => {
+                    matches!(state, LineState::Modified | LineState::Exclusive) || state.is_owner()
+                }
+            } {
+                e.1 += 1;
+            }
+            e.2.push(version);
+        }
+    }
+    per_line
+        .iter()
+        .all(|(line, (copies, exclusive_like, versions))| {
+            let sole = *exclusive_like == 0 || *copies == 1 || protocol == Protocol::Dragon;
+            let owners_ok = *exclusive_like <= 1;
+            // Every copy a reader could hit must be the latest committed
+            // version (invalidation and update protocols both guarantee it).
+            let latest_v = latest.get(line).copied().unwrap_or(0);
+            let versions_ok = versions.iter().all(|&v| v == latest_v);
+            sole && owners_ok && versions_ok
+        })
+}

@@ -35,6 +35,14 @@
 //! `--cycles` overrides the trace length in instructions, `--baseline`
 //! gates identically).
 //!
+//! The `bench-coherence` mode runs the cycle-level coherence engines
+//! over a protocol/fabric × workload grid, replays every commit log
+//! through the hop-count references as a correctness cross-check, and
+//! writes `BENCH_coherence.json`; its `overall_speedup` is the
+//! simulated directory/snoop miss-latency ratio on the barrier-heavy
+//! trace (machine-independent), gated the same way. `--list` prints
+//! every registered sweep with a one-line description.
+//!
 //! Exit codes: 0 on success, 2 when the sweep completed but some
 //! points failed (their errors are recorded in the artifact), 1 on
 //! fatal errors (bad arguments, unwritable output, benchmark
@@ -43,6 +51,38 @@
 use cryowire::experiments::{self, Fidelity, SweepOptions};
 use cryowire::noc::SimConfig;
 use cryowire_harness::{ResultCache, RunArtifact};
+
+/// Registered sweep names with one-line descriptions, for `--list`.
+const SWEEPS: &[(&str, &str)] = &[
+    (
+        "depth",
+        "temperature x pipeline-depth grid (default; 16 temps x 4 splits)",
+    ),
+    (
+        "fig27",
+        "Fig. 27 whole-system speedup across operating temperatures",
+    ),
+    (
+        "fig21",
+        "Fig. 21 NoC load-latency curves over the fabric grid",
+    ),
+    (
+        "degraded",
+        "fault-injection scenarios: cooling transient, CryoBus way loss",
+    ),
+    (
+        "bench-noc",
+        "times the memoized NoC engine vs its reference; writes BENCH_noc.json",
+    ),
+    (
+        "bench-core",
+        "times the ring-buffer core engine vs its reference; writes BENCH_core.json",
+    ),
+    (
+        "bench-coherence",
+        "cycle-level coherence engines over protocol x workload; writes BENCH_coherence.json",
+    ),
+];
 
 struct Args {
     sweep: String,
@@ -101,15 +141,24 @@ fn parse_args() -> Args {
             "--canonical" => args.canonical = true,
             "--smoke" => args.smoke = true,
             "--baseline" => args.baseline = Some(value("--baseline")),
+            "--list" => {
+                for (name, what) in SWEEPS {
+                    println!("{name:<16} {what}");
+                }
+                std::process::exit(0);
+            }
             "--cycles" => args.cycles = Some(parse(&value("--cycles"), "--cycles")),
             "--warmup" => args.warmup = Some(parse(&value("--warmup"), "--warmup")),
             "--help" | "-h" => {
                 println!(
-                    "usage: sweep [--sweep depth|fig27|fig21|degraded|bench-noc|bench-core]\n\
+                    "usage: sweep [--sweep depth|fig27|fig21|degraded|bench-noc|bench-core|\n\
+                     \x20                     bench-coherence] [--list]\n\
                      \x20            [--threads N] [--out FILE] [--cache-dir DIR] [--temps N]\n\
                      \x20            [--max-split K] [--full] [--fault-seed N] [--inject-panic]\n\
                      \x20            [--canonical] [--smoke] [--baseline FILE] [--cycles N]\n\
                      \x20            [--warmup N]\n\
+                     --list prints the registered sweep names with one-line\n\
+                     descriptions and exits.\n\
                      --canonical emits only the deterministic portion (no timing or\n\
                      cache provenance), byte-identical across thread counts.\n\
                      bench-noc: times the memoized NoC engine vs the reference engine\n\
@@ -120,6 +169,13 @@ fn parse_args() -> Args {
                      ring-buffer engine vs the reference over a depth x width x\n\
                      bypass grid and writes BENCH_core.json (--cycles overrides the\n\
                      trace length in instructions).\n\
+                     bench-coherence: runs the cycle-level coherence engines (MESI\n\
+                     snooping on the CryoBus, MESI directory on the mesh, Dragon)\n\
+                     over workload-calibrated sharing traces, cross-checks every\n\
+                     run against the hop-count references, and writes\n\
+                     BENCH_coherence.json; overall_speedup is the directory/snoop\n\
+                     miss-latency ratio on the barrier-heavy trace (--cycles\n\
+                     overrides accesses per core, --baseline gates identically).\n\
                      exit codes: 0 ok, 2 partial point failures, 1 fatal"
                 );
                 std::process::exit(0);
@@ -284,6 +340,78 @@ fn run_bench_core(args: &Args) -> ! {
     std::process::exit(0);
 }
 
+/// Runs the `bench-coherence` benchmark and applies the optional
+/// baseline gate. Never returns.
+fn run_bench_coherence(args: &Args) -> ! {
+    // Accesses per core: enough that the steady-state sharing traffic
+    // dominates the cold-fill transient on every workload profile.
+    let accesses = args.cycles.unwrap_or(if args.smoke { 400 } else { 2_000 }) as usize;
+    let grid = experiments::bench_coherence_grid(args.smoke);
+    let result = experiments::bench_coherence(accesses, &grid);
+    for p in &result.points {
+        eprintln!(
+            "bench-coherence: {:<36} {:<16} miss {:>6.2} ns (ratio {:.2})  \
+             {:>8} fabric ops  {:>7.2} ms ({:>6.2} Macc/s)",
+            p.name,
+            p.pattern,
+            p.avg_miss_ns,
+            p.miss_ratio,
+            p.fabric_ops,
+            p.wall_ms,
+            p.maccesses_per_sec
+        );
+    }
+    eprintln!(
+        "bench-coherence: barrier-heavy directory/snoop latency ratio {:.2}x \
+         (directory {:.2} ns vs CryoBus snoop {:.2} ns) over {} points \
+         ({} accesses/core, {} cores)",
+        result.overall_speedup,
+        result.barrier_directory_ns,
+        result.barrier_snoop_ns,
+        result.points.len(),
+        result.accesses_per_core,
+        result.cores
+    );
+    let json = experiments::bench_coherence_json(&result);
+    let rendered = serde_json::to_string_pretty(&json).expect("benchmark serializes");
+    match args.out.as_deref() {
+        Some(path) => {
+            std::fs::write(path, rendered + "\n")
+                .unwrap_or_else(|e| die(&format!("cannot write `{path}`: {e}")));
+            eprintln!("bench-coherence: artifact written to {path}");
+        }
+        None => println!("{rendered}"),
+    }
+    if result.overall_speedup <= 1.0 {
+        die(&format!(
+            "bench-coherence: claim regression: barrier-heavy sharing must be cheaper \
+             on CryoBus snooping than the mesh directory (ratio {:.2}x <= 1)",
+            result.overall_speedup
+        ));
+    }
+    if let Some(path) = args.baseline.as_deref() {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| die(&format!("cannot read baseline `{path}`: {e}")));
+        let baseline = serde_json::from_str(&text)
+            .unwrap_or_else(|e| die(&format!("cannot parse baseline `{path}`: {e}")));
+        let floor = experiments::speedup_from_json(&baseline)
+            .unwrap_or_else(|| die(&format!("baseline `{path}` lacks `overall_speedup`")))
+            * 0.75;
+        if result.overall_speedup < floor {
+            die(&format!(
+                "bench-coherence: ratio regression: measured {:.2}x < 75% of baseline \
+                 ({floor:.2}x)",
+                result.overall_speedup
+            ));
+        }
+        eprintln!(
+            "bench-coherence: baseline gate ok ({:.2}x >= {floor:.2}x)",
+            result.overall_speedup
+        );
+    }
+    std::process::exit(0);
+}
+
 fn main() {
     let args = parse_args();
     if args.sweep == "bench-noc" {
@@ -291,6 +419,9 @@ fn main() {
     }
     if args.sweep == "bench-core" {
         run_bench_core(&args);
+    }
+    if args.sweep == "bench-coherence" {
+        run_bench_coherence(&args);
     }
     let cache = args.cache_dir.as_ref().map(|dir| {
         ResultCache::with_dir(dir)
@@ -319,7 +450,8 @@ fn main() {
             experiments::degraded_sweep_artifact(args.fault_seed, args.inject_panic, opts)
         }
         other => die(&format!(
-            "unknown sweep `{other}` (depth, fig27, fig21, degraded, bench-noc, bench-core)"
+            "unknown sweep `{other}` (depth, fig27, fig21, degraded, bench-noc, bench-core, \
+             bench-coherence; `--list` describes each)"
         )),
     };
 

@@ -7,6 +7,7 @@
 //! [`Fidelity`] knob; analytic ones are exact either way.
 
 mod ablations;
+mod bench_coherence;
 mod bench_core;
 mod bench_noc;
 mod coherence_validation;
@@ -26,6 +27,10 @@ pub use ablations::{
     ablation_wire_thickness, AluCountAblation, BusTopologyAblation, CoreEngineAblation,
     DepthSweepAblation, EngineComparisonAblation, FfOverheadAblation, InterleavingAblation,
     WireThicknessAblation,
+};
+pub use bench_coherence::{
+    bench_coherence, bench_coherence_grid, bench_coherence_json, BenchCoherencePoint,
+    BenchCoherenceResult, EngineKind,
 };
 pub use bench_core::{
     bench_core, bench_core_grid, bench_core_json, BenchCorePoint, BenchCoreResult,
