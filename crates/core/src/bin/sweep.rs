@@ -19,29 +19,30 @@
 //! `--inject-panic` appends a deliberately panicking point to exercise
 //! the harness's per-point isolation.
 //!
-//! The `bench-noc` mode is a throughput benchmark, not a point sweep:
-//! it times the memoized NoC engine against the retained reference
-//! engine over the Fig. 21 uniform-random grid (`--smoke` cuts it to
-//! two points) and writes `BENCH_noc.json`. With `--baseline FILE` it
-//! exits 1 if the measured *relative* speedup regresses more than 25 %
-//! against the committed baseline — relative, so the gate holds across
-//! machines of different absolute speed. `--cycles`/`--warmup` override
-//! the simulated window and are validated up front.
+//! The `bench-*` modes are throughput benchmarks, not point sweeps;
+//! each writes its `BENCH_*.json` in the shared `cryowire-bench`
+//! schema and gates CI on the *relative* `overall_speedup` with
+//! `--baseline FILE` (exit 1 on a >25 % regression — relative, so the
+//! gate holds across machines of different absolute speed):
 //!
-//! The `bench-core` mode is the same contract for the out-of-order core
-//! engine: it times the constant-memory ring-buffer engine against the
-//! retained reference engine over a frontend-depth × width × bypass
-//! design grid and writes `BENCH_core.json` (`--smoke` halves the grid,
-//! `--cycles` overrides the trace length in instructions, `--baseline`
-//! gates identically).
+//! * `bench-noc` times the memoized NoC engine against the retained
+//!   reference engine over the Fig. 21 uniform-random grid (`--smoke`
+//!   cuts it to two points; `--cycles`/`--warmup` override the window).
+//! * `bench-core` is the same contract for the out-of-order core
+//!   engine over a frontend-depth × width × bypass design grid
+//!   (`--cycles` overrides the trace length in instructions).
+//! * `bench-coherence` runs the cycle-level coherence engines over a
+//!   protocol/fabric × workload grid, replays every commit log through
+//!   the hop-count references, and gates on the simulated
+//!   directory/snoop miss-latency ratio (machine-independent), with a
+//!   claim-inversion check (ratio ≤ 1 fails outright).
+//! * `bench-batch` times the batched lockstep engines (whole config or
+//!   rate grids stepped through one structure-of-arrays loop) against
+//!   per-point scalar execution of the same grids, asserting per-lane
+//!   bit-identity and the harness's scalar-vs-batched canonical-JSON
+//!   identity while measuring.
 //!
-//! The `bench-coherence` mode runs the cycle-level coherence engines
-//! over a protocol/fabric × workload grid, replays every commit log
-//! through the hop-count references as a correctness cross-check, and
-//! writes `BENCH_coherence.json`; its `overall_speedup` is the
-//! simulated directory/snoop miss-latency ratio on the barrier-heavy
-//! trace (machine-independent), gated the same way. `--list` prints
-//! every registered sweep with a one-line description.
+//! `--list` prints every registered sweep with a one-line description.
 //!
 //! Exit codes: 0 on success, 2 when the sweep completed but some
 //! points failed (their errors are recorded in the artifact), 1 on
@@ -51,37 +52,68 @@
 use cryowire::experiments::{self, Fidelity, SweepOptions};
 use cryowire::noc::SimConfig;
 use cryowire_harness::{ResultCache, RunArtifact};
+use serde_json::Value;
 
-/// Registered sweep names with one-line descriptions, for `--list`.
-const SWEEPS: &[(&str, &str)] = &[
-    (
-        "depth",
-        "temperature x pipeline-depth grid (default; 16 temps x 4 splits)",
-    ),
-    (
-        "fig27",
-        "Fig. 27 whole-system speedup across operating temperatures",
-    ),
-    (
-        "fig21",
-        "Fig. 21 NoC load-latency curves over the fabric grid",
-    ),
-    (
-        "degraded",
-        "fault-injection scenarios: cooling transient, CryoBus way loss",
-    ),
-    (
-        "bench-noc",
-        "times the memoized NoC engine vs its reference; writes BENCH_noc.json",
-    ),
-    (
-        "bench-core",
-        "times the ring-buffer core engine vs its reference; writes BENCH_core.json",
-    ),
-    (
-        "bench-coherence",
-        "cycle-level coherence engines over protocol x workload; writes BENCH_coherence.json",
-    ),
+/// How a registered sweep runs: a harness grid producing a
+/// [`RunArtifact`], or a self-contained benchmark mode that emits its
+/// own `BENCH_*.json` and exits.
+enum SweepKind {
+    Grid(fn(&Args, SweepOptions) -> RunArtifact),
+    Bench(fn(&Args) -> !),
+}
+
+/// One registered sweep: its name, a one-line description for
+/// `--list`, and its dispatch. The registry drives `--list`, the
+/// unknown-sweep error, and `main`'s dispatch, so a sweep cannot be
+/// registered without being listed (or listed without running).
+struct SweepEntry {
+    name: &'static str,
+    what: &'static str,
+    kind: SweepKind,
+}
+
+/// Every registered sweep, in `--list` order.
+const SWEEPS: &[SweepEntry] = &[
+    SweepEntry {
+        name: "depth",
+        what: "temperature x pipeline-depth grid (default; 16 temps x 4 splits)",
+        kind: SweepKind::Grid(grid_depth),
+    },
+    SweepEntry {
+        name: "fig27",
+        what: "Fig. 27 whole-system speedup across operating temperatures",
+        kind: SweepKind::Grid(grid_fig27),
+    },
+    SweepEntry {
+        name: "fig21",
+        what: "Fig. 21 NoC load-latency curves over the fabric grid",
+        kind: SweepKind::Grid(grid_fig21),
+    },
+    SweepEntry {
+        name: "degraded",
+        what: "fault-injection scenarios: cooling transient, CryoBus way loss",
+        kind: SweepKind::Grid(grid_degraded),
+    },
+    SweepEntry {
+        name: "bench-noc",
+        what: "times the memoized NoC engine vs its reference; writes BENCH_noc.json",
+        kind: SweepKind::Bench(run_bench_noc),
+    },
+    SweepEntry {
+        name: "bench-core",
+        what: "times the ring-buffer core engine vs its reference; writes BENCH_core.json",
+        kind: SweepKind::Bench(run_bench_core),
+    },
+    SweepEntry {
+        name: "bench-coherence",
+        what: "cycle-level coherence engines over protocol x workload; writes BENCH_coherence.json",
+        kind: SweepKind::Bench(run_bench_coherence),
+    },
+    SweepEntry {
+        name: "bench-batch",
+        what: "times batched lockstep grids vs per-point scalar runs; writes BENCH_batch.json",
+        kind: SweepKind::Bench(run_bench_batch),
+    },
 ];
 
 struct Args {
@@ -142,8 +174,8 @@ fn parse_args() -> Args {
             "--smoke" => args.smoke = true,
             "--baseline" => args.baseline = Some(value("--baseline")),
             "--list" => {
-                for (name, what) in SWEEPS {
-                    println!("{name:<16} {what}");
+                for entry in SWEEPS {
+                    println!("{:<16} {}", entry.name, entry.what);
                 }
                 std::process::exit(0);
             }
@@ -152,7 +184,7 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 println!(
                     "usage: sweep [--sweep depth|fig27|fig21|degraded|bench-noc|bench-core|\n\
-                     \x20                     bench-coherence] [--list]\n\
+                     \x20                     bench-coherence|bench-batch] [--list]\n\
                      \x20            [--threads N] [--out FILE] [--cache-dir DIR] [--temps N]\n\
                      \x20            [--max-split K] [--full] [--fault-seed N] [--inject-panic]\n\
                      \x20            [--canonical] [--smoke] [--baseline FILE] [--cycles N]\n\
@@ -176,6 +208,12 @@ fn parse_args() -> Args {
                      BENCH_coherence.json; overall_speedup is the directory/snoop\n\
                      miss-latency ratio on the barrier-heavy trace (--cycles\n\
                      overrides accesses per core, --baseline gates identically).\n\
+                     bench-batch: times the batched lockstep engines (whole config\n\
+                     or rate grids through one structure-of-arrays loop) vs\n\
+                     per-point scalar execution, asserts per-lane bit-identity and\n\
+                     the harness canonical-JSON identity, and writes\n\
+                     BENCH_batch.json (--cycles/--warmup set the NoC window,\n\
+                     --baseline gates identically).\n\
                      exit codes: 0 ok, 2 partial point failures, 1 fatal"
                 );
                 std::process::exit(0);
@@ -205,8 +243,54 @@ fn die(msg: &str) -> ! {
     std::process::exit(1);
 }
 
-/// Runs the `bench-noc` throughput benchmark and applies the optional
-/// baseline gate. Never returns.
+// ------------------------------------------------------- grid dispatch
+
+fn grid_depth(args: &Args, opts: SweepOptions) -> RunArtifact {
+    let spec = experiments::depth_grid_spec(
+        &experiments::linspace_temperatures(args.temps),
+        args.max_split,
+    );
+    if let Err(msg) = spec.validate() {
+        die(&msg);
+    }
+    experiments::depth_sweep_artifact(spec, opts)
+}
+
+fn grid_fig27(_args: &Args, opts: SweepOptions) -> RunArtifact {
+    experiments::fig27_sweep_artifact(opts)
+}
+
+fn grid_fig21(args: &Args, opts: SweepOptions) -> RunArtifact {
+    experiments::fig21_sweep_artifact(args.fidelity, opts)
+}
+
+fn grid_degraded(args: &Args, opts: SweepOptions) -> RunArtifact {
+    experiments::degraded_sweep_artifact(args.fault_seed, args.inject_panic, opts)
+}
+
+// ------------------------------------------------------- bench dispatch
+
+/// The shared tail of every bench mode: emit the document, apply the
+/// optional claim-inversion check and the `--baseline` gate, exit 0.
+/// Never returns.
+fn finish_bench(
+    args: &Args,
+    mode: &str,
+    noun: &str,
+    json: &Value,
+    overall: f64,
+    claim: Option<&str>,
+) -> ! {
+    cryowire_bench::emit(mode, json, args.out.as_deref()).unwrap_or_else(|e| die(&e));
+    if let Some(claim) = claim {
+        cryowire_bench::claim_gate(mode, claim, overall).unwrap_or_else(|e| die(&e));
+    }
+    cryowire_bench::baseline_gate(mode, noun, overall, args.baseline.as_deref())
+        .unwrap_or_else(|e| die(&e));
+    std::process::exit(0);
+}
+
+/// Runs the `bench-noc` throughput benchmark. Never returns.
 fn run_bench_noc(args: &Args) -> ! {
     let cycles = args
         .cycles
@@ -243,39 +327,17 @@ fn run_bench_noc(args: &Args) -> ! {
         result.warmup
     );
     let json = experiments::bench_noc_json(&result);
-    let rendered = serde_json::to_string_pretty(&json).expect("benchmark serializes");
-    match args.out.as_deref() {
-        Some(path) => {
-            std::fs::write(path, rendered + "\n")
-                .unwrap_or_else(|e| die(&format!("cannot write `{path}`: {e}")));
-            eprintln!("bench-noc: artifact written to {path}");
-        }
-        None => println!("{rendered}"),
-    }
-    if let Some(path) = args.baseline.as_deref() {
-        let text = std::fs::read_to_string(path)
-            .unwrap_or_else(|e| die(&format!("cannot read baseline `{path}`: {e}")));
-        let baseline = serde_json::from_str(&text)
-            .unwrap_or_else(|e| die(&format!("cannot parse baseline `{path}`: {e}")));
-        let floor = experiments::speedup_from_json(&baseline)
-            .unwrap_or_else(|| die(&format!("baseline `{path}` lacks `overall_speedup`")))
-            * 0.75;
-        if result.overall_speedup < floor {
-            die(&format!(
-                "bench-noc: speedup regression: measured {:.2}x < 75% of baseline ({floor:.2}x)",
-                result.overall_speedup
-            ));
-        }
-        eprintln!(
-            "bench-noc: baseline gate ok ({:.2}x >= {floor:.2}x)",
-            result.overall_speedup
-        );
-    }
-    std::process::exit(0);
+    finish_bench(
+        args,
+        "bench-noc",
+        "speedup",
+        &json,
+        result.overall_speedup,
+        None,
+    )
 }
 
-/// Runs the `bench-core` throughput benchmark and applies the optional
-/// baseline gate. Never returns.
+/// Runs the `bench-core` throughput benchmark. Never returns.
 fn run_bench_core(args: &Args) -> ! {
     // Six million instructions per point: long enough that the
     // reference engine's O(n) scoreboards (5 series x 8 B x n, ~240 MB
@@ -309,39 +371,17 @@ fn run_bench_core(args: &Args) -> ! {
         result.seed
     );
     let json = experiments::bench_core_json(&result);
-    let rendered = serde_json::to_string_pretty(&json).expect("benchmark serializes");
-    match args.out.as_deref() {
-        Some(path) => {
-            std::fs::write(path, rendered + "\n")
-                .unwrap_or_else(|e| die(&format!("cannot write `{path}`: {e}")));
-            eprintln!("bench-core: artifact written to {path}");
-        }
-        None => println!("{rendered}"),
-    }
-    if let Some(path) = args.baseline.as_deref() {
-        let text = std::fs::read_to_string(path)
-            .unwrap_or_else(|e| die(&format!("cannot read baseline `{path}`: {e}")));
-        let baseline = serde_json::from_str(&text)
-            .unwrap_or_else(|e| die(&format!("cannot parse baseline `{path}`: {e}")));
-        let floor = experiments::speedup_from_json(&baseline)
-            .unwrap_or_else(|| die(&format!("baseline `{path}` lacks `overall_speedup`")))
-            * 0.75;
-        if result.overall_speedup < floor {
-            die(&format!(
-                "bench-core: speedup regression: measured {:.2}x < 75% of baseline ({floor:.2}x)",
-                result.overall_speedup
-            ));
-        }
-        eprintln!(
-            "bench-core: baseline gate ok ({:.2}x >= {floor:.2}x)",
-            result.overall_speedup
-        );
-    }
-    std::process::exit(0);
+    finish_bench(
+        args,
+        "bench-core",
+        "speedup",
+        &json,
+        result.overall_speedup,
+        None,
+    )
 }
 
-/// Runs the `bench-coherence` benchmark and applies the optional
-/// baseline gate. Never returns.
+/// Runs the `bench-coherence` benchmark. Never returns.
 fn run_bench_coherence(args: &Args) -> ! {
     // Accesses per core: enough that the steady-state sharing traffic
     // dominates the cold-fill transient on every workload profile.
@@ -373,94 +413,99 @@ fn run_bench_coherence(args: &Args) -> ! {
         result.cores
     );
     let json = experiments::bench_coherence_json(&result);
-    let rendered = serde_json::to_string_pretty(&json).expect("benchmark serializes");
-    match args.out.as_deref() {
-        Some(path) => {
-            std::fs::write(path, rendered + "\n")
-                .unwrap_or_else(|e| die(&format!("cannot write `{path}`: {e}")));
-            eprintln!("bench-coherence: artifact written to {path}");
-        }
-        None => println!("{rendered}"),
-    }
-    if result.overall_speedup <= 1.0 {
-        die(&format!(
-            "bench-coherence: claim regression: barrier-heavy sharing must be cheaper \
-             on CryoBus snooping than the mesh directory (ratio {:.2}x <= 1)",
-            result.overall_speedup
-        ));
-    }
-    if let Some(path) = args.baseline.as_deref() {
-        let text = std::fs::read_to_string(path)
-            .unwrap_or_else(|e| die(&format!("cannot read baseline `{path}`: {e}")));
-        let baseline = serde_json::from_str(&text)
-            .unwrap_or_else(|e| die(&format!("cannot parse baseline `{path}`: {e}")));
-        let floor = experiments::speedup_from_json(&baseline)
-            .unwrap_or_else(|| die(&format!("baseline `{path}` lacks `overall_speedup`")))
-            * 0.75;
-        if result.overall_speedup < floor {
-            die(&format!(
-                "bench-coherence: ratio regression: measured {:.2}x < 75% of baseline \
-                 ({floor:.2}x)",
-                result.overall_speedup
-            ));
-        }
+    finish_bench(
+        args,
+        "bench-coherence",
+        "ratio",
+        &json,
+        result.overall_speedup,
+        Some(
+            "barrier-heavy sharing must be cheaper \
+             on CryoBus snooping than the mesh directory",
+        ),
+    )
+}
+
+/// Runs the `bench-batch` benchmark. Never returns.
+fn run_bench_batch(args: &Args) -> ! {
+    let cycles = args
+        .cycles
+        .unwrap_or(if args.smoke { 8_000 } else { 30_000 });
+    let config = SimConfig {
+        cycles,
+        warmup: args.warmup.unwrap_or(cycles / 4),
+        ..SimConfig::default()
+    };
+    // Enough instructions that the decoded trace leaves the fastest
+    // caches and the decode-once amortization is measured in its
+    // steady regime; the smoke grid keeps CI fast.
+    let insts = if args.smoke { 1_500_000 } else { 6_000_000 };
+    let result = experiments::bench_batch(insts, 7, config, args.smoke)
+        .unwrap_or_else(|e| die(&format!("bench-batch: {e}")));
+    for p in &result.points {
         eprintln!(
-            "bench-coherence: baseline gate ok ({:.2}x >= {floor:.2}x)",
-            result.overall_speedup
+            "bench-batch: {:<24} {:>2} lanes  scalar {:>8.2} ms  batched {:>8.2} ms  \
+             speedup {:.2}x",
+            p.name, p.lanes, p.wall_ms_scalar, p.wall_ms_batched, p.speedup
         );
     }
-    std::process::exit(0);
+    eprintln!(
+        "bench-batch: overall speedup {:.2}x (min {:.2}x, geomean {:.2}x) over {} grids \
+         ({} instructions, {} cycles, {} warmup)",
+        result.overall_speedup,
+        result.min_speedup,
+        result.geomean_speedup,
+        result.points.len(),
+        result.insts,
+        result.cycles,
+        result.warmup
+    );
+    let json = experiments::bench_batch_json(&result);
+    finish_bench(
+        args,
+        "bench-batch",
+        "speedup",
+        &json,
+        result.overall_speedup,
+        None,
+    )
 }
 
 fn main() {
     let args = parse_args();
-    if args.sweep == "bench-noc" {
-        run_bench_noc(&args);
-    }
-    if args.sweep == "bench-core" {
-        run_bench_core(&args);
-    }
-    if args.sweep == "bench-coherence" {
-        run_bench_coherence(&args);
-    }
-    let cache = args.cache_dir.as_ref().map(|dir| {
-        ResultCache::with_dir(dir)
-            .unwrap_or_else(|e| die(&format!("cannot open cache dir `{dir}`: {e}")))
-    });
-    // threads == 0 means one worker per CPU (the SweepOptions default).
-    let mut opts = SweepOptions::threaded(args.threads);
-    if let Some(cache) = cache.as_ref() {
-        opts = opts.with_cache(cache);
-    }
-
-    let artifact: RunArtifact = match args.sweep.as_str() {
-        "depth" => {
-            let spec = experiments::depth_grid_spec(
-                &experiments::linspace_temperatures(args.temps),
-                args.max_split,
-            );
-            if let Err(msg) = spec.validate() {
-                die(&msg);
+    let Some(entry) = SWEEPS.iter().find(|e| e.name == args.sweep) else {
+        let names: Vec<&str> = SWEEPS.iter().map(|e| e.name).collect();
+        die(&format!(
+            "unknown sweep `{}` ({}; `--list` describes each)",
+            args.sweep,
+            names.join(", ")
+        ));
+    };
+    let artifact: RunArtifact = match entry.kind {
+        SweepKind::Bench(run) => run(&args),
+        SweepKind::Grid(run) => {
+            let cache = args.cache_dir.as_ref().map(|dir| {
+                ResultCache::with_dir(dir)
+                    .unwrap_or_else(|e| die(&format!("cannot open cache dir `{dir}`: {e}")))
+            });
+            // threads == 0 means one worker per CPU (the SweepOptions
+            // default).
+            let mut opts = SweepOptions::threaded(args.threads);
+            if let Some(cache) = cache.as_ref() {
+                opts = opts.with_cache(cache);
             }
-            experiments::depth_sweep_artifact(spec, opts)
+            run(&args, opts)
         }
-        "fig27" => experiments::fig27_sweep_artifact(opts),
-        "fig21" => experiments::fig21_sweep_artifact(args.fidelity, opts),
-        "degraded" => {
-            experiments::degraded_sweep_artifact(args.fault_seed, args.inject_panic, opts)
-        }
-        other => die(&format!(
-            "unknown sweep `{other}` (depth, fig27, fig21, degraded, bench-noc, bench-core, \
-             bench-coherence; `--list` describes each)"
-        )),
     };
 
     eprintln!(
-        "sweep `{}`: {} points ({} evaluated, {} cached, {} failed) on {} thread(s) in {:.1} ms",
+        "sweep `{}`: {} points ({} evaluated, {} cached, {} deduped, {} failed) on {} thread(s) \
+         in {:.1} ms",
         artifact.sweep,
         artifact.stats.points,
         artifact.stats.evaluated,
         artifact.stats.cache_hits,
+        artifact.stats.deduped,
         artifact.stats.failed,
         artifact.stats.threads,
         artifact.stats.wall_ms

@@ -21,6 +21,7 @@
 
 use std::time::Instant;
 
+use cryowire_bench::{bench_value, SpeedupStats};
 use cryowire_coherence::reference::{replay_directory, replay_snooping};
 use cryowire_coherence::{
     CacheGeometry, CoherenceConfig, CoherenceMetrics, CoherenceScratch, CoherenceSystem, Protocol,
@@ -282,59 +283,55 @@ pub fn bench_coherence(
     }
 }
 
-/// Serializes a run as the `BENCH_coherence.json` value. The gating
-/// figure lives under the same `overall_speedup` key as the other bench
-/// artifacts, so [`speedup_from_json`](super::speedup_from_json) reads
-/// all three.
+/// Serializes a run as the `BENCH_coherence.json` value, in the shared
+/// [`cryowire_bench::bench_value`] schema. The gating figure lives
+/// under the same `overall_speedup` key as the other bench artifacts,
+/// so [`speedup_from_json`](super::speedup_from_json) reads all of
+/// them; the claim being a single simulated-latency ratio, the min and
+/// geomean figures equal it ([`SpeedupStats::uniform`]).
 #[must_use]
 pub fn bench_coherence_json(result: &BenchCoherenceResult) -> Value {
-    Value::Object(vec![
-        ("benchmark".into(), Value::String("coherence_engine".into())),
-        (
-            "accesses_per_core".into(),
-            Value::UInt(result.accesses_per_core as u64),
-        ),
-        ("cores".into(), Value::UInt(result.cores as u64)),
-        (
-            "barrier_snoop_ns".into(),
-            Value::Float(result.barrier_snoop_ns),
-        ),
-        (
-            "barrier_directory_ns".into(),
-            Value::Float(result.barrier_directory_ns),
-        ),
-        (
-            "overall_speedup".into(),
-            Value::Float(result.overall_speedup),
-        ),
-        (
-            "points".into(),
-            Value::Array(
-                result
-                    .points
-                    .iter()
-                    .map(|p| {
-                        Value::Object(vec![
-                            ("name".into(), Value::String(p.name.clone())),
-                            ("engine".into(), Value::String(p.engine.clone())),
-                            ("workload".into(), Value::String(p.workload.clone())),
-                            ("pattern".into(), Value::String(p.pattern.clone())),
-                            ("clock_ghz".into(), Value::Float(p.clock_ghz)),
-                            ("avg_miss_ns".into(), Value::Float(p.avg_miss_ns)),
-                            ("miss_ratio".into(), Value::Float(p.miss_ratio)),
-                            ("sim_cycles".into(), Value::UInt(p.sim_cycles)),
-                            ("fabric_ops".into(), Value::UInt(p.fabric_ops)),
-                            ("wall_ms".into(), Value::Float(p.wall_ms)),
-                            (
-                                "maccesses_per_sec".into(),
-                                Value::Float(p.maccesses_per_sec),
-                            ),
-                        ])
-                    })
-                    .collect(),
+    bench_value(
+        "coherence_engine",
+        vec![
+            (
+                "accesses_per_core".into(),
+                Value::UInt(result.accesses_per_core as u64),
             ),
-        ),
-    ])
+            ("cores".into(), Value::UInt(result.cores as u64)),
+            (
+                "barrier_snoop_ns".into(),
+                Value::Float(result.barrier_snoop_ns),
+            ),
+            (
+                "barrier_directory_ns".into(),
+                Value::Float(result.barrier_directory_ns),
+            ),
+        ],
+        SpeedupStats::uniform(result.overall_speedup),
+        result
+            .points
+            .iter()
+            .map(|p| {
+                Value::Object(vec![
+                    ("name".into(), Value::String(p.name.clone())),
+                    ("engine".into(), Value::String(p.engine.clone())),
+                    ("workload".into(), Value::String(p.workload.clone())),
+                    ("pattern".into(), Value::String(p.pattern.clone())),
+                    ("clock_ghz".into(), Value::Float(p.clock_ghz)),
+                    ("avg_miss_ns".into(), Value::Float(p.avg_miss_ns)),
+                    ("miss_ratio".into(), Value::Float(p.miss_ratio)),
+                    ("sim_cycles".into(), Value::UInt(p.sim_cycles)),
+                    ("fabric_ops".into(), Value::UInt(p.fabric_ops)),
+                    ("wall_ms".into(), Value::Float(p.wall_ms)),
+                    (
+                        "maccesses_per_sec".into(),
+                        Value::Float(p.maccesses_per_sec),
+                    ),
+                ])
+            })
+            .collect(),
+    )
 }
 
 #[cfg(test)]

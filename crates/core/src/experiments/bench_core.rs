@@ -14,6 +14,7 @@
 
 use std::time::Instant;
 
+use cryowire_bench::{bench_value, speedup_stats};
 use cryowire_ooo::core::reference::ReferenceCoreSimulator;
 use cryowire_ooo::{CoreConfig, CoreScratch, CoreSimulator, TraceArena, TraceConfig};
 use serde_json::Value;
@@ -156,84 +157,75 @@ pub fn bench_core(insts: usize, seed: u64, grid: &[(String, CoreConfig)]) -> Ben
             speedup: wall_ref / wall_opt.max(1e-12),
         });
     }
-    let min_speedup = points
+    let walls: Vec<(f64, f64)> = points
         .iter()
-        .map(|p| p.speedup)
-        .fold(f64::INFINITY, f64::min);
-    let geomean_speedup =
-        (points.iter().map(|p| p.speedup.ln()).sum::<f64>() / points.len() as f64).exp();
-    let wall_opt: f64 = points.iter().map(|p| p.wall_ms_optimized).sum();
-    let wall_ref: f64 = points.iter().map(|p| p.wall_ms_reference).sum();
+        .map(|p| (p.wall_ms_reference, p.wall_ms_optimized))
+        .collect();
+    let stats = speedup_stats(&walls);
     BenchCoreResult {
         insts,
         seed,
         points,
-        min_speedup,
-        geomean_speedup,
-        overall_speedup: wall_ref / wall_opt.max(1e-12),
+        min_speedup: stats.min,
+        geomean_speedup: stats.geomean,
+        overall_speedup: stats.overall,
     }
 }
 
-/// Serializes a run as the `BENCH_core.json` value. The gating figure
-/// lives under the same `overall_speedup` key as `BENCH_noc.json`, so
+/// Serializes a run as the `BENCH_core.json` value, in the shared
+/// [`cryowire_bench::bench_value`] schema. The gating figure lives
+/// under the same `overall_speedup` key as `BENCH_noc.json`, so
 /// [`speedup_from_json`](super::speedup_from_json) reads both.
 #[must_use]
 pub fn bench_core_json(result: &BenchCoreResult) -> Value {
-    Value::Object(vec![
-        ("benchmark".into(), Value::String("core_hot_loop".into())),
-        ("insts".into(), Value::UInt(result.insts as u64)),
-        ("seed".into(), Value::UInt(result.seed)),
-        ("min_speedup".into(), Value::Float(result.min_speedup)),
-        (
-            "geomean_speedup".into(),
-            Value::Float(result.geomean_speedup),
-        ),
-        (
-            "overall_speedup".into(),
-            Value::Float(result.overall_speedup),
-        ),
-        (
-            "points".into(),
-            Value::Array(
-                result
-                    .points
-                    .iter()
-                    .map(|p| {
-                        Value::Object(vec![
-                            ("name".into(), Value::String(p.name.clone())),
-                            ("width".into(), Value::UInt(p.width as u64)),
-                            (
-                                "frontend_depth".into(),
-                                Value::UInt(u64::from(p.frontend_depth)),
-                            ),
-                            (
-                                "bypass_cycles".into(),
-                                Value::UInt(u64::from(p.bypass_cycles)),
-                            ),
-                            (
-                                "wall_ms_optimized".into(),
-                                Value::Float(p.wall_ms_optimized),
-                            ),
-                            (
-                                "wall_ms_reference".into(),
-                                Value::Float(p.wall_ms_reference),
-                            ),
-                            ("ipc".into(), Value::Float(p.ipc)),
-                            (
-                                "minsts_per_sec_optimized".into(),
-                                Value::Float(p.minsts_per_sec_optimized),
-                            ),
-                            (
-                                "minsts_per_sec_reference".into(),
-                                Value::Float(p.minsts_per_sec_reference),
-                            ),
-                            ("speedup".into(), Value::Float(p.speedup)),
-                        ])
-                    })
-                    .collect(),
-            ),
-        ),
-    ])
+    bench_value(
+        "core_hot_loop",
+        vec![
+            ("insts".into(), Value::UInt(result.insts as u64)),
+            ("seed".into(), Value::UInt(result.seed)),
+        ],
+        cryowire_bench::SpeedupStats {
+            min: result.min_speedup,
+            geomean: result.geomean_speedup,
+            overall: result.overall_speedup,
+        },
+        result
+            .points
+            .iter()
+            .map(|p| {
+                Value::Object(vec![
+                    ("name".into(), Value::String(p.name.clone())),
+                    ("width".into(), Value::UInt(p.width as u64)),
+                    (
+                        "frontend_depth".into(),
+                        Value::UInt(u64::from(p.frontend_depth)),
+                    ),
+                    (
+                        "bypass_cycles".into(),
+                        Value::UInt(u64::from(p.bypass_cycles)),
+                    ),
+                    (
+                        "wall_ms_optimized".into(),
+                        Value::Float(p.wall_ms_optimized),
+                    ),
+                    (
+                        "wall_ms_reference".into(),
+                        Value::Float(p.wall_ms_reference),
+                    ),
+                    ("ipc".into(), Value::Float(p.ipc)),
+                    (
+                        "minsts_per_sec_optimized".into(),
+                        Value::Float(p.minsts_per_sec_optimized),
+                    ),
+                    (
+                        "minsts_per_sec_reference".into(),
+                        Value::Float(p.minsts_per_sec_reference),
+                    ),
+                    ("speedup".into(), Value::Float(p.speedup)),
+                ])
+            })
+            .collect(),
+    )
 }
 
 #[cfg(test)]

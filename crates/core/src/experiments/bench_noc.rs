@@ -12,6 +12,7 @@
 
 use std::time::Instant;
 
+use cryowire_bench::{bench_value, speedup_stats};
 use cryowire_device::Temperature;
 use cryowire_faults::FaultSchedule;
 use cryowire_noc::sim::reference::ReferenceSimulator;
@@ -182,86 +183,71 @@ pub fn bench_noc(
             });
         }
     }
-    let min_speedup = points
+    let walls: Vec<(f64, f64)> = points
         .iter()
-        .map(|p| p.speedup)
-        .fold(f64::INFINITY, f64::min);
-    let geomean_speedup =
-        (points.iter().map(|p| p.speedup.ln()).sum::<f64>() / points.len() as f64).exp();
-    let wall_opt: f64 = points.iter().map(|p| p.wall_ms_optimized).sum();
-    let wall_ref: f64 = points.iter().map(|p| p.wall_ms_reference).sum();
+        .map(|p| (p.wall_ms_reference, p.wall_ms_optimized))
+        .collect();
+    let stats = speedup_stats(&walls);
     Ok(BenchNocResult {
         cycles: config.cycles,
         warmup: config.warmup,
         points,
-        min_speedup,
-        geomean_speedup,
-        overall_speedup: wall_ref / wall_opt.max(1e-12),
+        min_speedup: stats.min,
+        geomean_speedup: stats.geomean,
+        overall_speedup: stats.overall,
     })
 }
 
-/// Serializes a run as the `BENCH_noc.json` value.
+/// Serializes a run as the `BENCH_noc.json` value, in the shared
+/// [`cryowire_bench::bench_value`] schema.
 #[must_use]
 pub fn bench_noc_json(result: &BenchNocResult) -> Value {
-    Value::Object(vec![
-        ("benchmark".into(), Value::String("noc_hot_loop".into())),
-        ("cycles".into(), Value::UInt(result.cycles)),
-        ("warmup".into(), Value::UInt(result.warmup)),
-        ("min_speedup".into(), Value::Float(result.min_speedup)),
-        (
-            "geomean_speedup".into(),
-            Value::Float(result.geomean_speedup),
-        ),
-        (
-            "overall_speedup".into(),
-            Value::Float(result.overall_speedup),
-        ),
-        (
-            "points".into(),
-            Value::Array(
-                result
-                    .points
-                    .iter()
-                    .map(|p| {
-                        Value::Object(vec![
-                            ("network".into(), Value::String(p.network.clone())),
-                            ("rate".into(), Value::Float(p.rate)),
-                            (
-                                "wall_ms_optimized".into(),
-                                Value::Float(p.wall_ms_optimized),
-                            ),
-                            (
-                                "wall_ms_reference".into(),
-                                Value::Float(p.wall_ms_reference),
-                            ),
-                            ("packets".into(), Value::UInt(p.packets)),
-                            (
-                                "packets_per_sec_optimized".into(),
-                                Value::Float(p.packets_per_sec_optimized),
-                            ),
-                            (
-                                "packets_per_sec_reference".into(),
-                                Value::Float(p.packets_per_sec_reference),
-                            ),
-                            ("speedup".into(), Value::Float(p.speedup)),
-                        ])
-                    })
-                    .collect(),
-            ),
-        ),
-    ])
-}
-
-/// Extracts the gating figure (`overall_speedup`) from a parsed
-/// `BENCH_noc.json` (a current run or a committed baseline).
-#[must_use]
-pub fn speedup_from_json(v: &Value) -> Option<f64> {
-    v.get("overall_speedup").and_then(Value::as_f64)
+    bench_value(
+        "noc_hot_loop",
+        vec![
+            ("cycles".into(), Value::UInt(result.cycles)),
+            ("warmup".into(), Value::UInt(result.warmup)),
+        ],
+        cryowire_bench::SpeedupStats {
+            min: result.min_speedup,
+            geomean: result.geomean_speedup,
+            overall: result.overall_speedup,
+        },
+        result
+            .points
+            .iter()
+            .map(|p| {
+                Value::Object(vec![
+                    ("network".into(), Value::String(p.network.clone())),
+                    ("rate".into(), Value::Float(p.rate)),
+                    (
+                        "wall_ms_optimized".into(),
+                        Value::Float(p.wall_ms_optimized),
+                    ),
+                    (
+                        "wall_ms_reference".into(),
+                        Value::Float(p.wall_ms_reference),
+                    ),
+                    ("packets".into(), Value::UInt(p.packets)),
+                    (
+                        "packets_per_sec_optimized".into(),
+                        Value::Float(p.packets_per_sec_optimized),
+                    ),
+                    (
+                        "packets_per_sec_reference".into(),
+                        Value::Float(p.packets_per_sec_reference),
+                    ),
+                    ("speedup".into(), Value::Float(p.speedup)),
+                ])
+            })
+            .collect(),
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cryowire_bench::speedup_from_json;
 
     #[test]
     fn smoke_run_beats_reference_and_round_trips() {

@@ -7,6 +7,7 @@
 //! [`Fidelity`] knob; analytic ones are exact either way.
 
 mod ablations;
+mod bench_batch;
 mod bench_coherence;
 mod bench_core;
 mod bench_noc;
@@ -28,6 +29,10 @@ pub use ablations::{
     DepthSweepAblation, EngineComparisonAblation, FfOverheadAblation, InterleavingAblation,
     WireThicknessAblation,
 };
+pub use bench_batch::{
+    bench_batch, bench_batch_json, bench_batch_rates, ipc_validation_grid, BenchBatchPoint,
+    BenchBatchResult,
+};
 pub use bench_coherence::{
     bench_coherence, bench_coherence_grid, bench_coherence_json, BenchCoherencePoint,
     BenchCoherenceResult, EngineKind,
@@ -35,10 +40,9 @@ pub use bench_coherence::{
 pub use bench_core::{
     bench_core, bench_core_grid, bench_core_json, BenchCorePoint, BenchCoreResult,
 };
-pub use bench_noc::{
-    bench_noc, bench_noc_grid, bench_noc_json, speedup_from_json, BenchNocPoint, BenchNocResult,
-};
+pub use bench_noc::{bench_noc, bench_noc_grid, bench_noc_json, BenchNocPoint, BenchNocResult};
 pub use coherence_validation::{coherence_cross_validation, CoherenceValidation};
+pub use cryowire_bench::speedup_from_json;
 pub use ipc_validation::{ipc_cross_validation, IpcValidation};
 pub use noc_figs::{
     fig16_llc_latency, fig18_bus_load_latency, fig20_bus_latency_breakdown, fig21_noc_load_latency,

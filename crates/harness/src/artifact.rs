@@ -48,6 +48,9 @@ pub struct RunStats {
     pub cache_hits: usize,
     /// Points actually evaluated.
     pub evaluated: usize,
+    /// Points answered by an identical point earlier in the same grid
+    /// (content-key duplicates collapsed before dispatch).
+    pub deduped: usize,
     /// Worker threads used.
     pub threads: usize,
     /// Points whose evaluator panicked (isolated, not cached).
@@ -129,6 +132,7 @@ impl RunArtifact {
                         Value::UInt(self.stats.cache_hits as u64),
                     ),
                     ("evaluated".into(), Value::UInt(self.stats.evaluated as u64)),
+                    ("deduped".into(), Value::UInt(self.stats.deduped as u64)),
                     ("threads".into(), Value::UInt(self.stats.threads as u64)),
                     ("failed".into(), Value::UInt(self.stats.failed as u64)),
                     ("wall_ms".into(), Value::Float(self.stats.wall_ms)),
@@ -231,6 +235,7 @@ mod tests {
                 points: 1,
                 cache_hits: usize::from(cached),
                 evaluated: usize::from(!cached),
+                deduped: 0,
                 threads,
                 failed: 0,
                 wall_ms: eval_ms,

@@ -98,6 +98,15 @@ impl ResultCache {
         (v, false)
     }
 
+    /// Stores `value` under `key` directly (memory and, when
+    /// persistent, disk). Used by batched evaluation, where values are
+    /// computed for whole groups outside [`ResultCache::get_or_compute`]
+    /// and published per point afterwards.
+    pub fn insert(&self, key: &str, value: &Value) {
+        self.mem.write().insert(key.to_string(), value.clone());
+        self.write_disk(key, value);
+    }
+
     /// Direct lookup without evaluation.
     #[must_use]
     pub fn get(&self, key: &str) -> Option<Value> {

@@ -112,42 +112,192 @@ impl<'c> Sweep<'c> {
         }
         let started = Instant::now();
         let points = self.spec.points();
-        let records = self.executor.run(&points, |index, point| {
-            let canonical = point.canonical();
-            let key = content_key(&self.eval_tag, &canonical);
-            let seed = point_seed(&self.eval_tag, &canonical, self.base_seed);
+        let plan = DispatchPlan::new(&points, &self.eval_tag, self.base_seed);
+        let outcomes = self.executor.run(&plan.dispatch, |_, &i| {
+            let point = &points[i];
+            let seed = plan.seeds[i];
+            let key = &plan.keys[i];
             let t0 = Instant::now();
             // Panic isolation: a failed evaluator escapes before the
             // cache stores anything, so errors are never cached.
             let outcome = catch_unwind(AssertUnwindSafe(|| match self.cache {
-                Some(cache) => cache.get_or_compute(&key, || eval(point, seed)),
+                Some(cache) => cache.get_or_compute(key, || eval(point, seed)),
                 None => (eval(point, seed), false),
             }));
-            let (value, cached, error) = match outcome {
-                Ok((value, cached)) => (value, cached, None),
-                Err(payload) => (Value::Null, false, Some(panic_message(payload.as_ref()))),
-            };
-            PointRecord {
-                index,
-                params: point.clone(),
-                key,
-                seed,
-                cached,
-                eval_ms: if cached {
-                    0.0
-                } else {
-                    t0.elapsed().as_secs_f64() * 1e3
+            match outcome {
+                Ok((value, cached)) => Outcome {
+                    value,
+                    cached,
+                    error: None,
+                    eval_ms: if cached {
+                        0.0
+                    } else {
+                        t0.elapsed().as_secs_f64() * 1e3
+                    },
                 },
-                value,
-                error,
+                Err(payload) => Outcome {
+                    value: Value::Null,
+                    cached: false,
+                    error: Some(panic_message(payload.as_ref())),
+                    eval_ms: t0.elapsed().as_secs_f64() * 1e3,
+                },
             }
         });
+        self.assemble(points, plan, outcomes, started)
+    }
+
+    /// Evaluates the grid in **batch jobs**: points are grouped by
+    /// `group` (e.g. the content key of the trace or the `PathTable`
+    /// identity they share), every group is handed to `eval_batch` as
+    /// one unit, and the batch results are split back into ordinary
+    /// per-point records — the artifact is byte-identical (canonically)
+    /// to a [`Sweep::run`] whose `eval` returns the same per-point
+    /// values, at any thread count.
+    ///
+    /// `eval_batch` receives the group key and the group's points with
+    /// their deterministic seeds (enumeration order), and must return
+    /// exactly one value per point, in order. A mismatched count or a
+    /// panic fails every point of that group (isolated from other
+    /// groups, never cached). Cache hits and content-key duplicates are
+    /// resolved *before* grouping, so a batch job only ever computes
+    /// distinct, uncached points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec fails [`SweepSpec::validate`].
+    #[must_use]
+    pub fn run_batched<G, F>(self, group: G, eval_batch: F) -> RunArtifact
+    where
+        G: Fn(&Point) -> String,
+        F: Fn(&str, &[(&Point, u64)]) -> Vec<Value> + Sync,
+    {
+        if let Err(msg) = self.spec.validate() {
+            panic!("{msg}");
+        }
+        let started = Instant::now();
+        let points = self.spec.points();
+        let mut plan = DispatchPlan::new(&points, &self.eval_tag, self.base_seed);
+        // Resolve cache hits before grouping: a batch job must only
+        // ever compute distinct, uncached points.
+        if let Some(cache) = self.cache {
+            plan.probe_cache(cache);
+        }
+        let outcomes = self.executor.run_grouped(
+            &plan.dispatch,
+            |_, &i| group(&points[i]),
+            |key, members| {
+                let t0 = Instant::now();
+                let batch: Vec<(&Point, u64)> = members
+                    .iter()
+                    .map(|&(_, &i)| (&points[i], plan.seeds[i]))
+                    .collect();
+                let result = catch_unwind(AssertUnwindSafe(|| eval_batch(key, &batch)));
+                // Batch wall time is attributed evenly across members.
+                let eval_ms = t0.elapsed().as_secs_f64() * 1e3 / members.len() as f64;
+                let fail = |error: String| {
+                    members
+                        .iter()
+                        .map(|_| Outcome {
+                            value: Value::Null,
+                            cached: false,
+                            error: Some(error.clone()),
+                            eval_ms,
+                        })
+                        .collect()
+                };
+                match result {
+                    Ok(values) if values.len() == members.len() => values
+                        .into_iter()
+                        .map(|value| Outcome {
+                            value,
+                            cached: false,
+                            error: None,
+                            eval_ms,
+                        })
+                        .collect(),
+                    Ok(values) => fail(format!(
+                        "batch evaluator returned {} values for {} points",
+                        values.len(),
+                        members.len()
+                    )),
+                    Err(payload) => fail(panic_message(payload.as_ref())),
+                }
+            },
+        );
+        // Publish batch-computed values so later runs (and overlapping
+        // grids) hit the cache exactly as with scalar evaluation.
+        if let Some(cache) = self.cache {
+            for (&i, outcome) in plan.dispatch.iter().zip(&outcomes) {
+                if outcome.error.is_none() {
+                    cache.insert(&plan.keys[i], &outcome.value);
+                }
+            }
+        }
+        self.assemble(points, plan, outcomes, started)
+    }
+
+    /// Scatters dispatch outcomes back over the full grid (mirroring
+    /// duplicates from their representatives) and assembles the
+    /// artifact.
+    fn assemble(
+        self,
+        points: Vec<Point>,
+        plan: DispatchPlan,
+        outcomes: Vec<Outcome>,
+        started: Instant,
+    ) -> RunArtifact {
+        let outcome_of: std::collections::HashMap<usize, &Outcome> =
+            plan.dispatch.iter().copied().zip(&outcomes).collect();
+        let hit_of: std::collections::HashMap<usize, &Value> =
+            plan.hits.iter().map(|(i, v)| (*i, v)).collect();
+        let mut records: Vec<PointRecord> = Vec::with_capacity(points.len());
+        for (index, point) in points.iter().enumerate() {
+            let rep = plan.representative[index];
+            let record = if let Some(outcome) = outcome_of.get(&rep) {
+                let mirrored = rep != index;
+                PointRecord {
+                    index,
+                    params: point.clone(),
+                    key: plan.keys[index].clone(),
+                    seed: plan.seeds[index],
+                    // A duplicate of a successful evaluation is a hit
+                    // by construction (answered without evaluating);
+                    // mirrored failures stay failures.
+                    cached: if mirrored {
+                        outcome.error.is_none()
+                    } else {
+                        outcome.cached
+                    },
+                    eval_ms: if mirrored { 0.0 } else { outcome.eval_ms },
+                    value: outcome.value.clone(),
+                    error: outcome.error.clone(),
+                }
+            } else {
+                // Representative resolved as a cache hit during
+                // planning (run_batched pre-probes the cache).
+                let value = *hit_of
+                    .get(&rep)
+                    .expect("a non-dispatched representative is a pre-probed cache hit");
+                PointRecord {
+                    index,
+                    params: point.clone(),
+                    key: plan.keys[index].clone(),
+                    seed: plan.seeds[index],
+                    cached: true,
+                    eval_ms: 0.0,
+                    value: value.clone(),
+                    error: None,
+                }
+            };
+            records.push(record);
+        }
         let cache_hits = records.iter().filter(|r| r.cached).count();
         let failed = records.iter().filter(|r| r.failed()).count();
         let stats = RunStats {
             points: records.len(),
             cache_hits,
             evaluated: records.len() - cache_hits,
+            deduped: records.len() - plan.dispatch.len() - plan.hits.len(),
             threads: self.executor.threads(),
             failed,
             wall_ms: started.elapsed().as_secs_f64() * 1e3,
@@ -159,6 +309,74 @@ impl<'c> Sweep<'c> {
             points: records,
             stats,
         }
+    }
+}
+
+/// One dispatch outcome (shared by scalar and batched evaluation).
+struct Outcome {
+    value: Value,
+    cached: bool,
+    error: Option<String>,
+    eval_ms: f64,
+}
+
+/// The dispatch plan of a grid: per-point keys and seeds, the
+/// first-occurrence representative of every content key, and the list
+/// of indices that actually need evaluating (representatives minus
+/// pre-resolved cache hits).
+struct DispatchPlan {
+    keys: Vec<String>,
+    seeds: Vec<u64>,
+    /// `representative[i]` is the smallest index with the same content
+    /// key as point `i` (itself, when first).
+    representative: Vec<usize>,
+    /// Indices dispatched to the evaluator, in enumeration order.
+    dispatch: Vec<usize>,
+    /// Pre-probed cache hits (`run_batched` only): `(index, value)`.
+    hits: Vec<(usize, Value)>,
+}
+
+impl DispatchPlan {
+    fn new(points: &[Point], eval_tag: &str, base_seed: u64) -> Self {
+        let mut keys = Vec::with_capacity(points.len());
+        let mut seeds = Vec::with_capacity(points.len());
+        for point in points {
+            let canonical = point.canonical();
+            keys.push(content_key(eval_tag, &canonical));
+            seeds.push(point_seed(eval_tag, &canonical, base_seed));
+        }
+        let mut first: std::collections::HashMap<&str, usize> = std::collections::HashMap::new();
+        let mut representative = Vec::with_capacity(points.len());
+        let mut dispatch = Vec::new();
+        for (i, key) in keys.iter().enumerate() {
+            let rep = *first.entry(key.as_str()).or_insert(i);
+            representative.push(rep);
+            if rep == i {
+                dispatch.push(i);
+            }
+        }
+        DispatchPlan {
+            keys,
+            seeds,
+            representative,
+            dispatch,
+            hits: Vec::new(),
+        }
+    }
+
+    /// Removes dispatch entries already answered by `cache`, recording
+    /// them as pre-probed hits (used by batched evaluation, which must
+    /// know the full group membership before any evaluation starts).
+    fn probe_cache(&mut self, cache: &crate::cache::ResultCache) {
+        let keys = &self.keys;
+        let hits = &mut self.hits;
+        self.dispatch.retain(|&i| match cache.get(&keys[i]) {
+            Some(value) => {
+                hits.push((i, value));
+                false
+            }
+            None => true,
+        });
     }
 }
 
@@ -288,6 +506,149 @@ mod tests {
             .validate()
             .unwrap_err();
         assert!(zip.contains("zipped axes [a]"), "{zip}");
+    }
+
+    #[test]
+    fn intra_grid_duplicates_collapse_but_stay_listed() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        // An axis with repeated values enumerates content-identical
+        // points; they must be evaluated once yet all appear in the
+        // artifact.
+        let calls = AtomicUsize::new(0);
+        let artifact = Sweep::new(SweepSpec::new("dup").axis("x", [1i64, 2, 1, 1, 2]))
+            .eval_tag("dup/v1")
+            .threads(4)
+            .run(|p, _| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                Value::Int(p.i64("x") * 10)
+            });
+        assert_eq!(calls.load(Ordering::Relaxed), 2, "two distinct points");
+        assert_eq!(artifact.stats.points, 5, "every requested point listed");
+        assert_eq!(artifact.stats.deduped, 3);
+        assert_eq!(artifact.points.len(), 5);
+        let values: Vec<_> = artifact.points.iter().map(|p| p.value.clone()).collect();
+        assert_eq!(
+            values,
+            vec![
+                Value::Int(10),
+                Value::Int(20),
+                Value::Int(10),
+                Value::Int(10),
+                Value::Int(20)
+            ]
+        );
+        // Duplicates share their representative's key and seed, so the
+        // canonical artifact is identical to a no-dedupe evaluation.
+        assert_eq!(artifact.points[0].key, artifact.points[2].key);
+        assert_eq!(artifact.points[0].seed, artifact.points[2].seed);
+        assert!(artifact.points[2].cached, "duplicate answered w/o eval");
+    }
+
+    #[test]
+    fn deduped_duplicate_of_failed_point_mirrors_the_failure() {
+        let artifact = Sweep::new(SweepSpec::new("dup").axis("x", [1i64, 1]))
+            .eval_tag("dup/v1")
+            .run(|_, _| panic!("boom"));
+        assert_eq!(artifact.stats.failed, 2);
+        assert!(artifact.points[1].failed());
+        assert!(!artifact.points[1].cached);
+    }
+
+    #[test]
+    fn batched_artifact_is_canonically_identical_to_scalar() {
+        let eval =
+            |p: &Point, seed: u64| Value::Float(p.f64("t") * p.i64("d") as f64 + (seed % 7) as f64);
+        let scalar = Sweep::new(spec()).eval_tag("unit/v1").run(eval);
+        for threads in [1, 4] {
+            let batched = Sweep::new(spec())
+                .eval_tag("unit/v1")
+                .threads(threads)
+                .run_batched(
+                    |p| format!("t={}", p.f64("t")),
+                    |_, batch| batch.iter().map(|&(p, seed)| eval(p, seed)).collect(),
+                );
+            assert_eq!(
+                scalar.canonical_json(),
+                batched.canonical_json(),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn batched_groups_see_whole_groups_and_cache_fills() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let cache = ResultCache::new();
+        let jobs = AtomicUsize::new(0);
+        let spec4 = SweepSpec::new("b")
+            .axis("g", [1i64, 2])
+            .axis("x", [10i64, 20]);
+        let batched = Sweep::new(spec4.clone())
+            .eval_tag("b/v1")
+            .cache(&cache)
+            .threads(4)
+            .run_batched(
+                |p| p.i64("g").to_string(),
+                |_, batch| {
+                    jobs.fetch_add(1, Ordering::Relaxed);
+                    assert_eq!(batch.len(), 2, "group sees both of its points");
+                    batch
+                        .iter()
+                        .map(|&(p, _)| Value::Int(p.i64("g") * 100 + p.i64("x")))
+                        .collect()
+                },
+            );
+        assert_eq!(jobs.load(Ordering::Relaxed), 2, "one job per group");
+        assert_eq!(batched.stats.evaluated, 4);
+        // Batch results were published to the cache: a re-run over the
+        // same grid evaluates nothing.
+        let rerun = Sweep::new(spec4)
+            .eval_tag("b/v1")
+            .cache(&cache)
+            .run_batched(
+                |p| p.i64("g").to_string(),
+                |_, _| unreachable!("all points cached"),
+            );
+        assert_eq!(rerun.stats.cache_hits, 4);
+        assert_eq!(rerun.canonical_json(), batched.canonical_json());
+    }
+
+    #[test]
+    fn batched_group_failure_is_isolated_to_the_group() {
+        let artifact = Sweep::new(
+            SweepSpec::new("b")
+                .axis("g", [1i64, 2])
+                .axis("x", [1i64, 2]),
+        )
+        .eval_tag("b/v1")
+        .run_batched(
+            |p| p.i64("g").to_string(),
+            |key, batch| {
+                assert_ne!(key, "2", "injected group failure");
+                batch.iter().map(|&(p, _)| Value::Int(p.i64("x"))).collect()
+            },
+        );
+        assert_eq!(artifact.stats.failed, 2, "both points of group 2");
+        assert!(!artifact.points[0].failed());
+        assert!(artifact.points[2].failed());
+        assert!(artifact.points[2]
+            .error
+            .as_deref()
+            .unwrap()
+            .contains("injected group failure"));
+    }
+
+    #[test]
+    fn batched_evaluator_result_count_mismatch_fails_the_group() {
+        let artifact = Sweep::new(SweepSpec::new("b").axis("x", [1i64, 2]))
+            .eval_tag("b/v1")
+            .run_batched(|_| "all".to_string(), |_, _| vec![Value::Int(1)]);
+        assert_eq!(artifact.stats.failed, 2);
+        assert!(artifact.points[0]
+            .error
+            .as_deref()
+            .unwrap()
+            .contains("returned 1 values for 2 points"));
     }
 
     #[test]

@@ -1,15 +1,18 @@
-//! Counting-allocator proof that the steady-state hot loop allocates
+//! Counting-allocator proof that the steady-state hot loops allocate
 //! nothing: after one warm-up run populates the scratch (route arena +
 //! free vector), a further fault-free run must perform **zero** heap
-//! allocations. Kept in its own integration-test binary so the global
-//! allocator hook does not interfere with other suites.
+//! allocations, and a steady-state batched rate-grid run must allocate
+//! only its returned result vector. Kept in its own integration-test
+//! binary (one test function, so no concurrent test can perturb the
+//! global counter) so the allocator hook does not interfere with other
+//! suites.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use cryowire_device::Temperature;
 use cryowire_faults::FaultSchedule;
-use cryowire_noc::{CryoBus, SimConfig, SimScratch, Simulator, TrafficPattern};
+use cryowire_noc::{BatchSimScratch, CryoBus, SimConfig, SimScratch, Simulator, TrafficPattern};
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 
@@ -83,5 +86,41 @@ fn steady_state_hot_loop_allocates_nothing() {
         after - before,
         0,
         "steady-state run_with_scratch must not allocate"
+    );
+
+    // Batched rate grid: after one warm batch builds the shared route
+    // table, lane vector and free slab, a steady-state run's only
+    // allocation is the `Vec<SimResult>` it returns — the lockstep loop
+    // itself allocates nothing.
+    let rates = [0.004, 0.008, 0.016];
+    let mut batch = BatchSimScratch::new();
+    let warm_grid = sim
+        .run_rates_with_scratch(
+            &net,
+            TrafficPattern::UniformRandom,
+            &rates,
+            &empty,
+            &mut batch,
+        )
+        .expect("valid batched run");
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    let steady_grid = sim
+        .run_rates_with_scratch(
+            &net,
+            TrafficPattern::UniformRandom,
+            &rates,
+            &empty,
+            &mut batch,
+        )
+        .expect("valid batched run");
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+
+    assert_eq!(warm_grid, steady_grid, "scratch reuse changed the grid");
+    assert!(
+        after - before <= 1,
+        "steady-state batched loop must only allocate its result vector \
+         (counted {} allocations)",
+        after - before
     );
 }

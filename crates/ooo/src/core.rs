@@ -43,8 +43,10 @@ pub struct CoreSimulator {
     config: CoreConfig,
 }
 
-/// Asserts that `config` is simulatable (shared by both engines).
-fn validate_config(config: &CoreConfig) {
+/// Asserts that `config` is simulatable (shared by all three engines:
+/// the scalar hot loop, the reference, and the batched lockstep engine
+/// in [`crate::batch`]).
+pub(crate) fn validate_config(config: &CoreConfig) {
     assert!(config.width > 0, "core width must be positive");
     assert!(
         config.rob > 0 && config.issue_queue > 0,
