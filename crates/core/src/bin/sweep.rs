@@ -4,7 +4,9 @@
 //! cargo run --release --bin sweep -- [--sweep depth|fig27|fig21|degraded] \
 //!     [--threads N] [--out FILE] [--cache-dir DIR] \
 //!     [--temps N] [--max-split K] [--full] \
-//!     [--fault-seed N] [--inject-panic] [--canonical]
+//!     [--fault-seed N] [--inject-panic] [--canonical] \
+//!     [--journal FILE] [--resume] [--retries N] [--deadline-ms N] \
+//!     [--backoff-ms N] [--fail-fast] [--point-delay-ms N]
 //! ```
 //!
 //! The default sweep is the temperature × pipeline-depth grid
@@ -14,10 +16,23 @@
 //! `--cache-dir` persists point results content-addressed on disk, so
 //! re-runs and overlapping grids only evaluate new points.
 //!
+//! `--journal FILE` appends every completed point to a checksummed,
+//! fsync'd WAL; `--resume` replays it so a run killed at any moment
+//! (including `kill -9`) continues where it stopped, with a canonical
+//! artifact byte-identical to an uninterrupted run. `--retries`,
+//! `--deadline-ms` and `--backoff-ms` configure the per-point
+//! supervision policy (transient failures retried with deterministic
+//! backoff, cooperative deadlines converted into typed timeouts);
+//! `--fail-fast` stops dispatch after the first quarantined point;
+//! `--point-delay-ms` paces attempts for chaos testing.
+//!
 //! The `degraded` sweep runs the fault-injection scenarios (cooling
 //! transient, CryoBus way loss, both) seeded from `--fault-seed`;
 //! `--inject-panic` appends a deliberately panicking point to exercise
-//! the harness's per-point isolation.
+//! the harness's per-point isolation, and `--inject-flaky` /
+//! `--inject-poison` / `--inject-wedge` append typed-failure points
+//! that heal on retry, exhaust any retry budget, and trip the
+//! cooperative deadline respectively.
 //!
 //! The `bench-*` modes are throughput benchmarks, not point sweeps;
 //! each writes its `BENCH_*.json` in the shared `cryowire-bench`
@@ -49,10 +64,12 @@
 //! fatal errors (bad arguments, unwritable output, benchmark
 //! regression).
 
-use cryowire::experiments::{self, Fidelity, SweepOptions};
+use cryowire::experiments::{self, Fidelity, InjectFaults, SweepOptions};
 use cryowire::noc::SimConfig;
-use cryowire_harness::{ResultCache, RunArtifact};
+use cryowire_harness::{ResultCache, RunArtifact, RunJournal, SupervisePolicy};
 use serde_json::Value;
+use std::path::Path;
+use std::time::Duration;
 
 /// How a registered sweep runs: a harness grid producing a
 /// [`RunArtifact`], or a self-contained benchmark mode that emits its
@@ -125,12 +142,19 @@ struct Args {
     max_split: i64,
     fidelity: Fidelity,
     fault_seed: u64,
-    inject_panic: bool,
+    inject: InjectFaults,
     canonical: bool,
     smoke: bool,
     baseline: Option<String>,
     cycles: Option<u64>,
     warmup: Option<u64>,
+    journal: Option<String>,
+    resume: bool,
+    retries: u32,
+    deadline_ms: Option<u64>,
+    backoff_ms: Option<u64>,
+    fail_fast: bool,
+    point_delay_ms: u64,
 }
 
 fn parse_args() -> Args {
@@ -143,12 +167,19 @@ fn parse_args() -> Args {
         max_split: 4,
         fidelity: Fidelity::Quick,
         fault_seed: 0xC0FFEE,
-        inject_panic: false,
+        inject: InjectFaults::default(),
         canonical: false,
         smoke: false,
         baseline: None,
         cycles: None,
         warmup: None,
+        journal: None,
+        resume: false,
+        retries: 0,
+        deadline_ms: None,
+        backoff_ms: None,
+        fail_fast: false,
+        point_delay_ms: 0,
     };
     let mut threads_given = false;
     let mut iter = std::env::args().skip(1);
@@ -169,7 +200,23 @@ fn parse_args() -> Args {
             "--max-split" => args.max_split = parse(&value("--max-split"), "--max-split"),
             "--full" => args.fidelity = Fidelity::Full,
             "--fault-seed" => args.fault_seed = parse(&value("--fault-seed"), "--fault-seed"),
-            "--inject-panic" => args.inject_panic = true,
+            "--inject-panic" => args.inject.panic = true,
+            "--inject-flaky" => args.inject.flaky = true,
+            "--inject-poison" => args.inject.poison = true,
+            "--inject-wedge" => args.inject.wedge = true,
+            "--journal" => args.journal = Some(value("--journal")),
+            "--resume" => args.resume = true,
+            "--retries" => args.retries = parse(&value("--retries"), "--retries"),
+            "--deadline-ms" => {
+                args.deadline_ms = Some(parse(&value("--deadline-ms"), "--deadline-ms"));
+            }
+            "--backoff-ms" => {
+                args.backoff_ms = Some(parse(&value("--backoff-ms"), "--backoff-ms"));
+            }
+            "--fail-fast" => args.fail_fast = true,
+            "--point-delay-ms" => {
+                args.point_delay_ms = parse(&value("--point-delay-ms"), "--point-delay-ms");
+            }
             "--canonical" => args.canonical = true,
             "--smoke" => args.smoke = true,
             "--baseline" => args.baseline = Some(value("--baseline")),
@@ -187,12 +234,27 @@ fn parse_args() -> Args {
                      \x20                     bench-coherence|bench-batch] [--list]\n\
                      \x20            [--threads N] [--out FILE] [--cache-dir DIR] [--temps N]\n\
                      \x20            [--max-split K] [--full] [--fault-seed N] [--inject-panic]\n\
+                     \x20            [--inject-flaky] [--inject-poison] [--inject-wedge]\n\
+                     \x20            [--journal FILE] [--resume] [--retries N] [--deadline-ms N]\n\
+                     \x20            [--backoff-ms N] [--fail-fast] [--point-delay-ms N]\n\
                      \x20            [--canonical] [--smoke] [--baseline FILE] [--cycles N]\n\
                      \x20            [--warmup N]\n\
                      --list prints the registered sweep names with one-line\n\
                      descriptions and exits.\n\
                      --canonical emits only the deterministic portion (no timing or\n\
                      cache provenance), byte-identical across thread counts.\n\
+                     --journal FILE appends completed points to a checksummed,\n\
+                     fsync'd WAL; --resume replays it so an interrupted run (even\n\
+                     kill -9) continues with a byte-identical canonical artifact.\n\
+                     --retries N retries transient failures (I/O, timeout, stall,\n\
+                     cache corruption) up to N times with deterministic exponential\n\
+                     backoff starting at --backoff-ms (default 25); --deadline-ms\n\
+                     arms a cooperative per-attempt watchdog; points that exhaust\n\
+                     the budget are quarantined (exit 2) and --fail-fast stops\n\
+                     dispatching after the first one. --point-delay-ms paces\n\
+                     attempts (chaos testing). --inject-flaky/--inject-poison/\n\
+                     --inject-wedge append typed-failure points to the degraded\n\
+                     sweep (heals on retry / always fails / trips the deadline).\n\
                      bench-noc: times the memoized NoC engine vs the reference engine\n\
                      and writes BENCH_noc.json; --smoke runs the 2-point CI grid,\n\
                      --baseline FILE fails (exit 1) on a >25% relative-speedup\n\
@@ -230,6 +292,9 @@ fn parse_args() -> Args {
     if args.max_split < 1 {
         die("--max-split must be at least 1");
     }
+    if args.resume && args.journal.is_none() {
+        die("--resume requires --journal FILE (the WAL to replay)");
+    }
     args
 }
 
@@ -241,6 +306,43 @@ fn parse<T: std::str::FromStr>(s: &str, name: &str) -> T {
 fn die(msg: &str) -> ! {
     eprintln!("sweep: {msg}");
     std::process::exit(1);
+}
+
+/// The supervision policy the robustness flags describe.
+fn supervise_policy(args: &Args) -> SupervisePolicy {
+    let mut policy = SupervisePolicy::with_retries(args.retries);
+    policy.deadline = args.deadline_ms.map(Duration::from_millis);
+    if let Some(ms) = args.backoff_ms {
+        policy.backoff_base = Duration::from_millis(ms);
+    }
+    policy.fail_fast = args.fail_fast;
+    policy.pace = Duration::from_millis(args.point_delay_ms);
+    policy
+}
+
+/// Friendly pre-flight for `--resume`: a journal that exists but cannot
+/// be read is a configuration error worth a clean exit-1 diagnosis
+/// rather than the harness's panic. A missing file is fine (resume
+/// degrades to a fresh run), and so is a torn tail (recovery truncates
+/// it) — report what will be replayed.
+fn precheck_journal(path: &str) {
+    match RunJournal::recover(path) {
+        Ok(rec) => {
+            let torn = if rec.torn {
+                " (torn tail discarded)"
+            } else {
+                ""
+            };
+            eprintln!(
+                "sweep: resuming from journal `{path}`: {} acknowledged point(s){torn}",
+                rec.records.len()
+            );
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            eprintln!("sweep: journal `{path}` does not exist yet; starting fresh");
+        }
+        Err(e) => die(&format!("cannot read journal `{path}`: {e}")),
+    }
 }
 
 // ------------------------------------------------------- grid dispatch
@@ -265,7 +367,7 @@ fn grid_fig21(args: &Args, opts: SweepOptions) -> RunArtifact {
 }
 
 fn grid_degraded(args: &Args, opts: SweepOptions) -> RunArtifact {
-    experiments::degraded_sweep_artifact(args.fault_seed, args.inject_panic, opts)
+    experiments::degraded_sweep_artifact_injected(args.fault_seed, args.inject, opts)
 }
 
 // ------------------------------------------------------- bench dispatch
@@ -490,29 +592,50 @@ fn main() {
             });
             // threads == 0 means one worker per CPU (the SweepOptions
             // default).
-            let mut opts = SweepOptions::threaded(args.threads);
+            let mut opts =
+                SweepOptions::threaded(args.threads).with_policy(supervise_policy(&args));
             if let Some(cache) = cache.as_ref() {
                 opts = opts.with_cache(cache);
+            }
+            if let Some(journal) = args.journal.as_deref() {
+                if args.resume {
+                    precheck_journal(journal);
+                }
+                opts = opts.with_journal(Path::new(journal), args.resume);
             }
             run(&args, opts)
         }
     };
 
     eprintln!(
-        "sweep `{}`: {} points ({} evaluated, {} cached, {} deduped, {} failed) on {} thread(s) \
-         in {:.1} ms",
+        "sweep `{}`: {} points ({} evaluated, {} cached, {} resumed, {} deduped, {} failed) \
+         on {} thread(s) in {:.1} ms",
         artifact.sweep,
         artifact.stats.points,
         artifact.stats.evaluated,
         artifact.stats.cache_hits,
+        artifact.stats.resumed,
         artifact.stats.deduped,
         artifact.stats.failed,
         artifact.stats.threads,
         artifact.stats.wall_ms
     );
-    for bad in artifact.failed_points() {
+    if artifact.stats.retried > 0 || artifact.stats.journal_errors > 0 {
         eprintln!(
-            "sweep: point {} ({}) failed: {}",
+            "sweep: supervision: {} retried attempt(s), {} quarantined, {} skipped, \
+             {} journal write error(s)",
+            artifact.stats.retried,
+            artifact.stats.quarantined,
+            artifact.stats.skipped,
+            artifact.stats.journal_errors
+        );
+    }
+    for bad in artifact.failed_points() {
+        let class = bad.failure_class.map_or(String::new(), |c| {
+            format!(" [{c}, {} attempt(s)]", bad.attempts)
+        });
+        eprintln!(
+            "sweep: point {} ({}) failed{class}: {}",
             bad.index,
             bad.params.label(),
             bad.error.as_deref().unwrap_or("unknown")

@@ -56,11 +56,12 @@ pub use pipeline_figs::{
 };
 pub use summary::{headline_summary, HeadlineSummary};
 pub use sweeps::{
-    ablation_depth_spec, degraded_eval, degraded_plan, degraded_spec, degraded_sweep_artifact,
-    depth_ablation_from_artifact, depth_grid_eval, depth_grid_spec, depth_sweep_artifact,
-    fig21_from_artifact, fig21_spec, fig21_sweep_artifact, fig27_from_artifact, fig27_spec,
-    fig27_sweep_artifact, linspace_temperatures, SweepOptions, DEGRADED_HORIZON_CYCLES,
-    DEGRADED_SCENARIOS, FIG21_NETWORKS,
+    ablation_depth_spec, degraded_eval, degraded_plan, degraded_spec, degraded_spec_injected,
+    degraded_sweep_artifact, degraded_sweep_artifact_injected, depth_ablation_from_artifact,
+    depth_grid_eval, depth_grid_spec, depth_sweep_artifact, fig21_from_artifact, fig21_spec,
+    fig21_sweep_artifact, fig27_from_artifact, fig27_spec, fig27_sweep_artifact,
+    linspace_temperatures, InjectFaults, SweepOptions, DEGRADED_HORIZON_CYCLES, DEGRADED_SCENARIOS,
+    FIG21_NETWORKS,
 };
 pub use system_figs::{
     fig03_cpi_stacks, fig17_bus_vs_mesh, fig23_system_performance, fig24_spec_prefetch,

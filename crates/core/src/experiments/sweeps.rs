@@ -11,7 +11,10 @@
 
 use cryowire_device::Temperature;
 use cryowire_faults::FaultPlan;
-use cryowire_harness::{Point, ResultCache, RunArtifact, Sweep, SweepSpec};
+use cryowire_harness::supervise;
+use cryowire_harness::{
+    FailureClass, Point, ResultCache, RunArtifact, SupervisePolicy, Sweep, SweepSpec,
+};
 use cryowire_noc::{
     CryoBus, LoadLatencyCurve, LoadLatencyPoint, Network, NocKind, RouterClass, RouterNetwork,
     SharedBus, TrafficPattern,
@@ -19,6 +22,7 @@ use cryowire_noc::{
 use cryowire_pipeline::{sweep_depths, CriticalPathModel, DepthPoint};
 use cryowire_system::{EventSimConfig, EventSimulator, SystemDesign, Workload};
 use serde_json::Value;
+use std::path::Path;
 
 use super::noc_figs;
 use super::temperature::{fig27_point, FIG27_TEMPERATURES};
@@ -32,6 +36,14 @@ pub struct SweepOptions<'c> {
     pub threads: usize,
     /// Optional shared result cache.
     pub cache: Option<&'c ResultCache>,
+    /// Supervision policy: retries, deadline, backoff, fail-fast.
+    /// The default (one attempt, keep going) is plain panic isolation.
+    pub policy: SupervisePolicy,
+    /// Optional run journal (crash-safe WAL of completed points).
+    pub journal: Option<&'c Path>,
+    /// Replay acknowledged points from the journal instead of starting
+    /// it over (meaningless without [`SweepOptions::journal`]).
+    pub resume: bool,
 }
 
 impl<'c> SweepOptions<'c> {
@@ -40,7 +52,7 @@ impl<'c> SweepOptions<'c> {
     pub fn serial() -> Self {
         SweepOptions {
             threads: 1,
-            cache: None,
+            ..SweepOptions::default()
         }
     }
 
@@ -49,7 +61,7 @@ impl<'c> SweepOptions<'c> {
     pub fn threaded(threads: usize) -> Self {
         SweepOptions {
             threads,
-            cache: None,
+            ..SweepOptions::default()
         }
     }
 
@@ -60,8 +72,27 @@ impl<'c> SweepOptions<'c> {
         self
     }
 
+    /// Sets the supervision policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: SupervisePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Journals completed points to `path`; with `resume` the journal
+    /// is replayed first and only missing points are evaluated.
+    #[must_use]
+    pub fn with_journal(mut self, path: &'c Path, resume: bool) -> Self {
+        self.journal = Some(path);
+        self.resume = resume;
+        self
+    }
+
     fn build(self, spec: SweepSpec, tag: &str, seed: u64) -> Sweep<'c> {
-        let mut sweep = Sweep::new(spec).eval_tag(tag).base_seed(seed);
+        let mut sweep = Sweep::new(spec)
+            .eval_tag(tag)
+            .base_seed(seed)
+            .supervise(self.policy);
         sweep = if self.threads == 0 {
             sweep.executor(cryowire_harness::Executor::per_cpu())
         } else {
@@ -69,6 +100,13 @@ impl<'c> SweepOptions<'c> {
         };
         if let Some(cache) = self.cache {
             sweep = sweep.cache(cache);
+        }
+        if let Some(path) = self.journal {
+            sweep = if self.resume {
+                sweep.resume(path)
+            } else {
+                sweep.journal(path)
+            };
         }
         sweep
     }
@@ -366,18 +404,67 @@ pub const DEGRADED_SCENARIOS: [&str; 4] = ["nominal", "transient-120k", "link-lo
 /// schedules are expressed in).
 pub const DEGRADED_HORIZON_CYCLES: u64 = 80_000;
 
-/// The degraded-operation grid: one text axis over the scenarios.
-/// With `inject_panic`, an extra `panic` point is appended whose
-/// evaluator deliberately panics — the harness's per-point isolation
-/// keeps the rest of the run intact (exercised by the sweep binary's
-/// `--inject-panic` and the robustness tests).
+/// Deliberate failure points appended to the degraded grid to exercise
+/// the harness's supervision layer end-to-end (the sweep binary's
+/// `--inject-*` flags and the chaos CI job):
+///
+/// * `panic` — panics with an untyped message; isolation only, never
+///   retried under the default policy.
+/// * `flaky` — fails with a transient typed I/O fault on the first
+///   attempt and heals on retry ([`supervise::current_attempt`]).
+/// * `poison` — fails with a transient typed I/O fault on *every*
+///   attempt; exhausts any retry budget and is quarantined.
+/// * `wedge` — spins calling [`supervise::checkpoint`] until the
+///   cooperative deadline converts it into a typed `Timeout` (bounded
+///   at 5 s so a deadline-less run still terminates, as `Stalled`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InjectFaults {
+    /// Append the `panic` point.
+    pub panic: bool,
+    /// Append the `flaky` point.
+    pub flaky: bool,
+    /// Append the `poison` point.
+    pub poison: bool,
+    /// Append the `wedge` point.
+    pub wedge: bool,
+}
+
+impl InjectFaults {
+    /// Only the classic `panic` point (the pre-supervision injection).
+    #[must_use]
+    pub fn panic_only(inject_panic: bool) -> Self {
+        InjectFaults {
+            panic: inject_panic,
+            ..InjectFaults::default()
+        }
+    }
+}
+
+/// The degraded-operation grid: one text axis over the scenarios, plus
+/// whichever deliberate-failure points [`InjectFaults`] asks for — the
+/// harness's per-point isolation keeps the rest of the run intact
+/// (exercised by the sweep binary's `--inject-*` flags and the
+/// robustness tests).
 #[must_use]
-pub fn degraded_spec(inject_panic: bool) -> SweepSpec {
+pub fn degraded_spec_injected(inject: InjectFaults) -> SweepSpec {
     let mut spec = SweepSpec::new("degraded-operation").axis("scenario", DEGRADED_SCENARIOS);
-    if inject_panic {
-        spec = spec.point(Point::from_pairs([("scenario", "panic")]));
+    for (on, scenario) in [
+        (inject.panic, "panic"),
+        (inject.flaky, "flaky"),
+        (inject.poison, "poison"),
+        (inject.wedge, "wedge"),
+    ] {
+        if on {
+            spec = spec.point(Point::from_pairs([("scenario", scenario)]));
+        }
     }
     spec
+}
+
+/// The degraded grid with (at most) the classic `panic` injection.
+#[must_use]
+pub fn degraded_spec(inject_panic: bool) -> SweepSpec {
+    degraded_spec_injected(InjectFaults::panic_only(inject_panic))
 }
 
 /// The fault plan of one degraded-operation scenario, rooted at `seed`
@@ -402,8 +489,8 @@ pub fn degraded_plan(scenario: &str, seed: u64) -> FaultPlan {
 ///
 /// # Panics
 ///
-/// Panics on the deliberate `panic` scenario (that is its purpose) and
-/// on unknown scenario names.
+/// Panics on the deliberate [`InjectFaults`] scenarios (that is their
+/// purpose) and on unknown scenario names.
 #[must_use]
 pub fn degraded_eval(point: &Point, seed: u64) -> Value {
     let scenario = point.str("scenario");
@@ -411,6 +498,38 @@ pub fn degraded_eval(point: &Point, seed: u64) -> Value {
         scenario, "panic",
         "injected panic point (--inject-panic): the sweep must survive this"
     );
+    match scenario {
+        "flaky" => {
+            if supervise::current_attempt() == 1 {
+                supervise::fail(
+                    FailureClass::Io,
+                    "injected transient I/O fault (--inject-flaky): heals on retry",
+                );
+            }
+            return Value::Object(vec![
+                ("scenario".into(), Value::String(scenario.to_string())),
+                ("healed".into(), Value::Bool(true)),
+            ]);
+        }
+        "poison" => supervise::fail(
+            FailureClass::Io,
+            "injected poison point (--inject-poison): fails on every attempt",
+        ),
+        "wedge" => {
+            // Spin until the cooperative deadline trips; bounded so a
+            // run without --deadline-ms still terminates (as Stalled).
+            let t0 = std::time::Instant::now();
+            while t0.elapsed() < std::time::Duration::from_secs(5) {
+                supervise::checkpoint();
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            supervise::fail(
+                FailureClass::Stalled,
+                "injected wedge point (--inject-wedge): no deadline armed within 5 s",
+            );
+        }
+        _ => {}
+    }
     let schedule = degraded_plan(scenario, seed).schedule(DEGRADED_HORIZON_CYCLES);
     let sim = EventSimulator::new(EventSimConfig {
         horizon_ns: 20_000.0,
@@ -449,7 +568,17 @@ pub fn degraded_sweep_artifact(
     inject_panic: bool,
     opts: SweepOptions<'_>,
 ) -> RunArtifact {
-    opts.build(degraded_spec(inject_panic), "degraded/v1", fault_seed)
+    degraded_sweep_artifact_injected(fault_seed, InjectFaults::panic_only(inject_panic), opts)
+}
+
+/// [`degraded_sweep_artifact`] with the full injection menu.
+#[must_use]
+pub fn degraded_sweep_artifact_injected(
+    fault_seed: u64,
+    inject: InjectFaults,
+    opts: SweepOptions<'_>,
+) -> RunArtifact {
+    opts.build(degraded_spec_injected(inject), "degraded/v1", fault_seed)
         .run(degraded_eval)
 }
 

@@ -4,6 +4,7 @@
 
 use crate::cache::CacheStats;
 use crate::spec::Point;
+use crate::supervise::FailureClass;
 use serde_json::Value;
 use std::io;
 use std::path::Path;
@@ -29,13 +30,38 @@ pub struct PointRecord {
     /// The panic message, when the evaluator panicked on this point.
     /// Failed points never enter the cache.
     pub error: Option<String>,
+    /// Evaluation attempts made (1 for first-try successes and cache
+    /// hits; > 1 when the supervisor retried a transient failure).
+    pub attempts: u32,
+    /// Whether the value was replayed from a run journal (`--resume`)
+    /// instead of evaluated or cache-hit.
+    pub resumed: bool,
+    /// Failure taxonomy class, when the point exhausted its attempt
+    /// budget and was quarantined. `None` with `error` set means the
+    /// point was *skipped* (fail-fast stopped the grid before it ran).
+    pub failure_class: Option<FailureClass>,
 }
 
 impl PointRecord {
-    /// True if the evaluator failed on this point.
+    /// True if the evaluator failed on this point (quarantined or
+    /// skipped).
     #[must_use]
     pub fn failed(&self) -> bool {
         self.error.is_some()
+    }
+
+    /// True if this point failed with a classified failure after
+    /// exhausting its attempt budget.
+    #[must_use]
+    pub fn quarantined(&self) -> bool {
+        self.error.is_some() && self.failure_class.is_some()
+    }
+
+    /// True if this point was never dispatched because fail-fast
+    /// stopped the grid first.
+    #[must_use]
+    pub fn skipped(&self) -> bool {
+        self.error.is_some() && self.failure_class.is_none()
     }
 }
 
@@ -53,8 +79,22 @@ pub struct RunStats {
     pub deduped: usize,
     /// Worker threads used.
     pub threads: usize,
-    /// Points whose evaluator panicked (isolated, not cached).
+    /// Points whose evaluator failed (isolated, not cached) —
+    /// quarantined and skipped points both count.
     pub failed: usize,
+    /// Points answered from the run journal (`--resume`).
+    pub resumed: usize,
+    /// Points that exhausted their attempt budget with a classified
+    /// failure.
+    pub quarantined: usize,
+    /// Points skipped because fail-fast stopped the grid.
+    pub skipped: usize,
+    /// Extra evaluation attempts spent on transient failures (total
+    /// attempts minus one, summed over points).
+    pub retried: u64,
+    /// Journal appends dropped because of write errors (best-effort:
+    /// the lost records are recomputed on resume).
+    pub journal_errors: u64,
     /// End-to-end wall time, ms.
     pub wall_ms: f64,
 }
@@ -135,6 +175,17 @@ impl RunArtifact {
                     ("deduped".into(), Value::UInt(self.stats.deduped as u64)),
                     ("threads".into(), Value::UInt(self.stats.threads as u64)),
                     ("failed".into(), Value::UInt(self.stats.failed as u64)),
+                    ("resumed".into(), Value::UInt(self.stats.resumed as u64)),
+                    (
+                        "quarantined".into(),
+                        Value::UInt(self.stats.quarantined as u64),
+                    ),
+                    ("skipped".into(), Value::UInt(self.stats.skipped as u64)),
+                    ("retried".into(), Value::UInt(self.stats.retried)),
+                    (
+                        "journal_errors".into(),
+                        Value::UInt(self.stats.journal_errors),
+                    ),
                     ("wall_ms".into(), Value::Float(self.stats.wall_ms)),
                 ]),
             ),
@@ -151,10 +202,18 @@ impl RunArtifact {
                                 ("seed".into(), Value::UInt(p.seed)),
                                 ("cached".into(), Value::Bool(p.cached)),
                                 ("eval_ms".into(), Value::Float(p.eval_ms)),
+                                ("attempts".into(), Value::UInt(u64::from(p.attempts))),
+                                ("resumed".into(), Value::Bool(p.resumed)),
                                 ("value".into(), p.value.clone()),
                             ];
                             if let Some(e) = &p.error {
                                 fields.push(("error".into(), Value::String(e.clone())));
+                            }
+                            if let Some(c) = p.failure_class {
+                                fields.push((
+                                    "failure_class".into(),
+                                    Value::String(c.as_str().into()),
+                                ));
                             }
                             Value::Object(fields)
                         })
@@ -190,6 +249,7 @@ impl RunArtifact {
             hits: self.stats.cache_hits as u64,
             misses: self.stats.evaluated as u64,
             quarantined: 0,
+            quarantine_failed: 0,
         }
     }
 
@@ -230,6 +290,9 @@ mod tests {
                 eval_ms,
                 value: Value::Float(2.5),
                 error: None,
+                attempts: 1,
+                resumed: false,
+                failure_class: None,
             }],
             stats: RunStats {
                 points: 1,
@@ -238,6 +301,11 @@ mod tests {
                 deduped: 0,
                 threads,
                 failed: 0,
+                resumed: 0,
+                quarantined: 0,
+                skipped: 0,
+                retried: 0,
+                journal_errors: 0,
                 wall_ms: eval_ms,
             },
         }
@@ -253,6 +321,46 @@ mod tests {
             serde_json::to_string(&cached).unwrap(),
             "full artifacts do record provenance"
         );
+    }
+
+    #[test]
+    fn supervision_fields_stay_out_of_canonical_but_in_full_doc() {
+        let plain = artifact(1, false, 12.0);
+        let mut supervised = artifact(1, false, 12.0);
+        supervised.points[0].attempts = 3;
+        supervised.points[0].resumed = true;
+        supervised.stats.resumed = 1;
+        supervised.stats.retried = 2;
+        assert_eq!(
+            plain.canonical_json(),
+            supervised.canonical_json(),
+            "retry/resume provenance must not change the canonical artifact"
+        );
+        let doc = serde_json::from_str(&serde_json::to_string(&supervised).unwrap()).unwrap();
+        let pt = &doc.get("points").and_then(Value::as_array).unwrap()[0];
+        assert_eq!(pt.get("attempts").and_then(Value::as_u64), Some(3));
+        assert_eq!(pt.get("resumed").and_then(Value::as_bool), Some(true));
+        assert_eq!(
+            doc.get("stats")
+                .and_then(|s| s.get("retried"))
+                .and_then(Value::as_u64),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn quarantined_vs_skipped_taxonomy() {
+        let mut a = artifact(1, false, 1.0);
+        let p = &mut a.points[0];
+        assert!(!p.quarantined() && !p.skipped());
+        p.error = Some("stalled".into());
+        p.failure_class = Some(FailureClass::Stalled);
+        assert!(p.failed() && p.quarantined() && !p.skipped());
+        p.failure_class = None;
+        assert!(p.failed() && !p.quarantined() && p.skipped());
+        let doc = serde_json::from_str(&serde_json::to_string(&a).unwrap()).unwrap();
+        let pt = &doc.get("points").and_then(Value::as_array).unwrap()[0];
+        assert_eq!(pt.get("failure_class"), None, "skipped has no class");
     }
 
     #[test]

@@ -38,6 +38,9 @@ pub struct CacheStats {
     pub misses: u64,
     /// Corrupt disk entries moved aside and recomputed.
     pub quarantined: u64,
+    /// Quarantine renames that failed; the corrupt entry was deleted
+    /// outright instead, so it can never be re-read as valid.
+    pub quarantine_failed: u64,
 }
 
 /// Content-addressed in-memory + on-disk result store.
@@ -48,6 +51,7 @@ pub struct ResultCache {
     hits: AtomicU64,
     misses: AtomicU64,
     quarantined: AtomicU64,
+    quarantine_failed: AtomicU64,
 }
 
 impl ResultCache {
@@ -123,6 +127,7 @@ impl ResultCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             quarantined: self.quarantined.load(Ordering::Relaxed),
+            quarantine_failed: self.quarantine_failed.load(Ordering::Relaxed),
         }
     }
 
@@ -161,7 +166,19 @@ impl ResultCache {
                 // Truncated write, bit rot, or a foreign format: move
                 // the entry aside for post-mortem and recompute.
                 self.quarantined.fetch_add(1, Ordering::Relaxed);
-                let _ = std::fs::rename(&path, path.with_extension("json.corrupt"));
+                let renamed = match crate::failpoint::fire("cache::quarantine-rename") {
+                    Some(action) => crate::failpoint::apply_to_write(action, &[]).map(|_| ()),
+                    None => std::fs::rename(&path, path.with_extension("json.corrupt")),
+                };
+                if renamed.is_err() {
+                    // The rename failed (cross-device dir, permissions,
+                    // full disk): a corrupt entry left under its live
+                    // key would be re-read and re-quarantined forever.
+                    // Delete it outright so the next lookup is a clean
+                    // miss that recomputes and rewrites.
+                    self.quarantine_failed.fetch_add(1, Ordering::Relaxed);
+                    let _ = std::fs::remove_file(&path);
+                }
                 None
             }
         }
@@ -190,6 +207,18 @@ impl ResultCache {
                 "{{\"crc\": \"{}\", \"value\": {payload}}}\n",
                 Self::payload_crc(&payload)
             );
+            let text = match crate::failpoint::fire("cache::write") {
+                // Injected ENOSPC: the write never happens — exactly
+                // the best-effort degradation a full disk produces.
+                Some(action) => match crate::failpoint::apply_to_write(action, text.as_bytes()) {
+                    Err(_) => return,
+                    // Injected torn write: the truncated entry still
+                    // lands under the live key (modelling data loss
+                    // after a crash); the checksum catches it on read.
+                    Ok(n) => String::from_utf8_lossy(&text.as_bytes()[..n]).into_owned(),
+                },
+                None => text,
+            };
             let tmp = path.with_extension(format!("json.{}.tmp", std::process::id()));
             if std::fs::write(&tmp, &text).is_ok() && std::fs::rename(&tmp, &path).is_err() {
                 let _ = std::fs::remove_file(&tmp);
@@ -229,7 +258,8 @@ mod tests {
             CacheStats {
                 hits: 1,
                 misses: 1,
-                quarantined: 0
+                quarantined: 0,
+                quarantine_failed: 0
             }
         );
     }
@@ -302,6 +332,91 @@ mod tests {
             .get_or_compute("cafe", || unreachable!("entry was rewritten"));
         assert!(hit);
         assert_eq!(v, Value::Int(2));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_quarantine_rename_falls_back_to_delete() {
+        crate::failpoint::reset();
+        let dir = unique_dir("rename-fail");
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = ResultCache::with_dir(&dir).unwrap();
+        let _ = cache.get_or_compute("feed", || Value::Int(1));
+        let path = dir.join("feed.json");
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() / 2]).unwrap();
+
+        crate::failpoint::arm(
+            "cache::quarantine-rename",
+            crate::failpoint::FailAction::Io("injected rename failure".into()),
+            u64::MAX,
+        );
+        let fresh = ResultCache::with_dir(&dir).unwrap();
+        let (v, hit) = fresh.get_or_compute("feed", || Value::Int(2));
+        crate::failpoint::reset();
+        assert!(!hit);
+        assert_eq!(v, Value::Int(2));
+        let stats = fresh.stats();
+        assert_eq!(stats.quarantined, 1);
+        assert_eq!(stats.quarantine_failed, 1);
+        assert!(
+            !dir.join("feed.json.corrupt").exists(),
+            "rename failed, so no post-mortem copy"
+        );
+        // The recompute rewrote a valid entry under the live key; a
+        // later cache instance must hit it — the corrupt bytes can
+        // never be re-read because the fallback deleted them first.
+        let (v, hit) = ResultCache::with_dir(&dir)
+            .unwrap()
+            .get_or_compute("feed", || unreachable!("entry was rewritten"));
+        assert!(hit);
+        assert_eq!(v, Value::Int(2));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_enospc_degrades_to_memory_only() {
+        crate::failpoint::reset();
+        let dir = unique_dir("enospc");
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = ResultCache::with_dir(&dir).unwrap();
+        crate::failpoint::arm(
+            "cache::write",
+            crate::failpoint::FailAction::Io("No space left on device (os error 28)".into()),
+            1,
+        );
+        let (_, hit) = cache.get_or_compute("aaaa", || Value::Int(9));
+        crate::failpoint::reset();
+        assert!(!hit);
+        assert!(!dir.join("aaaa.json").exists(), "persist was dropped");
+        // Memory still serves the value.
+        let (v, hit) = cache.get_or_compute("aaaa", || unreachable!());
+        assert!(hit);
+        assert_eq!(v, Value::Int(9));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_torn_write_is_caught_by_checksum() {
+        crate::failpoint::reset();
+        let dir = unique_dir("torn-write");
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let cache = ResultCache::with_dir(&dir).unwrap();
+            crate::failpoint::arm(
+                "cache::write",
+                crate::failpoint::FailAction::ShortWrite(10),
+                1,
+            );
+            let _ = cache.get_or_compute("bbbb", || Value::Int(3));
+            crate::failpoint::reset();
+            assert!(dir.join("bbbb.json").exists(), "torn entry landed");
+        }
+        let fresh = ResultCache::with_dir(&dir).unwrap();
+        let (v, hit) = fresh.get_or_compute("bbbb", || Value::Int(4));
+        assert!(!hit, "torn entry must not read as valid");
+        assert_eq!(v, Value::Int(4));
+        assert_eq!(fresh.stats().quarantined, 1);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -14,7 +14,36 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::hash::Hash;
 use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// A cooperative cancellation flag shared between a dispatcher and its
+/// worker closures (fail-fast sweeps trip it on the first quarantined
+/// point; workers consult it before starting new work).
+///
+/// Cancellation is advisory: items already being evaluated run to
+/// completion, and every slot still gets a result — the closure
+/// decides what a cancelled item's result looks like.
+#[derive(Debug, Default)]
+pub struct CancelToken(AtomicBool);
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    #[must_use]
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Trips the token; idempotent.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// True once any party has cancelled.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
 
 /// A reusable parallel map over indexed work items.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -204,6 +233,32 @@ mod tests {
     fn grouped_evaluator_must_cover_every_member() {
         let items = [1u64, 2, 3];
         let _ = Executor::new(1).run_grouped(&items, |_, _| 0u64, |_, _| vec![0u64]);
+    }
+
+    #[test]
+    fn cancel_token_is_advisory_and_sticky() {
+        let token = CancelToken::new();
+        assert!(!token.is_cancelled());
+        let items: Vec<u64> = (0..10).collect();
+        // Workers consult the token in their closure; items claimed
+        // after cancellation resolve to a sentinel instead of running.
+        // Serial execution makes the outcome deterministic: item 3
+        // trips the token, items 4.. are skipped.
+        let out = Executor::new(1).run(&items, |_, &x| {
+            if token.is_cancelled() {
+                return u64::MAX;
+            }
+            if x == 3 {
+                token.cancel();
+            }
+            x
+        });
+        assert_eq!(out.len(), 10, "every slot still filled");
+        assert!(token.is_cancelled());
+        assert_eq!(&out[..4], &[0, 1, 2, 3]);
+        assert!(out[4..].iter().all(|&v| v == u64::MAX));
+        token.cancel();
+        assert!(token.is_cancelled(), "idempotent");
     }
 
     #[test]

@@ -1,0 +1,180 @@
+//! Injectable fail points for the chaos suite.
+//!
+//! Durability code paths (journal appends, cache writes, quarantine
+//! renames) consult a named fail point before touching the filesystem;
+//! tests arm actions against those names to simulate torn writes,
+//! ENOSPC, and forced panics without root, `LD_PRELOAD`, or a fuse
+//! filesystem.
+//!
+//! The registry is **thread-local**: an armed site fires only on the
+//! arming thread, so concurrently running tests can never poison each
+//! other. Single-threaded sweeps (the executor's serial fast path)
+//! evaluate on the caller's thread, which is exactly where chaos tests
+//! arm; full-process chaos (multi-threaded runs, `kill -9`) is covered
+//! by the subprocess integration tests instead. When nothing is armed,
+//! [`fire`] is one thread-local map-emptiness check.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// What an armed fail point does when hit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailAction {
+    /// Fail the operation with an I/O error carrying this message
+    /// (e.g. `"No space left on device (os error 28)"`).
+    Io(String),
+    /// Truncate the write to this many bytes — a torn/short write.
+    ShortWrite(usize),
+    /// Panic with this message, as a crashed thread would.
+    Panic(String),
+}
+
+struct Armed {
+    action: FailAction,
+    /// Remaining trigger count; `u64::MAX` means unlimited.
+    remaining: u64,
+    /// Total times this site has fired since arming.
+    hits: u64,
+}
+
+thread_local! {
+    static REGISTRY: RefCell<HashMap<&'static str, Armed>> = RefCell::new(HashMap::new());
+}
+
+/// Arms `site` on this thread to perform `action` the next `times`
+/// times it is hit (`u64::MAX` for always). Re-arming replaces the
+/// previous action and resets the hit counter.
+pub fn arm(site: &'static str, action: FailAction, times: u64) {
+    REGISTRY.with(|r| {
+        r.borrow_mut().insert(
+            site,
+            Armed {
+                action,
+                remaining: times,
+                hits: 0,
+            },
+        );
+    });
+}
+
+/// Disarms `site` on this thread; returns how many times it fired
+/// while armed.
+pub fn disarm(site: &'static str) -> u64 {
+    REGISTRY.with(|r| r.borrow_mut().remove(site).map_or(0, |a| a.hits))
+}
+
+/// Disarms every site on this thread (test teardown).
+pub fn reset() {
+    REGISTRY.with(|r| r.borrow_mut().clear());
+}
+
+/// Times `site` has fired since it was (last) armed on this thread;
+/// 0 if not armed.
+#[must_use]
+pub fn hits(site: &str) -> u64 {
+    REGISTRY.with(|r| r.borrow().get(site).map_or(0, |a| a.hits))
+}
+
+/// Consults `site`: `None` when unarmed or exhausted (proceed
+/// normally); `Some(action)` when the site should misbehave. A
+/// [`FailAction::Panic`] action panics here rather than returning.
+#[must_use]
+pub fn fire(site: &str) -> Option<FailAction> {
+    let action = REGISTRY.with(|r| {
+        let mut reg = r.borrow_mut();
+        if reg.is_empty() {
+            return None;
+        }
+        let armed = reg.get_mut(site)?;
+        if armed.remaining == 0 {
+            return None;
+        }
+        if armed.remaining != u64::MAX {
+            armed.remaining -= 1;
+        }
+        armed.hits += 1;
+        Some(armed.action.clone())
+    })?;
+    if let FailAction::Panic(msg) = &action {
+        panic!("failpoint {site}: {msg}");
+    }
+    Some(action)
+}
+
+/// Maps a fired action onto a write of `bytes`: `Ok(n)` keeps only the
+/// first `n` bytes (short write), `Err` is the injected I/O error.
+/// Call sites pattern-match this to corrupt their output faithfully.
+pub fn apply_to_write(action: FailAction, bytes: &[u8]) -> std::io::Result<usize> {
+    match action {
+        FailAction::Io(msg) => Err(std::io::Error::other(msg)),
+        FailAction::ShortWrite(n) => Ok(n.min(bytes.len())),
+        FailAction::Panic(msg) => panic!("failpoint: {msg}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unarmed_sites_are_free() {
+        reset();
+        assert_eq!(fire("nothing"), None);
+        assert_eq!(hits("nothing"), 0);
+    }
+
+    #[test]
+    fn bounded_arming_exhausts() {
+        reset();
+        arm("t::io", FailAction::Io("boom".into()), 2);
+        assert!(fire("t::io").is_some());
+        assert!(fire("t::io").is_some());
+        assert_eq!(fire("t::io"), None, "budget of 2 spent");
+        assert_eq!(disarm("t::io"), 2);
+        reset();
+    }
+
+    #[test]
+    fn short_write_truncates() {
+        reset();
+        arm("t::short", FailAction::ShortWrite(3), 1);
+        let action = fire("t::short").unwrap();
+        assert_eq!(apply_to_write(action, b"hello world").unwrap(), 3);
+        reset();
+    }
+
+    #[test]
+    fn io_action_surfaces_as_error() {
+        reset();
+        arm(
+            "t::enospc",
+            FailAction::Io("No space left on device (os error 28)".into()),
+            u64::MAX,
+        );
+        let action = fire("t::enospc").unwrap();
+        let err = apply_to_write(action, b"x").unwrap_err();
+        assert!(err.to_string().contains("No space left"));
+        assert_eq!(disarm("t::enospc"), 1);
+        reset();
+    }
+
+    #[test]
+    fn panic_action_panics_at_fire() {
+        reset();
+        arm("t::panic", FailAction::Panic("injected crash".into()), 1);
+        let caught = std::panic::catch_unwind(|| fire("t::panic"));
+        let msg = *caught.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("injected crash"));
+        reset();
+    }
+
+    #[test]
+    fn arming_is_thread_local() {
+        reset();
+        arm("t::local", FailAction::Io("local only".into()), u64::MAX);
+        let other = std::thread::spawn(|| fire("t::local")).join().unwrap();
+        assert_eq!(other, None, "other threads never see this arming");
+        assert!(fire("t::local").is_some(), "arming thread does");
+        reset();
+    }
+}

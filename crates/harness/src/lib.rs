@@ -17,6 +17,13 @@
 //! * [`RunArtifact`] — the JSON-serialisable record of a run:
 //!   per-point parameters, seed, cache provenance, timing and value.
 //! * [`Sweep`] — the driver tying those together.
+//! * [`RunJournal`] — an append-only, checksummed WAL of completed
+//!   points; `--resume` replays it so a killed run continues where it
+//!   stopped, byte-identically.
+//! * [`supervise`] — per-point retry/backoff/deadline supervision with
+//!   a typed failure taxonomy and poison-point quarantine.
+//! * [`failpoint`] — injectable fail points the chaos suite uses to
+//!   simulate torn writes, ENOSPC and crashes.
 //!
 //! Determinism contract: evaluators receive a [`point_seed`] derived
 //! from the evaluator tag, the point identity and the sweep's base
@@ -30,15 +37,20 @@
 mod artifact;
 mod cache;
 mod executor;
+pub mod failpoint;
 mod hash;
+pub mod journal;
 mod spec;
+pub mod supervise;
 mod sweep;
 mod value;
 
 pub use artifact::{PointRecord, RunArtifact, RunStats};
 pub use cache::{CacheStats, ResultCache};
-pub use executor::Executor;
+pub use executor::{CancelToken, Executor};
 pub use hash::{content_key, point_seed, stable_hash64};
+pub use journal::{JournalHeader, RunJournal};
 pub use spec::{Axis, Point, SweepSpec};
+pub use supervise::{Failure, FailureClass, SupervisePolicy};
 pub use sweep::Sweep;
 pub use value::ParamValue;

@@ -1,13 +1,16 @@
-//! The sweep driver: ties a [`SweepSpec`] to the executor, cache and
-//! artifact layers.
+//! The sweep driver: ties a [`SweepSpec`] to the executor, cache,
+//! journal, supervision and artifact layers.
 
 use crate::artifact::{PointRecord, RunArtifact, RunStats};
 use crate::cache::ResultCache;
-use crate::executor::Executor;
+use crate::executor::{CancelToken, Executor};
 use crate::hash::{content_key, point_seed};
+use crate::journal::{JournalHeader, RunJournal};
 use crate::spec::{Point, SweepSpec};
+use crate::supervise::{supervised, Failure, FailureClass, SupervisePolicy};
 use serde_json::Value;
-use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::collections::HashMap;
+use std::path::PathBuf;
 use std::time::Instant;
 
 /// A configured sweep run over a [`SweepSpec`].
@@ -30,11 +33,15 @@ pub struct Sweep<'c> {
     cache: Option<&'c ResultCache>,
     eval_tag: String,
     base_seed: u64,
+    policy: SupervisePolicy,
+    journal_path: Option<PathBuf>,
+    resume: bool,
 }
 
 impl<'c> Sweep<'c> {
     /// A sweep over `spec` with default settings: one thread, no
-    /// cache, the spec name as evaluator tag, base seed 0.
+    /// cache, the spec name as evaluator tag, base seed 0, no journal,
+    /// single-attempt supervision.
     #[must_use]
     pub fn new(spec: SweepSpec) -> Self {
         let eval_tag = spec.name().to_string();
@@ -44,6 +51,9 @@ impl<'c> Sweep<'c> {
             cache: None,
             eval_tag,
             base_seed: 0,
+            policy: SupervisePolicy::default(),
+            journal_path: None,
+            resume: false,
         }
     }
 
@@ -85,23 +95,97 @@ impl<'c> Sweep<'c> {
         self
     }
 
+    /// Sets the supervision policy: per-attempt deadline, retry budget
+    /// and backoff for transient failures, fail-fast vs keep-going.
+    /// The default policy (one attempt, keep going) reproduces plain
+    /// panic isolation.
+    #[must_use]
+    pub fn supervise(mut self, policy: SupervisePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Journals every completed point to an append-only, checksummed
+    /// WAL at `path` (truncating any previous journal there). A run
+    /// killed at any moment can then be continued with
+    /// [`Sweep::resume`].
+    #[must_use]
+    pub fn journal(mut self, path: impl Into<PathBuf>) -> Self {
+        self.journal_path = Some(path.into());
+        self.resume = false;
+        self
+    }
+
+    /// Resumes from (and keeps journaling to) the WAL at `path`:
+    /// points whose keys are acknowledged in the journal are replayed
+    /// instead of evaluated, and the canonical artifact is
+    /// byte-identical to an uninterrupted run. A missing journal file
+    /// degrades to a fresh [`Sweep::journal`] run.
+    #[must_use]
+    pub fn resume(mut self, path: impl Into<PathBuf>) -> Self {
+        self.journal_path = Some(path.into());
+        self.resume = true;
+        self
+    }
+
+    /// Opens (or resumes) the run journal and, when resuming, moves
+    /// journal-acknowledged points out of the dispatch list.
+    ///
+    /// Journal open failures panic: an unusable journal the caller
+    /// explicitly asked for is a configuration error, not a per-point
+    /// fault (the CLI pre-checks with [`RunJournal::recover`] for a
+    /// friendlier message).
+    fn open_journal(&self, plan: &mut DispatchPlan) -> Option<RunJournal> {
+        let path = self.journal_path.as_ref()?;
+        let header = JournalHeader {
+            sweep: self.spec.name().to_string(),
+            eval_tag: self.eval_tag.clone(),
+            base_seed: self.base_seed,
+            grid_key: plan.grid_key(),
+        };
+        if self.resume {
+            match RunJournal::resume(path, &header) {
+                Ok((journal, records)) => {
+                    let replay: HashMap<String, Value> = records.into_iter().collect();
+                    plan.probe_journal(&replay);
+                    Some(journal)
+                }
+                Err(e) => panic!("cannot resume journal {}: {e}", path.display()),
+            }
+        } else {
+            match RunJournal::create(path, &header) {
+                Ok(journal) => Some(journal),
+                Err(e) => panic!("cannot create journal {}: {e}", path.display()),
+            }
+        }
+    }
+
     /// Evaluates every point and returns the assembled artifact.
     ///
     /// `eval` receives the point and its deterministic seed
     /// ([`point_seed`]); it must be a pure function of those two
     /// inputs for caching and parallel determinism to hold.
     ///
-    /// A panicking evaluator is isolated to its point: the run
-    /// completes, the point's record carries the panic message in
-    /// [`PointRecord::error`] with a [`Value::Null`] value, nothing is
-    /// cached for it, and [`RunStats::failed`] counts it. All other
-    /// points are unaffected — their records are bit-identical to a
-    /// run without the failure.
+    /// Every evaluation runs under the sweep's [`SupervisePolicy`]: a
+    /// panicking evaluator is isolated to its point and classified
+    /// ([`crate::supervise::classify`]); transient failure classes are
+    /// retried with deterministic backoff; a point that exhausts its
+    /// budget is quarantined — the run completes, the point's record
+    /// carries the message in [`PointRecord::error`] and the class in
+    /// [`PointRecord::failure_class`] with a [`Value::Null`] value,
+    /// nothing is cached or journaled for it, and [`RunStats::failed`]
+    /// counts it. All other points are unaffected — their records are
+    /// bit-identical to a run without the failure. Under
+    /// [`SupervisePolicy::fail_fast`], the first quarantined point
+    /// stops dispatch; undispatched points are marked skipped (which
+    /// makes the canonical artifact schedule-dependent — fail-fast
+    /// trades determinism for early exit).
     ///
     /// # Panics
     ///
     /// Panics if the spec fails [`SweepSpec::validate`] (empty axis or
-    /// zero points) — a spec bug, not a data error.
+    /// zero points) — a spec bug, not a data error — or if a requested
+    /// journal cannot be opened.
     #[must_use]
     pub fn run<F>(self, eval: F) -> RunArtifact
     where
@@ -112,38 +196,53 @@ impl<'c> Sweep<'c> {
         }
         let started = Instant::now();
         let points = self.spec.points();
-        let plan = DispatchPlan::new(&points, &self.eval_tag, self.base_seed);
+        let mut plan = DispatchPlan::new(&points, &self.eval_tag, self.base_seed);
+        let journal = self.open_journal(&mut plan);
+        let cancel = CancelToken::new();
+        let policy = self.policy;
         let outcomes = self.executor.run(&plan.dispatch, |_, &i| {
             let point = &points[i];
             let seed = plan.seeds[i];
             let key = &plan.keys[i];
+            if policy.fail_fast && cancel.is_cancelled() {
+                return Outcome::skipped();
+            }
             let t0 = Instant::now();
-            // Panic isolation: a failed evaluator escapes before the
-            // cache stores anything, so errors are never cached.
-            let outcome = catch_unwind(AssertUnwindSafe(|| match self.cache {
+            // Supervision wraps the cache lookup too: a corrupt cache
+            // read that escalates is retried like any transient fault,
+            // and a failed evaluator escapes before the cache stores
+            // anything, so errors are never cached.
+            let sup = supervised(&policy, seed, || match self.cache {
                 Some(cache) => cache.get_or_compute(key, || eval(point, seed)),
                 None => (eval(point, seed), false),
-            }));
-            match outcome {
-                Ok((value, cached)) => Outcome {
-                    value,
-                    cached,
-                    error: None,
-                    eval_ms: if cached {
-                        0.0
-                    } else {
-                        t0.elapsed().as_secs_f64() * 1e3
-                    },
-                },
-                Err(payload) => Outcome {
-                    value: Value::Null,
-                    cached: false,
-                    error: Some(panic_message(payload.as_ref())),
-                    eval_ms: t0.elapsed().as_secs_f64() * 1e3,
-                },
+            });
+            let eval_ms = t0.elapsed().as_secs_f64() * 1e3;
+            match sup.result {
+                Ok((value, cached)) => {
+                    // Acknowledge inside the worker, not after the
+                    // run: a `kill -9` mid-grid must find every
+                    // completed point already on disk.
+                    if let Some(journal) = &journal {
+                        journal.append(key, &value);
+                    }
+                    Outcome {
+                        value,
+                        cached,
+                        error: None,
+                        eval_ms: if cached { 0.0 } else { eval_ms },
+                        attempts: sup.attempts,
+                        class: None,
+                    }
+                }
+                Err(failure) => {
+                    if policy.fail_fast {
+                        cancel.cancel();
+                    }
+                    Outcome::failed(failure, eval_ms, sup.attempts)
+                }
             }
         });
-        self.assemble(points, plan, outcomes, started)
+        self.assemble(points, plan, outcomes, journal, started)
     }
 
     /// Evaluates the grid in **batch jobs**: points are grouped by
@@ -158,18 +257,52 @@ impl<'c> Sweep<'c> {
     /// their deterministic seeds (enumeration order), and must return
     /// exactly one value per point, in order. A mismatched count or a
     /// panic fails every point of that group (isolated from other
-    /// groups, never cached). Cache hits and content-key duplicates are
-    /// resolved *before* grouping, so a batch job only ever computes
-    /// distinct, uncached points.
+    /// groups, never cached). Cache hits, journal replays and
+    /// content-key duplicates are resolved *before* grouping, so a
+    /// batch job only ever computes distinct, unresolved points.
+    ///
+    /// Lane-level failures — one point of the batch failing while its
+    /// siblings succeed — need the [`Sweep::run_batched_results`]
+    /// variant; this convenience wrapper is for all-or-nothing batch
+    /// evaluators.
     ///
     /// # Panics
     ///
-    /// Panics if the spec fails [`SweepSpec::validate`].
+    /// Panics if the spec fails [`SweepSpec::validate`] or a requested
+    /// journal cannot be opened.
     #[must_use]
     pub fn run_batched<G, F>(self, group: G, eval_batch: F) -> RunArtifact
     where
         G: Fn(&Point) -> String,
         F: Fn(&str, &[(&Point, u64)]) -> Vec<Value> + Sync,
+    {
+        self.run_batched_results(group, |key, batch| {
+            eval_batch(key, batch).into_iter().map(Ok).collect()
+        })
+    }
+
+    /// [`Sweep::run_batched`] with per-lane fallibility: the batch
+    /// evaluator returns one `Result` per point, and an `Err` lane
+    /// lands in *that point's* record — error message and failure
+    /// class, exactly like a scalar failure — without poisoning its
+    /// siblings, which are cached and journaled normally. This is the
+    /// artifact-level face of the batched engines'
+    /// first-scalar-error-in-grid-order contract.
+    ///
+    /// Whole-batch panics are still supervised (classified, retried
+    /// when transient) and fail every lane of the group; lane-level
+    /// `Err`s are already-diagnosed evaluator results and are not
+    /// retried.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec fails [`SweepSpec::validate`] or a requested
+    /// journal cannot be opened.
+    #[must_use]
+    pub fn run_batched_results<G, F>(self, group: G, eval_batch: F) -> RunArtifact
+    where
+        G: Fn(&Point) -> String,
+        F: Fn(&str, &[(&Point, u64)]) -> Vec<Result<Value, Failure>> + Sync,
     {
         if let Err(msg) = self.spec.validate() {
             panic!("{msg}");
@@ -177,50 +310,78 @@ impl<'c> Sweep<'c> {
         let started = Instant::now();
         let points = self.spec.points();
         let mut plan = DispatchPlan::new(&points, &self.eval_tag, self.base_seed);
-        // Resolve cache hits before grouping: a batch job must only
-        // ever compute distinct, uncached points.
+        // Resolve journal replays and cache hits before grouping: a
+        // batch job must only ever compute distinct, unresolved points.
+        let journal = self.open_journal(&mut plan);
         if let Some(cache) = self.cache {
             plan.probe_cache(cache);
         }
+        let cancel = CancelToken::new();
+        let policy = self.policy;
         let outcomes = self.executor.run_grouped(
             &plan.dispatch,
             |_, &i| group(&points[i]),
             |key, members| {
+                if policy.fail_fast && cancel.is_cancelled() {
+                    return members.iter().map(|_| Outcome::skipped()).collect();
+                }
                 let t0 = Instant::now();
                 let batch: Vec<(&Point, u64)> = members
                     .iter()
                     .map(|&(_, &i)| (&points[i], plan.seeds[i]))
                     .collect();
-                let result = catch_unwind(AssertUnwindSafe(|| eval_batch(key, &batch)));
+                // The batch's supervision seed is its first member's —
+                // deterministic at any thread count (group membership
+                // and order are schedule-independent).
+                let group_seed = batch.first().map_or(0, |&(_, s)| s);
+                let sup = supervised(&policy, group_seed, || eval_batch(key, &batch));
+                let attempts = sup.attempts;
                 // Batch wall time is attributed evenly across members.
                 let eval_ms = t0.elapsed().as_secs_f64() * 1e3 / members.len() as f64;
-                let fail = |error: String| {
+                let fail_all = |failure: Failure| {
+                    if policy.fail_fast {
+                        cancel.cancel();
+                    }
                     members
                         .iter()
-                        .map(|_| Outcome {
-                            value: Value::Null,
-                            cached: false,
-                            error: Some(error.clone()),
-                            eval_ms,
-                        })
+                        .map(|_| Outcome::failed(failure.clone(), eval_ms, attempts))
                         .collect()
                 };
-                match result {
-                    Ok(values) if values.len() == members.len() => values
-                        .into_iter()
-                        .map(|value| Outcome {
-                            value,
-                            cached: false,
-                            error: None,
-                            eval_ms,
+                match sup.result {
+                    Ok(results) if results.len() == members.len() => members
+                        .iter()
+                        .zip(results)
+                        .map(|(&(_, &i), result)| match result {
+                            Ok(value) => {
+                                if let Some(journal) = &journal {
+                                    journal.append(&plan.keys[i], &value);
+                                }
+                                Outcome {
+                                    value,
+                                    cached: false,
+                                    error: None,
+                                    eval_ms,
+                                    attempts,
+                                    class: None,
+                                }
+                            }
+                            Err(failure) => {
+                                if policy.fail_fast {
+                                    cancel.cancel();
+                                }
+                                Outcome::failed(failure, eval_ms, attempts)
+                            }
                         })
                         .collect(),
-                    Ok(values) => fail(format!(
-                        "batch evaluator returned {} values for {} points",
-                        values.len(),
-                        members.len()
+                    Ok(results) => fail_all(Failure::new(
+                        FailureClass::Panic,
+                        format!(
+                            "batch evaluator returned {} values for {} points",
+                            results.len(),
+                            members.len()
+                        ),
                     )),
-                    Err(payload) => fail(panic_message(payload.as_ref())),
+                    Err(failure) => fail_all(failure),
                 }
             },
         );
@@ -233,7 +394,7 @@ impl<'c> Sweep<'c> {
                 }
             }
         }
-        self.assemble(points, plan, outcomes, started)
+        self.assemble(points, plan, outcomes, journal, started)
     }
 
     /// Scatters dispatch outcomes back over the full grid (mirroring
@@ -244,12 +405,14 @@ impl<'c> Sweep<'c> {
         points: Vec<Point>,
         plan: DispatchPlan,
         outcomes: Vec<Outcome>,
+        journal: Option<RunJournal>,
         started: Instant,
     ) -> RunArtifact {
-        let outcome_of: std::collections::HashMap<usize, &Outcome> =
+        let outcome_of: HashMap<usize, &Outcome> =
             plan.dispatch.iter().copied().zip(&outcomes).collect();
-        let hit_of: std::collections::HashMap<usize, &Value> =
-            plan.hits.iter().map(|(i, v)| (*i, v)).collect();
+        let hit_of: HashMap<usize, &Value> = plan.hits.iter().map(|(i, v)| (*i, v)).collect();
+        let resumed_of: HashMap<usize, &Value> =
+            plan.resumed.iter().map(|(i, v)| (*i, v)).collect();
         let mut records: Vec<PointRecord> = Vec::with_capacity(points.len());
         for (index, point) in points.iter().enumerate() {
             let rep = plan.representative[index];
@@ -271,13 +434,32 @@ impl<'c> Sweep<'c> {
                     eval_ms: if mirrored { 0.0 } else { outcome.eval_ms },
                     value: outcome.value.clone(),
                     error: outcome.error.clone(),
+                    attempts: outcome.attempts,
+                    resumed: false,
+                    failure_class: outcome.class,
+                }
+            } else if let Some(value) = resumed_of.get(&rep) {
+                // Representative was acknowledged in the run journal:
+                // replayed, not evaluated.
+                PointRecord {
+                    index,
+                    params: point.clone(),
+                    key: plan.keys[index].clone(),
+                    seed: plan.seeds[index],
+                    cached: false,
+                    eval_ms: 0.0,
+                    value: (*value).clone(),
+                    error: None,
+                    attempts: 0,
+                    resumed: true,
+                    failure_class: None,
                 }
             } else {
                 // Representative resolved as a cache hit during
                 // planning (run_batched pre-probes the cache).
                 let value = *hit_of
                     .get(&rep)
-                    .expect("a non-dispatched representative is a pre-probed cache hit");
+                    .expect("a non-dispatched representative is a pre-probed hit or replay");
                 PointRecord {
                     index,
                     params: point.clone(),
@@ -287,19 +469,34 @@ impl<'c> Sweep<'c> {
                     eval_ms: 0.0,
                     value: value.clone(),
                     error: None,
+                    attempts: 1,
+                    resumed: false,
+                    failure_class: None,
                 }
             };
             records.push(record);
         }
         let cache_hits = records.iter().filter(|r| r.cached).count();
+        let resumed = records.iter().filter(|r| r.resumed).count();
+        let skipped = records.iter().filter(|r| r.skipped()).count();
         let failed = records.iter().filter(|r| r.failed()).count();
+        let quarantined = records.iter().filter(|r| r.quarantined()).count();
+        let retried = outcomes
+            .iter()
+            .map(|o| u64::from(o.attempts.saturating_sub(1)))
+            .sum();
         let stats = RunStats {
             points: records.len(),
             cache_hits,
-            evaluated: records.len() - cache_hits,
-            deduped: records.len() - plan.dispatch.len() - plan.hits.len(),
+            evaluated: records.len() - cache_hits - resumed - skipped,
+            deduped: records.len() - plan.dispatch.len() - plan.hits.len() - plan.resumed.len(),
             threads: self.executor.threads(),
             failed,
+            resumed,
+            quarantined,
+            skipped,
+            retried,
+            journal_errors: journal.as_ref().map_or(0, RunJournal::write_errors),
             wall_ms: started.elapsed().as_secs_f64() * 1e3,
         };
         RunArtifact {
@@ -318,12 +515,40 @@ struct Outcome {
     cached: bool,
     error: Option<String>,
     eval_ms: f64,
+    attempts: u32,
+    class: Option<FailureClass>,
+}
+
+impl Outcome {
+    /// A point that never ran because fail-fast stopped the grid.
+    fn skipped() -> Outcome {
+        Outcome {
+            value: Value::Null,
+            cached: false,
+            error: Some("skipped: fail-fast stopped the grid after an earlier failure".into()),
+            eval_ms: 0.0,
+            attempts: 0,
+            class: None,
+        }
+    }
+
+    /// A point quarantined with a classified failure.
+    fn failed(failure: Failure, eval_ms: f64, attempts: u32) -> Outcome {
+        Outcome {
+            value: Value::Null,
+            cached: false,
+            error: Some(failure.message),
+            eval_ms,
+            attempts,
+            class: Some(failure.class),
+        }
+    }
 }
 
 /// The dispatch plan of a grid: per-point keys and seeds, the
 /// first-occurrence representative of every content key, and the list
 /// of indices that actually need evaluating (representatives minus
-/// pre-resolved cache hits).
+/// journal replays minus pre-resolved cache hits).
 struct DispatchPlan {
     keys: Vec<String>,
     seeds: Vec<u64>,
@@ -334,6 +559,8 @@ struct DispatchPlan {
     dispatch: Vec<usize>,
     /// Pre-probed cache hits (`run_batched` only): `(index, value)`.
     hits: Vec<(usize, Value)>,
+    /// Journal replays (`--resume` only): `(index, value)`.
+    resumed: Vec<(usize, Value)>,
 }
 
 impl DispatchPlan {
@@ -345,7 +572,7 @@ impl DispatchPlan {
             keys.push(content_key(eval_tag, &canonical));
             seeds.push(point_seed(eval_tag, &canonical, base_seed));
         }
-        let mut first: std::collections::HashMap<&str, usize> = std::collections::HashMap::new();
+        let mut first: HashMap<&str, usize> = HashMap::new();
         let mut representative = Vec::with_capacity(points.len());
         let mut dispatch = Vec::new();
         for (i, key) in keys.iter().enumerate() {
@@ -361,7 +588,29 @@ impl DispatchPlan {
             representative,
             dispatch,
             hits: Vec::new(),
+            resumed: Vec::new(),
         }
+    }
+
+    /// Content key pinning the exact point set and enumeration order
+    /// of this grid — the journal header's identity check. Point keys
+    /// are fixed-width hex, so plain concatenation is unambiguous.
+    fn grid_key(&self) -> String {
+        content_key("cryowire-grid", &self.keys.concat())
+    }
+
+    /// Removes dispatch entries acknowledged in a recovered journal,
+    /// recording them as replays.
+    fn probe_journal(&mut self, replay: &HashMap<String, Value>) {
+        let keys = &self.keys;
+        let resumed = &mut self.resumed;
+        self.dispatch.retain(|&i| match replay.get(&keys[i]) {
+            Some(value) => {
+                resumed.push((i, value.clone()));
+                false
+            }
+            None => true,
+        });
     }
 
     /// Removes dispatch entries already answered by `cache`, recording
@@ -380,24 +629,30 @@ impl DispatchPlan {
     }
 }
 
-/// Best-effort extraction of a panic payload's message.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
-    payload
-        .downcast_ref::<&str>()
-        .map(ToString::to_string)
-        .or_else(|| payload.downcast_ref::<String>().cloned())
-        .unwrap_or_else(|| "panic with non-string payload".to_string())
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::spec::Axis;
+    use crate::supervise;
+    use std::path::PathBuf;
 
     fn spec() -> SweepSpec {
         SweepSpec::new("unit")
             .axis("t", [77.0, 300.0])
             .axis("d", [1i64, 2])
+    }
+
+    fn tmp(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("cryowire-sweep-{tag}-{}.wal", std::process::id()))
+    }
+
+    fn quick_policy(max_attempts: u32) -> SupervisePolicy {
+        SupervisePolicy {
+            max_attempts,
+            backoff_base: std::time::Duration::from_millis(1),
+            backoff_cap: std::time::Duration::from_millis(4),
+            ..SupervisePolicy::default()
+        }
     }
 
     #[test]
@@ -456,9 +711,12 @@ mod tests {
             .threads(3)
             .run(eval);
         assert_eq!(faulted.stats.failed, 1);
+        assert_eq!(faulted.stats.quarantined, 1);
         assert_eq!(faulted.stats.points, 3);
         let bad = &faulted.points[1];
         assert!(bad.failed());
+        assert!(bad.quarantined());
+        assert_eq!(bad.failure_class, Some(FailureClass::Panic));
         assert_eq!(bad.value, Value::Null);
         assert!(bad.error.as_deref().unwrap().contains("injected failure"));
         // The surviving points are bit-identical to the clean run
@@ -550,6 +808,7 @@ mod tests {
             .eval_tag("dup/v1")
             .run(|_, _| panic!("boom"));
         assert_eq!(artifact.stats.failed, 2);
+        assert_eq!(artifact.stats.quarantined, 2);
         assert!(artifact.points[1].failed());
         assert!(!artifact.points[1].cached);
     }
@@ -668,5 +927,332 @@ mod tests {
             assert_eq!(pa.seed, pb.seed);
             assert_eq!(pa.value, pb.value);
         }
+    }
+
+    #[test]
+    fn transient_lane_heals_under_retry_budget() {
+        // A point that fails on its first two attempts succeeds under a
+        // budget of 3; the record carries the attempt count, and the
+        // canonical artifact equals an always-healthy run.
+        let eval = |p: &Point, _: u64| {
+            if p.i64("x") == 2 && supervise::current_attempt() < 3 {
+                supervise::fail(FailureClass::Io, "flaky I/O");
+            }
+            Value::Int(p.i64("x") * 10)
+        };
+        let healthy = Sweep::new(SweepSpec::new("s").axis("x", [1i64, 2, 3]))
+            .eval_tag("s/v1")
+            .run(|p, _| Value::Int(p.i64("x") * 10));
+        let healed = Sweep::new(SweepSpec::new("s").axis("x", [1i64, 2, 3]))
+            .eval_tag("s/v1")
+            .supervise(quick_policy(3))
+            .run(eval);
+        assert_eq!(healed.canonical_json(), healthy.canonical_json());
+        assert_eq!(healed.stats.failed, 0);
+        assert_eq!(healed.stats.retried, 2);
+        assert_eq!(healed.points[1].attempts, 3);
+        assert_eq!(healed.points[0].attempts, 1);
+    }
+
+    #[test]
+    fn poison_point_quarantined_after_budget_and_grid_survives() {
+        let artifact = Sweep::new(SweepSpec::new("s").axis("x", [1i64, 2, 3]))
+            .eval_tag("s/v1")
+            .supervise(quick_policy(3))
+            .run(|p, _| {
+                if p.i64("x") == 2 {
+                    supervise::fail(FailureClass::Stalled, "always wedged");
+                }
+                Value::Int(p.i64("x"))
+            });
+        assert_eq!(artifact.stats.quarantined, 1);
+        assert_eq!(artifact.stats.failed, 1);
+        assert_eq!(
+            artifact.stats.retried, 2,
+            "budget of 3 spent on the poison point"
+        );
+        let bad = &artifact.points[1];
+        assert_eq!(bad.failure_class, Some(FailureClass::Stalled));
+        assert_eq!(bad.attempts, 3);
+        assert_eq!(artifact.points[2].value, Value::Int(3), "grid completed");
+    }
+
+    #[test]
+    fn fail_fast_skips_undispatched_points() {
+        let policy = SupervisePolicy {
+            fail_fast: true,
+            ..quick_policy(1)
+        };
+        // Serial execution makes the skip set deterministic: point 1
+        // fails, point 2 is skipped.
+        let artifact = Sweep::new(SweepSpec::new("s").axis("x", [1i64, 2, 3]))
+            .eval_tag("s/v1")
+            .supervise(policy)
+            .run(|p, _| {
+                assert_ne!(p.i64("x"), 2, "poison");
+                Value::Int(p.i64("x"))
+            });
+        assert_eq!(artifact.stats.quarantined, 1);
+        assert_eq!(artifact.stats.skipped, 1);
+        assert_eq!(artifact.stats.failed, 2, "quarantined + skipped");
+        let skipped = &artifact.points[2];
+        assert!(skipped.skipped() && !skipped.quarantined());
+        assert_eq!(skipped.attempts, 0);
+        assert!(skipped.error.as_deref().unwrap().contains("fail-fast"));
+    }
+
+    #[test]
+    fn journal_roundtrip_resumes_byte_identically() {
+        let path = tmp("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        let eval =
+            |p: &Point, seed: u64| Value::Float(p.f64("t") * p.i64("d") as f64 + (seed % 7) as f64);
+        let reference = Sweep::new(spec()).eval_tag("unit/v1").run(eval);
+        let journaled = Sweep::new(spec())
+            .eval_tag("unit/v1")
+            .journal(&path)
+            .run(eval);
+        assert_eq!(journaled.canonical_json(), reference.canonical_json());
+        assert_eq!(journaled.stats.journal_errors, 0);
+        // Resume with an evaluator that must never run: every point is
+        // acknowledged, so the whole grid replays from the journal.
+        let resumed = Sweep::new(spec())
+            .eval_tag("unit/v1")
+            .resume(&path)
+            .run(|_, _| unreachable!("fully journaled grid re-evaluated"));
+        assert_eq!(resumed.canonical_json(), reference.canonical_json());
+        assert_eq!(resumed.stats.resumed, 4);
+        assert_eq!(resumed.stats.evaluated, 0);
+        assert!(resumed.points.iter().all(|p| p.resumed));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn partial_journal_resumes_only_missing_points() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let path = tmp("partial");
+        let _ = std::fs::remove_file(&path);
+        let eval = |p: &Point, _: u64| Value::Int(p.i64("x") * 10);
+        let reference = Sweep::new(SweepSpec::new("s").axis("x", [1i64, 2, 3, 4]))
+            .eval_tag("s/v1")
+            .run(eval);
+        // An interrupted run: points 1 and 2 complete and are
+        // acknowledged; 3 and 4 fail (standing in for a crash), so the
+        // journal holds exactly half the grid.
+        let first = Sweep::new(SweepSpec::new("s").axis("x", [1i64, 2, 3, 4]))
+            .eval_tag("s/v1")
+            .journal(&path)
+            .run(|p, _| {
+                assert!(p.i64("x") <= 2, "simulated crash point");
+                Value::Int(p.i64("x") * 10)
+            });
+        assert_eq!(first.stats.failed, 2);
+        let evals = AtomicUsize::new(0);
+        let resumed = Sweep::new(SweepSpec::new("s").axis("x", [1i64, 2, 3, 4]))
+            .eval_tag("s/v1")
+            .resume(&path)
+            .run(|p, _| {
+                evals.fetch_add(1, Ordering::Relaxed);
+                Value::Int(p.i64("x") * 10)
+            });
+        assert_eq!(
+            evals.load(Ordering::Relaxed),
+            2,
+            "only unacknowledged points run"
+        );
+        assert_eq!(resumed.stats.resumed, 2);
+        assert_eq!(resumed.canonical_json(), reference.canonical_json());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    #[should_panic(expected = "different run")]
+    fn resume_with_wrong_seed_is_refused() {
+        let path = tmp("wrong-seed");
+        let _ = std::fs::remove_file(&path);
+        let eval = |p: &Point, _: u64| Value::Int(p.i64("x"));
+        let _ = Sweep::new(SweepSpec::new("s").axis("x", [1i64]))
+            .eval_tag("s/v1")
+            .journal(&path)
+            .run(eval);
+        let result = std::panic::catch_unwind(|| {
+            Sweep::new(SweepSpec::new("s").axis("x", [1i64]))
+                .eval_tag("s/v1")
+                .base_seed(99)
+                .resume(&path)
+                .run(eval)
+        });
+        let _ = std::fs::remove_file(&path);
+        if let Err(payload) = result {
+            std::panic::resume_unwind(payload);
+        }
+    }
+
+    #[test]
+    fn batched_lane_errors_match_scalar_error_contract() {
+        // Satellite: a typed error in one lane of a batch lands in that
+        // point's record exactly like a scalar failure — message,
+        // class, Null value — without poisoning its siblings.
+        let spec3 = SweepSpec::new("b").axis("x", [1i64, 2, 3]);
+        let scalar = Sweep::new(spec3.clone()).eval_tag("b/v1").run(|p, _| {
+            if p.i64("x") == 2 {
+                supervise::fail(FailureClass::Stalled, "lane 2 stalled");
+            }
+            Value::Int(p.i64("x") * 10)
+        });
+        let batched = Sweep::new(spec3)
+            .eval_tag("b/v1")
+            .threads(2)
+            .run_batched_results(
+                |_| "all".to_string(),
+                |_, batch| {
+                    batch
+                        .iter()
+                        .map(|&(p, _)| {
+                            if p.i64("x") == 2 {
+                                Err(Failure::new(FailureClass::Stalled, "lane 2 stalled"))
+                            } else {
+                                Ok(Value::Int(p.i64("x") * 10))
+                            }
+                        })
+                        .collect()
+                },
+            );
+        assert_eq!(
+            batched.canonical_json(),
+            scalar.canonical_json(),
+            "lane error must be canonically indistinguishable from a scalar error"
+        );
+        assert_eq!(batched.stats.failed, 1, "siblings unaffected");
+        assert_eq!(batched.stats.quarantined, 1);
+        let bad = &batched.points[1];
+        assert_eq!(bad.failure_class, Some(FailureClass::Stalled));
+        assert_eq!(bad.value, Value::Null);
+        assert_eq!(batched.points[0].value, Value::Int(10));
+        assert_eq!(batched.points[2].value, Value::Int(30));
+    }
+
+    #[test]
+    fn batched_lane_errors_are_not_cached_but_siblings_are() {
+        let cache = ResultCache::new();
+        let spec2 = SweepSpec::new("b").axis("x", [1i64, 2]);
+        let first = Sweep::new(spec2.clone())
+            .eval_tag("b/v1")
+            .cache(&cache)
+            .run_batched_results(
+                |_| "all".to_string(),
+                |_, batch| {
+                    batch
+                        .iter()
+                        .map(|&(p, _)| {
+                            if p.i64("x") == 2 {
+                                Err(Failure::new(FailureClass::Io, "lane I/O error"))
+                            } else {
+                                Ok(Value::Int(p.i64("x")))
+                            }
+                        })
+                        .collect()
+                },
+            );
+        assert_eq!(first.stats.failed, 1);
+        // Re-run: the healthy sibling hits the cache, the failed lane
+        // re-evaluates (errors are never cached).
+        let second = Sweep::new(spec2)
+            .eval_tag("b/v1")
+            .cache(&cache)
+            .run_batched_results(
+                |_| "all".to_string(),
+                |_, batch| {
+                    batch
+                        .iter()
+                        .map(|&(p, _)| Ok(Value::Int(p.i64("x"))))
+                        .collect()
+                },
+            );
+        assert_eq!(second.stats.cache_hits, 1);
+        assert_eq!(second.stats.evaluated, 1);
+        assert_eq!(second.stats.failed, 0);
+    }
+
+    #[test]
+    fn batched_journal_resume_skips_acknowledged_groups() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let path = tmp("batched");
+        let _ = std::fs::remove_file(&path);
+        let spec4 = SweepSpec::new("b")
+            .axis("g", [1i64, 2])
+            .axis("x", [1i64, 2]);
+        let eval = |p: &Point| Value::Int(p.i64("g") * 100 + p.i64("x"));
+        let reference = Sweep::new(spec4.clone()).eval_tag("b/v1").run_batched(
+            |p| p.i64("g").to_string(),
+            |_, batch| batch.iter().map(|&(p, _)| eval(p)).collect(),
+        );
+        // First run: group 2 fails — only group 1's lanes are
+        // journaled.
+        let _ = Sweep::new(spec4.clone())
+            .eval_tag("b/v1")
+            .journal(&path)
+            .run_batched(
+                |p| p.i64("g").to_string(),
+                |key, batch| {
+                    assert_ne!(key, "2", "simulated crash");
+                    batch.iter().map(|&(p, _)| eval(p)).collect()
+                },
+            );
+        let jobs = AtomicUsize::new(0);
+        let resumed = Sweep::new(spec4)
+            .eval_tag("b/v1")
+            .resume(&path)
+            .run_batched(
+                |p| p.i64("g").to_string(),
+                |_, batch| {
+                    jobs.fetch_add(1, Ordering::Relaxed);
+                    batch.iter().map(|&(p, _)| eval(p)).collect()
+                },
+            );
+        assert_eq!(
+            jobs.load(Ordering::Relaxed),
+            1,
+            "only the failed group re-runs"
+        );
+        assert_eq!(resumed.stats.resumed, 2);
+        assert_eq!(resumed.canonical_json(), reference.canonical_json());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn journal_write_errors_degrade_gracefully() {
+        crate::failpoint::reset();
+        let path = tmp("degrade");
+        let _ = std::fs::remove_file(&path);
+        let eval = |p: &Point, _: u64| Value::Int(p.i64("x"));
+        let reference = Sweep::new(SweepSpec::new("s").axis("x", [1i64, 2, 3]))
+            .eval_tag("s/v1")
+            .run(eval);
+        crate::failpoint::arm(
+            "journal::append",
+            crate::failpoint::FailAction::Io("No space left on device (os error 28)".into()),
+            1,
+        );
+        let broken = Sweep::new(SweepSpec::new("s").axis("x", [1i64, 2, 3]))
+            .eval_tag("s/v1")
+            .journal(&path)
+            .run(eval);
+        crate::failpoint::reset();
+        // The sweep itself is unharmed — full artifact, zero failures —
+        // and the drop is visible in the stats.
+        assert_eq!(broken.canonical_json(), reference.canonical_json());
+        assert_eq!(broken.stats.failed, 0);
+        assert_eq!(
+            broken.stats.journal_errors, 3,
+            "first error breaks the journal"
+        );
+        // Resume still works: unacknowledged points just recompute.
+        let resumed = Sweep::new(SweepSpec::new("s").axis("x", [1i64, 2, 3]))
+            .eval_tag("s/v1")
+            .resume(&path)
+            .run(eval);
+        assert_eq!(resumed.canonical_json(), reference.canonical_json());
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -2,7 +2,10 @@
 //! cache corruption, and stall watchdogs, exercised across crate
 //! boundaries the way the sweep binary composes them.
 
-use cryowire::experiments::{degraded_sweep_artifact, SweepOptions, DEGRADED_SCENARIOS};
+use cryowire::experiments::{
+    degraded_sweep_artifact, degraded_sweep_artifact_injected, InjectFaults, SweepOptions,
+    DEGRADED_SCENARIOS,
+};
 use cryowire::faults::{FaultEvent, FaultKind, FaultSchedule};
 use cryowire::noc::{
     Network, RouterClass, RouterNetwork, SimConfig, SimError, Simulator, TrafficPattern,
@@ -117,6 +120,223 @@ fn corrupt_cache_recomputes_identical_artifact() {
     );
     assert_eq!(original.canonical_json(), recomputed.canonical_json());
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The injected typed-failure points compose with the supervision
+/// policy exactly as the scalar contract promises: flaky heals under a
+/// retry budget (and its healed value is what lands in the artifact),
+/// poison exhausts the budget and is quarantined with its class, and
+/// every healthy point stays byte-identical to an injection-free run.
+#[test]
+fn typed_injections_heal_or_quarantine_in_process() {
+    use cryowire_harness::SupervisePolicy;
+    let inject = InjectFaults {
+        flaky: true,
+        poison: true,
+        ..InjectFaults::default()
+    };
+    let mut policy = SupervisePolicy::with_retries(2);
+    policy.backoff_base = std::time::Duration::from_millis(1);
+    let opts = SweepOptions::threaded(2).with_policy(policy);
+    let artifact = degraded_sweep_artifact_injected(FAULT_SEED, inject, opts);
+
+    assert_eq!(artifact.stats.points, DEGRADED_SCENARIOS.len() + 2);
+    assert_eq!(artifact.stats.failed, 1, "only the poison point fails");
+    assert_eq!(artifact.stats.quarantined, 1);
+    assert!(
+        artifact.stats.retried >= 3,
+        "flaky retried once, poison twice"
+    );
+
+    let flaky = artifact.find(|p| p.str("scenario") == "flaky").unwrap();
+    assert!(!flaky.failed());
+    assert_eq!(flaky.attempts, 2);
+    assert_eq!(
+        flaky
+            .value
+            .get("healed")
+            .and_then(serde_json::Value::as_bool),
+        Some(true)
+    );
+
+    let poison = artifact.find(|p| p.str("scenario") == "poison").unwrap();
+    assert!(poison.quarantined());
+    assert_eq!(poison.attempts, 3);
+    assert_eq!(
+        poison.failure_class,
+        Some(cryowire_harness::FailureClass::Io)
+    );
+
+    let clean = degraded_sweep_artifact(FAULT_SEED, false, SweepOptions::serial());
+    for c in &clean.points {
+        let s = artifact.points.iter().find(|p| p.key == c.key).unwrap();
+        assert_eq!(s.value, c.value);
+    }
+}
+
+// ------------------------------------------------------- chaos (subprocess)
+
+mod chaos {
+    use super::unique_dir;
+    use std::path::Path;
+    use std::process::{Command, Stdio};
+    use std::time::{Duration, Instant};
+
+    fn sweep() -> Command {
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_sweep"));
+        cmd.stdout(Stdio::null()).stderr(Stdio::null());
+        cmd
+    }
+
+    fn newline_count(path: &Path) -> usize {
+        std::fs::read(path)
+            .map(|b| b.iter().filter(|&&c| c == b'\n').count())
+            .unwrap_or(0)
+    }
+
+    /// The wedge answer for a truly stuck process: `kill -9` a sweep
+    /// mid-grid, resume from its journal, and the canonical artifact is
+    /// byte-identical to an uninterrupted run.
+    #[test]
+    fn kill_nine_mid_sweep_then_resume_is_byte_identical() {
+        let dir = unique_dir("kill9");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let journal = dir.join("run.wal");
+        let grid: &[&str] = &["--sweep", "depth", "--temps", "4", "--max-split", "4"];
+
+        // 16 points paced at 150 ms each: the grid takes >= 2.4 s, so a
+        // kill after a handful of journal records lands mid-sweep.
+        let mut child = sweep()
+            .args(grid)
+            .args(["--point-delay-ms", "150", "--canonical"])
+            .arg("--journal")
+            .arg(&journal)
+            .arg("--out")
+            .arg(dir.join("killed.json"))
+            .spawn()
+            .expect("spawn sweep");
+        let deadline = Instant::now() + Duration::from_secs(30);
+        // Wait for the header plus at least three acknowledged records.
+        while newline_count(&journal) < 4 {
+            assert!(Instant::now() < deadline, "journal never grew");
+            assert!(
+                child.try_wait().expect("try_wait").is_none(),
+                "sweep exited before it could be killed"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        child.kill().expect("SIGKILL");
+        let _ = child.wait();
+        let lines = newline_count(&journal);
+        assert!(
+            (4..17).contains(&lines),
+            "kill -9 landed mid-grid (journal has {lines} lines)"
+        );
+
+        let reference = dir.join("reference.json");
+        let status = sweep()
+            .args(grid)
+            .args(["--canonical"])
+            .arg("--out")
+            .arg(&reference)
+            .status()
+            .expect("reference run");
+        assert!(status.success());
+
+        let resumed = dir.join("resumed.json");
+        let status = sweep()
+            .args(grid)
+            .args(["--resume", "--canonical"])
+            .arg("--journal")
+            .arg(&journal)
+            .arg("--out")
+            .arg(&resumed)
+            .status()
+            .expect("resumed run");
+        assert!(status.success());
+
+        assert_eq!(
+            std::fs::read(&reference).unwrap(),
+            std::fs::read(&resumed).unwrap(),
+            "resumed canonical artifact differs from the uninterrupted run"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// An always-failing point exhausts its retry budget, is
+    /// quarantined with its typed class in the artifact, and the run
+    /// exits 2 (partial failure), not 1.
+    #[test]
+    fn poison_point_quarantined_after_retry_budget_with_exit_2() {
+        let dir = unique_dir("poisoncli");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("poison.json");
+        let status = sweep()
+            .args(["--sweep", "degraded", "--inject-poison"])
+            .args(["--retries", "2", "--backoff-ms", "1"])
+            .arg("--out")
+            .arg(&out)
+            .status()
+            .expect("poison run");
+        assert_eq!(status.code(), Some(2), "partial failure exits 2");
+
+        let text = std::fs::read_to_string(&out).unwrap();
+        assert!(text.contains("\"failure_class\": \"io\""));
+        assert!(text.contains("injected poison point"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A transiently failing point heals under a retry budget (exit 0)
+    /// and is quarantined without one (exit 2).
+    #[test]
+    fn flaky_point_heals_with_retries_and_fails_without() {
+        let dir = unique_dir("flakycli");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let healed = dir.join("healed.json");
+        let status = sweep()
+            .args(["--sweep", "degraded", "--inject-flaky"])
+            .args(["--retries", "2", "--backoff-ms", "1"])
+            .arg("--out")
+            .arg(&healed)
+            .status()
+            .expect("flaky run with retries");
+        assert_eq!(status.code(), Some(0), "flaky heals within the budget");
+        assert!(std::fs::read_to_string(&healed)
+            .unwrap()
+            .contains("\"healed\": true"));
+
+        let status = sweep()
+            .args(["--sweep", "degraded", "--inject-flaky"])
+            .status()
+            .expect("flaky run without retries");
+        assert_eq!(status.code(), Some(2), "no budget: first failure sticks");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A wedged evaluator is converted into a typed timeout by the
+    /// cooperative deadline and quarantined.
+    #[test]
+    fn wedged_point_trips_the_deadline() {
+        let dir = unique_dir("wedgecli");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("wedge.json");
+        let status = sweep()
+            .args(["--sweep", "degraded", "--inject-wedge"])
+            .args(["--deadline-ms", "100"])
+            .arg("--out")
+            .arg(&out)
+            .status()
+            .expect("wedge run");
+        assert_eq!(status.code(), Some(2));
+        assert!(std::fs::read_to_string(&out)
+            .unwrap()
+            .contains("\"failure_class\": \"timeout\""));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 }
 
 /// Killing every resource of a mesh never hangs the NoC simulator: the
