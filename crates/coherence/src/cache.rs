@@ -133,6 +133,13 @@ struct LineEntry {
     state: LineState,
     version: u64,
     lru: u64,
+    /// The trace's interned index of the resident line, carried so an
+    /// eviction hands the engine a dense arena index without a lookup.
+    idx: u32,
+    /// Generation stamp: an entry whose stamp trails the cache's is
+    /// dead, so [`PrivateCache::reset`] is a counter bump instead of a
+    /// memset over the whole entry array.
+    gen: u32,
 }
 
 const EMPTY: LineEntry = LineEntry {
@@ -140,6 +147,8 @@ const EMPTY: LineEntry = LineEntry {
     state: LineState::Invalid,
     version: 0,
     lru: 0,
+    idx: 0,
+    gen: 0,
 };
 
 /// A line evicted to make room for a fill.
@@ -147,6 +156,8 @@ const EMPTY: LineEntry = LineEntry {
 pub struct Eviction {
     /// Line number of the victim.
     pub line: u64,
+    /// Interned line index of the victim (whatever the filler passed).
+    pub idx: u32,
     /// State the victim held (dirty states require a writeback).
     pub state: LineState,
     /// Version the victim carried.
@@ -157,8 +168,15 @@ pub struct Eviction {
 /// state. Flat set-major storage (the `cryowire-ooo` cache layout).
 #[derive(Debug, Clone)]
 pub struct PrivateCache {
-    sets: u64,
+    /// `sets - 1`: the set count is a validated power of two, so set
+    /// selection is a mask and tag extraction a shift — no integer
+    /// division in the lookup path.
+    set_mask: u64,
+    tag_shift: u32,
     assoc: u32,
+    /// Current generation: entries stamped earlier are treated as
+    /// absent (O(1) whole-cache clear).
+    gen: u32,
     entries: Vec<LineEntry>,
     clock: u64,
 }
@@ -173,8 +191,10 @@ impl PrivateCache {
         geom.validate()?;
         let sets = geom.sets();
         Ok(PrivateCache {
-            sets,
+            set_mask: sets - 1,
+            tag_shift: sets.trailing_zeros(),
             assoc: geom.assoc,
+            gen: 0,
             entries: vec![
                 EMPTY;
                 usize::try_from(sets).expect("set count fits") * geom.assoc as usize
@@ -183,48 +203,69 @@ impl PrivateCache {
         })
     }
 
-    /// Empties the cache in place (scratch reuse across runs).
+    /// Empties the cache in place (scratch reuse across runs): a
+    /// generation bump, not a memset — every resident entry goes stale
+    /// at once. The array is rewritten for real only on the (never in
+    /// practice) generation-counter wrap.
     pub fn reset(&mut self) {
-        self.entries.fill(EMPTY);
+        if self.gen == u32::MAX {
+            self.entries.fill(EMPTY);
+            self.gen = 0;
+        }
+        self.gen += 1;
         self.clock = 0;
     }
 
     fn set_range(&self, line: u64) -> std::ops::Range<usize> {
-        let set = usize::try_from(line % self.sets).expect("set index fits");
+        let set = usize::try_from(line & self.set_mask).expect("set index fits");
         let a = self.assoc as usize;
         set * a..set * a + a
+    }
+
+    /// The resident entry for `line`, if any: one tag-match scan shared
+    /// by every lookup flavour below.
+    fn find(&self, line: u64) -> Option<&LineEntry> {
+        let tag = line >> self.tag_shift;
+        let gen = self.gen;
+        self.entries[self.set_range(line)]
+            .iter()
+            .find(|e| e.gen == gen && e.state.is_present() && e.tag == tag)
+    }
+
+    fn find_mut(&mut self, line: u64) -> Option<&mut LineEntry> {
+        let tag = line >> self.tag_shift;
+        let gen = self.gen;
+        let range = self.set_range(line);
+        self.entries[range]
+            .iter_mut()
+            .find(|e| e.gen == gen && e.state.is_present() && e.tag == tag)
     }
 
     /// Current state of `line` (Invalid when absent).
     #[must_use]
     pub fn state(&self, line: u64) -> LineState {
-        let tag = line / self.sets;
-        self.entries[self.set_range(line)]
-            .iter()
-            .find(|e| e.state.is_present() && e.tag == tag)
-            .map_or(LineState::Invalid, |e| e.state)
+        self.find(line).map_or(LineState::Invalid, |e| e.state)
     }
 
     /// Version held for `line`, if present.
     #[must_use]
     pub fn version(&self, line: u64) -> Option<u64> {
-        let tag = line / self.sets;
-        self.entries[self.set_range(line)]
-            .iter()
-            .find(|e| e.state.is_present() && e.tag == tag)
-            .map(|e| e.version)
+        self.find(line).map(|e| e.version)
+    }
+
+    /// Both [`state`](Self::state) and [`version`](Self::version) in
+    /// one tag-match scan — the snoop walk over other cores' caches.
+    #[must_use]
+    pub fn state_version(&self, line: u64) -> Option<(LineState, u64)> {
+        self.find(line).map(|e| (e.state, e.version))
     }
 
     /// Touches `line` for LRU and returns its (state, version), or
     /// `None` on a miss.
     pub fn probe(&mut self, line: u64) -> Option<(LineState, u64)> {
-        let tag = line / self.sets;
-        let range = self.set_range(line);
         self.clock += 1;
         let clock = self.clock;
-        let e = self.entries[range]
-            .iter_mut()
-            .find(|e| e.state.is_present() && e.tag == tag)?;
+        let e = self.find_mut(line)?;
         e.lru = clock;
         Some((e.state, e.version))
     }
@@ -233,12 +274,7 @@ impl PrivateCache {
     /// No-op if the line is absent. Does not touch LRU (snoops must not
     /// pollute recency).
     pub fn update(&mut self, line: u64, state: LineState, version: Option<u64>) {
-        let tag = line / self.sets;
-        let range = self.set_range(line);
-        if let Some(e) = self.entries[range]
-            .iter_mut()
-            .find(|e| e.state.is_present() && e.tag == tag)
-        {
+        if let Some(e) = self.find_mut(line) {
             e.state = state;
             if let Some(v) = version {
                 e.version = v;
@@ -246,15 +282,25 @@ impl PrivateCache {
         }
     }
 
+    /// Maps a resident line's state through `f`, returning the previous
+    /// (state, version); the version is untouched. One scan where
+    /// state-read plus [`update`](Self::update) would take two — the
+    /// demote-and-collect step a snoop read performs on every peer.
+    pub fn transition(
+        &mut self,
+        line: u64,
+        f: impl FnOnce(LineState) -> LineState,
+    ) -> Option<(LineState, u64)> {
+        let e = self.find_mut(line)?;
+        let old = (e.state, e.version);
+        e.state = f(old.0);
+        Some(old)
+    }
+
     /// Drops `line` (snoop invalidation). Returns true if a copy was
     /// present.
     pub fn invalidate(&mut self, line: u64) -> bool {
-        let tag = line / self.sets;
-        let range = self.set_range(line);
-        if let Some(e) = self.entries[range]
-            .iter_mut()
-            .find(|e| e.state.is_present() && e.tag == tag)
-        {
+        if let Some(e) = self.find_mut(line) {
             e.state = LineState::Invalid;
             true
         } else {
@@ -262,29 +308,48 @@ impl PrivateCache {
         }
     }
 
-    /// Fills `line` in `state` with `version`, evicting the set's LRU
-    /// victim if the set is full. Returns the victim when one had to be
-    /// displaced.
-    pub fn fill(&mut self, line: u64, state: LineState, version: u64) -> Option<Eviction> {
-        let tag = line / self.sets;
-        let sets = self.sets;
+    /// Drops `line`, returning the version the victim held — the
+    /// BusRdX walk's supply-then-invalidate in one scan.
+    pub fn invalidate_returning_version(&mut self, line: u64) -> Option<u64> {
+        let e = self.find_mut(line)?;
+        let v = e.version;
+        e.state = LineState::Invalid;
+        Some(v)
+    }
+
+    /// Fills `line` (interned index `idx`) in `state` with `version`,
+    /// evicting the set's LRU victim if the set is full. Returns the
+    /// victim when one had to be displaced.
+    pub fn fill(
+        &mut self,
+        line: u64,
+        idx: u32,
+        state: LineState,
+        version: u64,
+    ) -> Option<Eviction> {
+        let tag = line >> self.tag_shift;
+        let gen = self.gen;
         let range = self.set_range(line);
         self.clock += 1;
         let clock = self.clock;
         // Refill of a resident line (upgrade path).
         if let Some(e) = self.entries[range.clone()]
             .iter_mut()
-            .find(|e| e.state.is_present() && e.tag == tag)
+            .find(|e| e.gen == gen && e.state.is_present() && e.tag == tag)
         {
             e.state = state;
             e.version = version;
             e.lru = clock;
+            e.idx = idx;
             return None;
         }
-        let set = line % sets;
+        let set = line & self.set_mask;
         let slot = {
             let entries = &mut self.entries[range];
-            if let Some(i) = entries.iter().position(|e| !e.state.is_present()) {
+            if let Some(i) = entries
+                .iter()
+                .position(|e| e.gen != gen || !e.state.is_present())
+            {
                 i
             } else {
                 entries
@@ -295,18 +360,21 @@ impl PrivateCache {
                     .expect("non-empty set")
             }
         };
-        let idx = self.set_range(line).start + slot;
-        let victim = self.entries[idx];
-        let evicted = victim.state.is_present().then(|| Eviction {
-            line: victim.tag * sets + set,
+        let at = self.set_range(line).start + slot;
+        let victim = self.entries[at];
+        let evicted = (victim.gen == gen && victim.state.is_present()).then(|| Eviction {
+            line: (victim.tag << self.tag_shift) | set,
+            idx: victim.idx,
             state: victim.state,
             version: victim.version,
         });
-        self.entries[idx] = LineEntry {
+        self.entries[at] = LineEntry {
             tag,
             state,
             version,
             lru: clock,
+            idx,
+            gen,
         };
         evicted
     }
@@ -314,13 +382,14 @@ impl PrivateCache {
     /// Iterates over resident lines as `(line, state, version)` — the
     /// invariant checker's view.
     pub fn resident_lines(&self) -> impl Iterator<Item = (u64, LineState, u64)> + '_ {
-        let sets = self.sets;
+        let shift = self.tag_shift;
+        let gen = self.gen;
         let assoc = self.assoc as usize;
         self.entries
             .iter()
             .enumerate()
-            .filter(|(_, e)| e.state.is_present())
-            .map(move |(i, e)| (e.tag * sets + (i / assoc) as u64, e.state, e.version))
+            .filter(move |(_, e)| e.gen == gen && e.state.is_present())
+            .map(move |(i, e)| ((e.tag << shift) | (i / assoc) as u64, e.state, e.version))
     }
 }
 
@@ -362,7 +431,7 @@ mod tests {
     fn fill_probe_invalidate_round_trip() {
         let mut c = PrivateCache::new(CacheGeometry::default_l1()).unwrap();
         assert_eq!(c.probe(5), None);
-        assert_eq!(c.fill(5, LineState::Exclusive, 1), None);
+        assert_eq!(c.fill(5, 0, LineState::Exclusive, 1), None);
         assert_eq!(c.probe(5), Some((LineState::Exclusive, 1)));
         c.update(5, LineState::Modified, Some(2));
         assert_eq!(c.state(5), LineState::Modified);
@@ -381,14 +450,15 @@ mod tests {
         };
         let mut c = PrivateCache::new(g).unwrap();
         // Lines 0, 2, 4 all map to set 0 (2 sets).
-        assert_eq!(c.fill(0, LineState::Modified, 7), None);
-        assert_eq!(c.fill(2, LineState::Shared, 1), None);
+        assert_eq!(c.fill(0, 10, LineState::Modified, 7), None);
+        assert_eq!(c.fill(2, 11, LineState::Shared, 1), None);
         c.probe(0); // line 0 is now hotter than line 2
-        let ev = c.fill(4, LineState::Exclusive, 3).expect("set is full");
+        let ev = c.fill(4, 12, LineState::Exclusive, 3).expect("set is full");
         assert_eq!(
             ev,
             Eviction {
                 line: 2,
+                idx: 11,
                 state: LineState::Shared,
                 version: 1
             }
@@ -403,15 +473,17 @@ mod tests {
         g.validate().unwrap();
         let mut c = PrivateCache::new(g).unwrap();
         for line in 0..37 {
-            assert_eq!(c.fill(line, LineState::Shared, 0), None, "line {line}");
+            #[allow(clippy::cast_possible_truncation)]
+            let idx = line as u32;
+            assert_eq!(c.fill(line, idx, LineState::Shared, 0), None, "line {line}");
         }
     }
 
     #[test]
     fn resident_lines_reconstructs_line_numbers() {
         let mut c = PrivateCache::new(CacheGeometry::default_l1()).unwrap();
-        c.fill(9, LineState::Shared, 4);
-        c.fill(70, LineState::Modified, 2);
+        c.fill(9, 0, LineState::Shared, 4);
+        c.fill(70, 1, LineState::Modified, 2);
         let mut lines: Vec<_> = c.resident_lines().collect();
         lines.sort_unstable();
         assert_eq!(

@@ -11,6 +11,14 @@
 //! request pending until the progress watchdog converts the hang into
 //! a typed [`CoherenceError::Stalled`].
 //!
+//! Directory entries live in a flat `Vec<DirEntry>` indexed by the
+//! trace's interned line index, with sharers as a `u128` bitmask (the
+//! engine caps at 128 cores); the fault-free routed-latency table is
+//! built once per [`CoherenceSystem`](crate::CoherenceSystem) and
+//! shared across runs and batch lanes, so a fault-free run pays zero
+//! path computations — only fault epochs rebuild the table, in place,
+//! into the scratch's cached epoch buffer.
+//!
 //! The engine is MESI-only: Dragon's word-update broadcasts have no
 //! point-to-point analogue worth modelling here.
 
@@ -24,7 +32,7 @@ use crate::cache::LineState;
 use crate::engine::{CoherenceConfig, CoherenceScratch, PendingOp, Protocol, RunOutcome};
 use crate::error::CoherenceError;
 use crate::metrics::{CoherenceMetrics, CommitEntry};
-use crate::snoop::verify_invariants;
+use crate::snoop::{verify_all_line_invariants, verify_line_invariant};
 use crate::timing::DirectoryTiming;
 use crate::trace::AccessTrace;
 
@@ -87,7 +95,6 @@ impl DirectoryEngine {
     /// than the mesh has nodes (each core is attached to one node);
     /// [`CoherenceError::Stalled`] when faults sever every route a
     /// transaction needs or the watchdog budget runs out.
-    #[allow(clippy::too_many_lines)]
     pub fn run_with_scratch(
         &self,
         trace: &AccessTrace,
@@ -97,24 +104,79 @@ impl DirectoryEngine {
         schedule: Option<&FaultSchedule>,
         scratch: &mut CoherenceScratch,
     ) -> Result<RunOutcome, CoherenceError> {
+        self.run_with_scratch_base(trace, network, clock_ghz, mem, schedule, scratch, None)
+    }
+
+    /// Like [`run_with_scratch`](Self::run_with_scratch), but with an
+    /// optional pre-built fault-free latency table (the
+    /// [`CoherenceSystem`](crate::CoherenceSystem) amortization):
+    /// fault-free runs use `base` directly; a fault schedule rebuilds
+    /// the scratch's cached epoch table in place instead.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn run_with_scratch_base(
+        &self,
+        trace: &AccessTrace,
+        network: &RouterNetwork,
+        clock_ghz: f64,
+        mem: &MemoryDesign,
+        schedule: Option<&FaultSchedule>,
+        scratch: &mut CoherenceScratch,
+        base: Option<&DirectoryTiming>,
+    ) -> Result<RunOutcome, CoherenceError> {
+        // Detach the cached epoch buffer so `base` and the loop's
+        // `&mut scratch` borrows never alias it; restored afterwards so
+        // the table's allocation survives across runs.
+        let mut epoch = scratch.epoch_timing.take();
+        let result = self.run_inner(
+            trace, network, clock_ghz, mem, schedule, scratch, base, &mut epoch,
+        );
+        scratch.epoch_timing = epoch;
+        result
+    }
+
+    #[allow(clippy::too_many_arguments, clippy::too_many_lines)]
+    fn run_inner(
+        &self,
+        trace: &AccessTrace,
+        network: &RouterNetwork,
+        clock_ghz: f64,
+        mem: &MemoryDesign,
+        schedule: Option<&FaultSchedule>,
+        scratch: &mut CoherenceScratch,
+        base: Option<&DirectoryTiming>,
+        epoch: &mut Option<DirectoryTiming>,
+    ) -> Result<RunOutcome, CoherenceError> {
         let cores = trace.cores();
-        let mut timing = timing_at(network, mem, clock_ghz, schedule, 0)?;
-        let nodes = timing.nodes();
-        if cores > nodes || cores > 64 {
+        // A fault schedule prices through the rebuilt-in-place epoch
+        // table; a fault-free run with a system-provided base table
+        // never computes a path at all.
+        let use_epoch = schedule.is_some() || base.is_none();
+        if use_epoch {
+            rebuild_timing_at(epoch, network, mem, clock_ghz, schedule, 0)?;
+        }
+        let nodes = if use_epoch {
+            epoch.as_ref().expect("epoch timing built").nodes()
+        } else {
+            base.expect("base timing provided").nodes()
+        };
+        if cores > nodes || cores > 128 {
             return Err(CoherenceError::InvalidConfig {
                 reason: format!(
-                    "directory engine supports up to min(nodes, 64) cores, got {cores} over {nodes} nodes"
+                    "directory engine supports up to min(nodes, 128) cores, got {cores} over {nodes} nodes"
                 ),
             });
         }
-        scratch.ensure(cores, self.config.geometry)?;
+        scratch.ensure(cores, self.config.geometry, trace.num_lines())?;
         scratch.home_busy.resize(nodes, 0);
 
         let total = trace.total_accesses();
         let watchdog_limit = total
             .saturating_mul(self.config.watchdog_cycles_per_access)
             .saturating_add(100_000);
-        let change_points: Vec<u64> = schedule.map_or_else(Vec::new, FaultSchedule::change_points);
+        match schedule {
+            Some(s) => s.change_points_into(&mut scratch.change_points),
+            None => scratch.change_points.clear(),
+        }
         let mut change_idx = 0;
 
         let mut metrics = CoherenceMetrics::default();
@@ -134,10 +196,17 @@ impl DirectoryEngine {
                     pending: total - completed,
                 });
             }
-            while change_idx < change_points.len() && cycle >= change_points[change_idx] {
-                timing = timing_at(network, mem, clock_ghz, schedule, cycle)?;
+            while change_idx < scratch.change_points.len()
+                && cycle >= scratch.change_points[change_idx]
+            {
+                rebuild_timing_at(epoch, network, mem, clock_ghz, schedule, cycle)?;
                 change_idx += 1;
             }
+            let timing: &DirectoryTiming = if use_epoch {
+                epoch.as_ref().expect("epoch timing built")
+            } else {
+                base.expect("base timing provided")
+            };
 
             // 1. Deliver due completions.
             while let Some(&Reverse((when, _, core))) = scratch.completions.peek() {
@@ -148,9 +217,7 @@ impl DirectoryEngine {
                 let op = scratch.pending[core]
                     .take()
                     .expect("completion without MSHR");
-                if let Some(i) = scratch.inflight.iter().position(|&l| l == op.line) {
-                    scratch.inflight.swap_remove(i);
-                }
+                scratch.inflight[op.idx as usize] = false;
                 let latency = when - op.issued_at;
                 metrics.accesses += 1;
                 if op.write {
@@ -177,13 +244,15 @@ impl DirectoryEngine {
                 if scratch.pending[core].is_some() || scratch.ready_at[core] > cycle {
                     continue;
                 }
-                let Some(&a) = trace.stream(core).get(scratch.next_idx[core]) else {
+                let at = scratch.next_idx[core];
+                let Some(&a) = trace.stream(core).get(at) else {
                     continue;
                 };
-                let line = trace.line_of(a.addr);
-                let state = scratch.caches[core]
-                    .probe(line)
-                    .map_or(LineState::Invalid, |(s, _)| s);
+                let idx = trace.line_indices(core)[at];
+                // The interned table already holds `line_of(a.addr)`.
+                let line = trace.lines()[idx as usize];
+                let probed = scratch.caches[core].probe(line);
+                let state = probed.map_or(LineState::Invalid, |(s, _)| s);
                 let hit = match (a.write, state) {
                     (false, s) if s.is_present() => true,
                     (true, LineState::Modified | LineState::Exclusive) => true,
@@ -191,20 +260,16 @@ impl DirectoryEngine {
                 };
                 if hit {
                     let version = if a.write {
-                        let v = scratch.latest.entry(line).or_insert(0);
-                        *v += 1;
-                        let v = *v;
+                        scratch.latest[idx as usize] += 1;
+                        let v = scratch.latest[idx as usize];
                         // Silent E→M: the directory already tracks this
                         // core as the exclusive holder.
                         scratch.caches[core].update(line, LineState::Modified, Some(v));
                         v
                     } else {
-                        let v = scratch.caches[core]
-                            .version(line)
-                            .expect("hit line is resident");
+                        let v = probed.expect("hit line is resident").1;
                         debug_assert_eq!(
-                            v,
-                            scratch.latest.get(&line).copied().unwrap_or(0),
+                            v, scratch.latest[idx as usize],
                             "read hit observed a stale version on line {line}"
                         );
                         v
@@ -238,6 +303,8 @@ impl DirectoryEngine {
                 } else {
                     scratch.pending[core] = Some(PendingOp {
                         line,
+                        idx,
+                        way: 0,
                         write: a.write,
                         issued_at: cycle,
                     });
@@ -252,13 +319,13 @@ impl DirectoryEngine {
                     continue;
                 }
                 let op = scratch.pending[core].expect("raised request has an MSHR");
-                if scratch.inflight.contains(&op.line) {
+                if scratch.inflight[op.idx as usize] {
                     continue;
                 }
                 // Resolve every leg first; an unreachable pair leaves
                 // the request raised (a later fault epoch may heal it,
                 // otherwise the watchdog reports the stall).
-                let Some(plan) = self.plan(core, op, &timing, scratch) else {
+                let Some(plan) = self.plan(core, op, timing, scratch) else {
                     continue;
                 };
                 scratch.requests[core] = false;
@@ -269,9 +336,14 @@ impl DirectoryEngine {
                 scratch.home_busy[plan.home] = start + timing.dir_occupancy_cycles;
                 metrics.fabric_busy_cycles += timing.dir_occupancy_cycles;
                 let after_dir = start + timing.dir_occupancy_cycles;
-                let (chain, version) = self.apply(core, op, &plan, &timing, scratch, &mut metrics);
+                let (chain, version) = self.apply(core, op, &plan, timing, scratch, &mut metrics);
                 debug_assert!(
-                    verify_invariants(Protocol::Mesi, &scratch.caches, &scratch.latest),
+                    verify_line_invariant(
+                        Protocol::Mesi,
+                        &scratch.caches,
+                        op.line,
+                        scratch.latest[op.idx as usize]
+                    ),
                     "MESI invariant broken after the home processed line {}",
                     op.line
                 );
@@ -283,7 +355,7 @@ impl DirectoryEngine {
                         version,
                     });
                 }
-                scratch.inflight.push(op.line);
+                scratch.inflight[op.idx as usize] = true;
                 seq += 1;
                 scratch
                     .completions
@@ -309,8 +381,8 @@ impl DirectoryEngine {
             }
             // An unreachable pending request can only be healed by a
             // later fault epoch.
-            if scratch.requests.iter().any(|&r| r) && change_idx < change_points.len() {
-                next = next.min(change_points[change_idx]);
+            if scratch.requests.iter().any(|&r| r) && change_idx < scratch.change_points.len() {
+                next = next.min(scratch.change_points[change_idx]);
             }
             if next == u64::MAX {
                 return Err(CoherenceError::Stalled {
@@ -322,9 +394,10 @@ impl DirectoryEngine {
             cycle = next.max(cycle + 1);
         }
 
-        debug_assert!(verify_invariants(
+        debug_assert!(verify_all_line_invariants(
             Protocol::Mesi,
             &scratch.caches,
+            trace.lines(),
             &scratch.latest
         ));
         Ok(RunOutcome {
@@ -345,7 +418,7 @@ impl DirectoryEngine {
         let home = timing.home_of(op.line);
         let req_lat = timing.one_way(core, home)?;
         let reply_lat = timing.one_way(home, core)?;
-        let entry = scratch.dir.get(&op.line).copied().unwrap_or_default();
+        let entry = scratch.dir[op.idx as usize];
         let owner = match entry.owner {
             Some(o) if o != core => {
                 let fwd = timing.one_way(home, o)?;
@@ -357,13 +430,16 @@ impl DirectoryEngine {
         let mut inval_chain = 0u64;
         let mut sharer_count = 0u64;
         if op.write {
-            for s in 0..scratch.caches.len() {
-                if s != core && entry.sharers & (1 << s) != 0 {
-                    // Invalidate + ack round trip; fan-out is parallel,
-                    // the slowest sharer gates the chain.
-                    inval_chain = inval_chain.max(2 * timing.one_way(home, s)?);
-                    sharer_count += 1;
-                }
+            // Walk only the set bits (ascending, same order as the old
+            // 0..cores scan).
+            let mut mask = entry.sharers & !(1u128 << core);
+            while mask != 0 {
+                let s = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                // Invalidate + ack round trip; fan-out is parallel,
+                // the slowest sharer gates the chain.
+                inval_chain = inval_chain.max(2 * timing.one_way(home, s)?);
+                sharer_count += 1;
             }
         }
         Some(TxPlan {
@@ -389,17 +465,17 @@ impl DirectoryEngine {
         metrics: &mut CoherenceMetrics,
     ) -> (u64, u64) {
         let line = op.line;
+        let li = op.idx as usize;
         let here = scratch.caches[core].state(line);
         metrics.network_messages += 1; // the request itself
         if op.write {
             if here == LineState::Shared {
                 // Upgrade: invalidate the other sharers, home acks.
-                self.invalidate_sharers(core, line, scratch, metrics, plan.sharer_count);
-                let v = scratch.latest.entry(line).or_insert(0);
-                *v += 1;
-                let v = *v;
+                self.invalidate_sharers(core, op, scratch, metrics, plan.sharer_count);
+                scratch.latest[li] += 1;
+                let v = scratch.latest[li];
                 scratch.caches[core].update(line, LineState::Modified, Some(v));
-                let e = scratch.dir.entry(line).or_default();
+                let e = &mut scratch.dir[li];
                 e.owner = Some(core);
                 e.sharers = 0;
                 metrics.network_messages += 1; // the ack
@@ -408,11 +484,12 @@ impl DirectoryEngine {
             }
             // RdX: fetch-and-own; owner forwards, sharers invalidate.
             let mut chain = plan.inval_chain;
-            self.invalidate_sharers(core, line, scratch, metrics, plan.sharer_count);
+            self.invalidate_sharers(core, op, scratch, metrics, plan.sharer_count);
             if let Some((owner, fwd, data)) = plan.owner {
-                let ov = scratch.caches[owner].version(line).expect("owner resident");
-                debug_assert_eq!(ov, scratch.latest.get(&line).copied().unwrap_or(0));
-                scratch.caches[owner].invalidate(line);
+                let ov = scratch.caches[owner]
+                    .invalidate_returning_version(line)
+                    .expect("owner resident");
+                debug_assert_eq!(ov, scratch.latest[li]);
                 metrics.invalidations += 1;
                 metrics.network_messages += 3; // fwd + data + home ack
                 metrics.c2c_transfers += 1;
@@ -424,11 +501,10 @@ impl DirectoryEngine {
                 metrics.fills += 1;
                 chain = chain.max(timing.fill_cycles + plan.reply_lat + timing.line_beats);
             }
-            let v = scratch.latest.entry(line).or_insert(0);
-            *v += 1;
-            let v = *v;
-            self.fill(core, line, LineState::Modified, v, scratch, metrics);
-            let e = scratch.dir.entry(line).or_default();
+            scratch.latest[li] += 1;
+            let v = scratch.latest[li];
+            self.fill(core, line, op.idx, LineState::Modified, v, scratch, metrics);
+            let e = &mut scratch.dir[li];
             e.owner = Some(core);
             e.sharers = 0;
             (chain, v)
@@ -436,22 +512,22 @@ impl DirectoryEngine {
             // BusRd analogue: owner forwards and demotes, else the home
             // slice supplies.
             if let Some((owner, fwd, data)) = plan.owner {
-                let v = scratch.caches[owner].version(line).expect("owner resident");
-                debug_assert_eq!(v, scratch.latest.get(&line).copied().unwrap_or(0));
-                scratch.memory.insert(line, v);
-                scratch.caches[owner].update(line, LineState::Shared, None);
+                let (_, v) = scratch.caches[owner]
+                    .transition(line, |_| LineState::Shared)
+                    .expect("owner resident");
+                debug_assert_eq!(v, scratch.latest[li]);
+                scratch.memory[li] = v;
                 metrics.network_messages += 2; // fwd + data
                 metrics.c2c_transfers += 1;
-                self.fill(core, line, LineState::Shared, v, scratch, metrics);
-                let e = scratch.dir.entry(line).or_default();
+                self.fill(core, line, op.idx, LineState::Shared, v, scratch, metrics);
+                let e = &mut scratch.dir[li];
                 e.owner = None;
-                e.sharers |= (1 << owner) | (1 << core);
+                e.sharers |= (1u128 << owner) | (1u128 << core);
                 (fwd + data + timing.line_beats, v)
             } else {
-                let entry = scratch.dir.entry(line).or_default();
-                let shared = entry.sharers != 0;
-                let v = scratch.memory.get(&line).copied().unwrap_or(0);
-                debug_assert_eq!(v, scratch.latest.get(&line).copied().unwrap_or(0));
+                let shared = scratch.dir[li].sharers != 0;
+                let v = scratch.memory[li];
+                debug_assert_eq!(v, scratch.latest[li]);
                 metrics.network_messages += 1; // data from the home slice
                 metrics.fills += 1;
                 let state = if shared {
@@ -460,14 +536,14 @@ impl DirectoryEngine {
                     LineState::Exclusive
                 };
                 {
-                    let e = scratch.dir.entry(line).or_default();
+                    let e = &mut scratch.dir[li];
                     if shared {
-                        e.sharers |= 1 << core;
+                        e.sharers |= 1u128 << core;
                     } else {
                         e.owner = Some(core);
                     }
                 }
-                self.fill(core, line, state, v, scratch, metrics);
+                self.fill(core, line, op.idx, state, v, scratch, metrics);
                 (timing.fill_cycles + plan.reply_lat + timing.line_beats, v)
             }
         }
@@ -478,20 +554,19 @@ impl DirectoryEngine {
     fn invalidate_sharers(
         &self,
         core: usize,
-        line: u64,
+        op: PendingOp,
         scratch: &mut CoherenceScratch,
         metrics: &mut CoherenceMetrics,
         sharer_count: u64,
     ) {
-        let mask = scratch.dir.get(&line).map_or(0, |e| e.sharers);
-        for s in 0..scratch.caches.len() {
-            if s != core && mask & (1 << s) != 0 {
-                scratch.caches[s].invalidate(line);
-            }
+        let li = op.idx as usize;
+        let mut mask = scratch.dir[li].sharers & !(1u128 << core);
+        while mask != 0 {
+            let s = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            scratch.caches[s].invalidate(op.line);
         }
-        if let Some(e) = scratch.dir.get_mut(&line) {
-            e.sharers &= 1 << core;
-        }
+        scratch.dir[li].sharers &= 1u128 << core;
         metrics.invalidations += sharer_count;
         metrics.network_messages += 2 * sharer_count; // inv + ack each
     }
@@ -499,46 +574,52 @@ impl DirectoryEngine {
     /// Fills `line` into `core`'s cache, notifying the victim's home on
     /// eviction (writeback when dirty) so a later read refetches the
     /// right version.
+    #[allow(clippy::too_many_arguments)]
     fn fill(
         &self,
         core: usize,
         line: u64,
+        idx: u32,
         state: LineState,
         version: u64,
         scratch: &mut CoherenceScratch,
         metrics: &mut CoherenceMetrics,
     ) {
-        let Some(victim) = scratch.caches[core].fill(line, state, version) else {
+        let Some(victim) = scratch.caches[core].fill(line, idx, state, version) else {
             return;
         };
         metrics.evictions += 1;
         metrics.network_messages += 1; // eviction notice / writeback
         if victim.state.is_dirty() {
             metrics.writebacks += 1;
-            scratch.memory.insert(victim.line, victim.version);
+            scratch.memory[victim.idx as usize] = victim.version;
         }
-        if let Some(e) = scratch.dir.get_mut(&victim.line) {
-            if e.owner == Some(core) {
-                e.owner = None;
-            }
-            e.sharers &= !(1 << core);
+        let e = &mut scratch.dir[victim.idx as usize];
+        if e.owner == Some(core) {
+            e.owner = None;
         }
+        e.sharers &= !(1u128 << core);
     }
 }
 
-/// Routed message prices under the faults active at `cycle`.
-fn timing_at(
+/// Builds (or rebuilds in place) the routed message prices under the
+/// faults active at `cycle` into the cached epoch buffer.
+fn rebuild_timing_at(
+    epoch: &mut Option<DirectoryTiming>,
     network: &RouterNetwork,
     mem: &MemoryDesign,
     clock_ghz: f64,
     schedule: Option<&FaultSchedule>,
     cycle: u64,
-) -> Result<DirectoryTiming, CoherenceError> {
-    match schedule {
-        Some(s) => {
-            let dead = s.dead_resources_at(cycle);
-            DirectoryTiming::from_network_avoiding(network, mem, clock_ghz, &dead)
+) -> Result<(), CoherenceError> {
+    let dead = schedule.map_or_else(Vec::new, |s| s.dead_resources_at(cycle));
+    match epoch {
+        Some(t) => t.rebuild_avoiding(network, mem, clock_ghz, &dead),
+        None => {
+            *epoch = Some(DirectoryTiming::from_network_avoiding(
+                network, mem, clock_ghz, &dead,
+            )?);
+            Ok(())
         }
-        None => DirectoryTiming::from_network(network, mem, clock_ghz),
     }
 }

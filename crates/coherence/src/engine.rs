@@ -8,20 +8,30 @@
 //! The types here hold that shared state; [`CoherenceScratch`] owns
 //! every reusable allocation so a sweep re-runs hundreds of configs
 //! without steady-state allocation (the PR-3/PR-4 discipline).
+//!
+//! Per-line state lives in **flat arenas** indexed by the trace's
+//! interned line index ([`AccessTrace::line_indices`]): `latest`,
+//! `memory`, the directory entries, and the MSHR line-blocking mask are
+//! dense `Vec`s sized [`AccessTrace::num_lines`], so the hot loops
+//! never hash. Directory sharer sets are `u128` bitmasks (≤ 128
+//! cores). The retained hash-map engines live in [`crate::baseline`]
+//! (behind `reference-sim`) for the bench's engine-speedup measurement
+//! and the bit-identity proptests.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 
 use cryowire_faults::FaultSchedule;
 use cryowire_memory::llc_path::CoherenceStyle;
 use cryowire_memory::MemoryDesign;
-use cryowire_noc::{CryoBus, RouterNetwork, SharedBus};
+use cryowire_noc::{CryoBus, MatrixArbiter, RouterNetwork, SharedBus};
 
 use crate::cache::{CacheGeometry, PrivateCache};
 use crate::directory::DirectoryEngine;
 use crate::error::CoherenceError;
 use crate::metrics::CommitEntry;
 use crate::snoop::{SnoopEngine, SnoopFabric};
+use crate::timing::DirectoryTiming;
 use crate::trace::AccessTrace;
 
 /// Which per-line state machine the engine runs.
@@ -86,41 +96,80 @@ pub struct RunOutcome {
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct PendingOp {
     pub(crate) line: u64,
+    /// Interned line index — the dense arena key for `line`.
+    pub(crate) idx: u32,
+    /// Interleaving way serving `line` (`line % ways`), computed once at
+    /// issue so the per-cycle grant and next-event scans compare instead
+    /// of dividing. Unused (0) in the directory engine.
+    pub(crate) way: u32,
     pub(crate) write: bool,
     pub(crate) issued_at: u64,
 }
 
 /// A directory entry: the exclusive holder (E or M — E can upgrade
 /// silently, so the home must treat it as a potential owner) and the
-/// S-state sharer bitmask.
+/// S-state sharer bitmask (`u128`, so the mesh engine scales to 128
+/// cores).
 #[derive(Debug, Clone, Copy, Default)]
 pub(crate) struct DirEntry {
     pub(crate) owner: Option<usize>,
-    pub(crate) sharers: u64,
+    pub(crate) sharers: u128,
 }
 
-/// Reusable run state: caches, queues, version maps. Reusing one
-/// scratch across sweep points keeps the steady-state loop free of
-/// per-run allocation churn.
+/// Reusable run state: caches, queues, per-line arenas, and every
+/// formerly per-run buffer (arbiters, way/request scratch, fault change
+/// points, the fault-epoch directory table). Reusing one scratch across
+/// sweep points keeps the steady-state loop free of heap allocation —
+/// the counting-allocator test in `tests/zero_alloc.rs` proves it.
 #[derive(Debug, Default)]
 pub struct CoherenceScratch {
     pub(crate) caches: Vec<PrivateCache>,
     pub(crate) geometry: Option<CacheGeometry>,
-    /// Latest committed version per line (the write serial).
-    pub(crate) latest: HashMap<u64, u64>,
-    /// Backing-store version per line (updated by flush/writeback).
-    pub(crate) memory: HashMap<u64, u64>,
+    /// Parked cache sets from geometries this scratch ran earlier, so a
+    /// lane batch cycling N geometries allocates each set once and then
+    /// swaps (generation-reset, O(1)) instead of rebuilding ~MBs of
+    /// entry arrays per lane.
+    cache_pool: Vec<(CacheGeometry, Vec<PrivateCache>)>,
+    /// Latest committed version per interned line (the write serial).
+    pub(crate) latest: Vec<u64>,
+    /// Backing-store version per interned line (updated by
+    /// flush/writeback).
+    pub(crate) memory: Vec<u64>,
     pub(crate) requests: Vec<bool>,
     pub(crate) pending: Vec<Option<PendingOp>>,
     pub(crate) ready_at: Vec<u64>,
     pub(crate) next_idx: Vec<usize>,
-    pub(crate) inflight: Vec<u64>,
+    /// MSHR line-blocking mask per interned line.
+    pub(crate) inflight: Vec<bool>,
+    /// Residency mask per interned line (snoop engine): bit `c` set
+    /// while core `c`'s cache holds the line. Lets a granted
+    /// transaction walk the actual holders instead of probing every
+    /// peer cache; maintained at fill, eviction, and invalidation.
+    pub(crate) holders: Vec<u128>,
     pub(crate) completions: BinaryHeap<Reverse<(u64, u64, usize)>>,
     pub(crate) commits: Vec<CommitEntry>,
-    /// Directory state per line (directory engine only).
-    pub(crate) dir: HashMap<u64, DirEntry>,
+    /// Directory state per interned line (directory engine only).
+    pub(crate) dir: Vec<DirEntry>,
     /// Cycle each home directory is busy until (directory engine only).
     pub(crate) home_busy: Vec<u64>,
+    /// One matrix arbiter per interleaving way (snoop engine), reset —
+    /// not reallocated — between runs of the same shape.
+    pub(crate) arbiters: Vec<MatrixArbiter>,
+    pub(crate) arbiter_cores: usize,
+    /// Cycle each way's data wires are held until (snoop engine).
+    pub(crate) way_busy: Vec<u64>,
+    /// Per-core request vector handed to the arbiter.
+    pub(crate) req_buf: Vec<bool>,
+    /// Per-way arbitration mask (snoop engine): bit `c` set iff core
+    /// `c` has a raised request on that way whose line is not masked by
+    /// an in-flight transaction. Maintained incrementally at issue,
+    /// grant, and completion so the hot loop tests one word per way
+    /// instead of scanning every core's MSHR.
+    pub(crate) arb_mask: Vec<u128>,
+    /// Fault-schedule change points, refilled in place per run.
+    pub(crate) change_points: Vec<u64>,
+    /// Fault-epoch directory table, rebuilt in place at change points.
+    pub(crate) epoch_timing: Option<DirectoryTiming>,
 }
 
 impl CoherenceScratch {
@@ -130,26 +179,54 @@ impl CoherenceScratch {
         CoherenceScratch::default()
     }
 
-    /// Prepares the scratch for `cores` caches of `geometry`,
-    /// reallocating only when the shape changed.
+    /// Prepares the scratch for `cores` caches of `geometry` over
+    /// `num_lines` interned lines, reallocating only when a shape grew.
     pub(crate) fn ensure(
         &mut self,
         cores: usize,
         geometry: CacheGeometry,
+        num_lines: usize,
     ) -> Result<(), CoherenceError> {
-        if self.caches.len() != cores || self.geometry != Some(geometry) {
-            self.caches.clear();
-            for _ in 0..cores {
-                self.caches.push(PrivateCache::new(geometry)?);
-            }
-            self.geometry = Some(geometry);
-        } else {
+        if self.caches.len() == cores && self.geometry == Some(geometry) {
             for c in &mut self.caches {
                 c.reset();
             }
+        } else {
+            // Park the outgoing set and revive a pooled one when this
+            // geometry ran before (the lane-batch fast path).
+            if let Some(old_geometry) = self.geometry.take() {
+                let old = std::mem::take(&mut self.caches);
+                if !old.is_empty() {
+                    self.cache_pool.push((old_geometry, old));
+                }
+            }
+            let pooled = self
+                .cache_pool
+                .iter()
+                .position(|(g, set)| *g == geometry && set.len() == cores);
+            if let Some(i) = pooled {
+                self.caches = self.cache_pool.swap_remove(i).1;
+                for c in &mut self.caches {
+                    c.reset();
+                }
+            } else {
+                self.caches.clear();
+                for _ in 0..cores {
+                    self.caches.push(PrivateCache::new(geometry)?);
+                }
+            }
+            self.geometry = Some(geometry);
         }
         self.latest.clear();
+        self.latest.resize(num_lines, 0);
         self.memory.clear();
+        self.memory.resize(num_lines, 0);
+        self.inflight.clear();
+        self.inflight.resize(num_lines, false);
+        self.holders.clear();
+        self.holders.resize(num_lines, 0);
+        self.dir.clear();
+        self.dir.resize(num_lines, DirEntry::default());
         self.requests.clear();
         self.requests.resize(cores, false);
         self.pending.clear();
@@ -158,12 +235,31 @@ impl CoherenceScratch {
         self.ready_at.resize(cores, 0);
         self.next_idx.clear();
         self.next_idx.resize(cores, 0);
-        self.inflight.clear();
         self.completions.clear();
         self.commits.clear();
-        self.dir.clear();
         self.home_busy.clear();
         Ok(())
+    }
+
+    /// Prepares the snoop engine's arbitration scratch: one matrix
+    /// arbiter per way, reset in place when the shape is unchanged.
+    pub(crate) fn ensure_arbiters(&mut self, ways: usize, cores: usize) {
+        if self.arbiters.len() != ways || self.arbiter_cores != cores {
+            self.arbiters.clear();
+            self.arbiters
+                .extend((0..ways).map(|_| MatrixArbiter::new(cores)));
+            self.arbiter_cores = cores;
+        } else {
+            for a in &mut self.arbiters {
+                a.reset();
+            }
+        }
+        self.way_busy.clear();
+        self.way_busy.resize(ways, 0);
+        self.req_buf.clear();
+        self.req_buf.resize(cores, false);
+        self.arb_mask.clear();
+        self.arb_mask.resize(ways, 0);
     }
 }
 
@@ -185,11 +281,18 @@ pub enum SystemFabric {
 
 /// One coherent multi-core configuration: protocol + fabric + memory.
 /// The facade the sweeps and the integration tests drive.
+///
+/// A directory system computes its fault-free [`DirectoryTiming`] table
+/// once at construction, so every fault-free run (and every lane of a
+/// [`CoherenceSystem::run_batch_with`] batch) shares one amortized
+/// routed-path table instead of recomputing `nodes²` paths per run.
 #[derive(Debug)]
 pub struct CoherenceSystem {
     config: CoherenceConfig,
     fabric: SystemFabric,
     mem: MemoryDesign,
+    /// Fault-free routed-path table (mesh fabrics only).
+    dir_timing: Option<DirectoryTiming>,
 }
 
 impl CoherenceSystem {
@@ -215,6 +318,7 @@ impl CoherenceSystem {
             config,
             fabric,
             mem,
+            dir_timing: None,
         })
     }
 
@@ -224,7 +328,8 @@ impl CoherenceSystem {
     ///
     /// [`CoherenceError::InvalidConfig`] for a Dragon protocol (the
     /// directory engine is MESI-only — update broadcasts do not map to
-    /// point-to-point forwarding) or an invalid geometry.
+    /// point-to-point forwarding), an invalid geometry, or an empty
+    /// network.
     pub fn directory(
         network: RouterNetwork,
         clock_ghz: f64,
@@ -237,10 +342,12 @@ impl CoherenceSystem {
             });
         }
         config.geometry.validate()?;
+        let dir_timing = Some(DirectoryTiming::from_network(&network, &mem, clock_ghz)?);
         Ok(CoherenceSystem {
             config,
             fabric: SystemFabric::Mesh { network, clock_ghz },
             mem,
+            dir_timing,
         })
     }
 
@@ -296,23 +403,109 @@ impl CoherenceSystem {
         schedule: Option<&FaultSchedule>,
         scratch: &mut CoherenceScratch,
     ) -> Result<RunOutcome, CoherenceError> {
+        self.run_lane(&self.config, trace, schedule, scratch)
+    }
+
+    /// Runs `trace` once per lane config in lockstep over this system's
+    /// fabric, reusing one scratch: the interned trace, the cached
+    /// routed-path table, and every arena buffer are shared across
+    /// lanes, so N grid points that differ only in engine config pay
+    /// the trace decode and directory pricing once. Outcomes come back
+    /// in lane order and are bit-identical to running each lane alone.
+    ///
+    /// Faulted batches (a `schedule` is present) take the sequential
+    /// per-lane path — each lane re-derives its fault epochs exactly as
+    /// a scalar run would (the PR-7 NoC batching contract).
+    #[must_use]
+    pub fn run_batch_with(
+        &self,
+        trace: &AccessTrace,
+        lanes: &[CoherenceConfig],
+        schedule: Option<&FaultSchedule>,
+        scratch: &mut CoherenceScratch,
+    ) -> Vec<Result<RunOutcome, CoherenceError>> {
+        lanes
+            .iter()
+            .map(|cfg| self.run_lane(cfg, trace, schedule, scratch))
+            .collect()
+    }
+
+    /// One lane: this system's fabric under `config`.
+    fn run_lane(
+        &self,
+        config: &CoherenceConfig,
+        trace: &AccessTrace,
+        schedule: Option<&FaultSchedule>,
+        scratch: &mut CoherenceScratch,
+    ) -> Result<RunOutcome, CoherenceError> {
         match &self.fabric {
-            SystemFabric::CryoBus(bus) => SnoopEngine::new(self.config)?.run_with_scratch(
+            SystemFabric::CryoBus(bus) => SnoopEngine::new(*config)?.run_with_scratch(
                 trace,
                 SnoopFabric::CryoBus(bus),
                 &self.mem,
                 schedule,
                 scratch,
             ),
-            SystemFabric::SharedBus(bus) => SnoopEngine::new(self.config)?.run_with_scratch(
+            SystemFabric::SharedBus(bus) => SnoopEngine::new(*config)?.run_with_scratch(
                 trace,
                 SnoopFabric::SharedBus(bus),
                 &self.mem,
                 schedule,
                 scratch,
             ),
-            SystemFabric::Mesh { network, clock_ghz } => DirectoryEngine::new(self.config)?
-                .run_with_scratch(trace, network, *clock_ghz, &self.mem, schedule, scratch),
+            SystemFabric::Mesh { network, clock_ghz } => DirectoryEngine::new(*config)?
+                .run_with_scratch_base(
+                    trace,
+                    network,
+                    *clock_ghz,
+                    &self.mem,
+                    schedule,
+                    scratch,
+                    self.dir_timing.as_ref(),
+                ),
+        }
+    }
+
+    /// Runs `trace` through the retained hash-map reference engine —
+    /// the pre-arena implementation kept verbatim for the bench's
+    /// engine-speedup denominator and the bit-identity proptests.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the optimized engine's errors.
+    #[cfg(any(test, feature = "reference-sim"))]
+    pub fn run_baseline(
+        &self,
+        trace: &AccessTrace,
+        schedule: Option<&FaultSchedule>,
+        scratch: &mut crate::baseline::BaselineScratch,
+    ) -> Result<RunOutcome, CoherenceError> {
+        match &self.fabric {
+            SystemFabric::CryoBus(bus) => crate::baseline::run_snooping(
+                self.config,
+                trace,
+                SnoopFabric::CryoBus(bus),
+                &self.mem,
+                schedule,
+                scratch,
+            ),
+            SystemFabric::SharedBus(bus) => crate::baseline::run_snooping(
+                self.config,
+                trace,
+                SnoopFabric::SharedBus(bus),
+                &self.mem,
+                schedule,
+                scratch,
+            ),
+            SystemFabric::Mesh { network, clock_ghz } => crate::baseline::run_directory(
+                self.config,
+                trace,
+                network,
+                *clock_ghz,
+                &self.mem,
+                schedule,
+                scratch,
+            ),
         }
     }
 }

@@ -42,6 +42,11 @@ pub mod snoop;
 pub mod timing;
 pub mod trace;
 
+#[cfg(any(test, feature = "reference-sim"))]
+pub mod baseline;
+
+#[cfg(any(test, feature = "reference-sim"))]
+pub use baseline::{verify_invariants, BaselineScratch};
 pub use cache::{CacheGeometry, LineState, PrivateCache};
 pub use directory::DirectoryEngine;
 pub use engine::{
@@ -49,6 +54,6 @@ pub use engine::{
 };
 pub use error::CoherenceError;
 pub use metrics::{CoherenceMetrics, CommitEntry};
-pub use snoop::{verify_invariants, SnoopEngine, SnoopFabric};
+pub use snoop::{verify_all_line_invariants, verify_line_invariant, SnoopEngine, SnoopFabric};
 pub use timing::{BusTiming, DirectoryTiming, LINE_BEATS};
 pub use trace::{AccessTrace, CoreAccess, SharingPattern, TraceGenConfig};

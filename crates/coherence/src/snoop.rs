@@ -5,23 +5,31 @@
 //! Each core executes its access stream in order. A hit costs one cycle;
 //! a miss or ownership upgrade allocates the core's single MSHR, raises
 //! a request line, and halts the core until the transaction's data
-//! arrives. A [`MatrixArbiter`] per interleaving way grants one request
-//! per free way per cycle (least-recently-granted, the CryoBus Fig. 19
-//! mechanism); snoop state transitions are applied at **grant** time —
-//! the bus serialization point — and the data completion is delivered
-//! through a delayed event queue priced by [`BusTiming`]. Lines with an
-//! in-flight transaction are masked from arbitration (MSHR-style line
-//! blocking), so two transactions never race on one line.
+//! arrives. A [`MatrixArbiter`](cryowire_noc::MatrixArbiter) per
+//! interleaving way grants one request per free way per cycle
+//! (least-recently-granted, the CryoBus Fig. 19 mechanism); snoop state
+//! transitions are applied at **grant** time — the bus serialization
+//! point — and the data completion is delivered through a delayed event
+//! queue priced by [`BusTiming`]. Lines with an in-flight transaction
+//! are masked from arbitration (MSHR-style line blocking), so two
+//! transactions never race on one line.
+//!
+//! Per-line state (version serials, backing-store versions, the
+//! in-flight mask) lives in flat arenas indexed by the trace's interned
+//! line index — no hashing in the loop — and the protocol invariants
+//! are checked incrementally per grant ([`verify_line_invariant`], the
+//! one line a grant can perturb) instead of rebuilding a whole-cache
+//! map per access; the exhaustive sweep over every interned line
+//! ([`verify_all_line_invariants`]) runs once at end of run.
 //!
 //! Both MESI and Dragon (4-state, update-based) run on this engine; the
 //! protocol decides what a grant does to the other caches.
 
 use std::cmp::Reverse;
-use std::collections::HashMap;
 
 use cryowire_faults::FaultSchedule;
 use cryowire_memory::MemoryDesign;
-use cryowire_noc::{CryoBus, MatrixArbiter, SegmentedBus, SharedBus};
+use cryowire_noc::{CryoBus, SegmentedBus, SharedBus};
 
 use crate::cache::{LineState, PrivateCache};
 use crate::engine::{CoherenceConfig, CoherenceScratch, PendingOp, Protocol, RunOutcome};
@@ -61,7 +69,7 @@ impl SnoopFabric<'_> {
     /// H-tree segment re-forms the CryoBus (longer broadcast span), a
     /// cooling transient leaves timing untouched here (the bus keeps
     /// its clock; device derates live elsewhere).
-    fn timing_at(
+    pub(crate) fn timing_at(
         &self,
         mem: &MemoryDesign,
         schedule: Option<&FaultSchedule>,
@@ -133,20 +141,20 @@ impl SnoopEngine {
         scratch: &mut CoherenceScratch,
     ) -> Result<RunOutcome, CoherenceError> {
         let cores = trace.cores();
-        scratch.ensure(cores, self.config.geometry)?;
+        scratch.ensure(cores, self.config.geometry, trace.num_lines())?;
         let protocol = self.config.protocol;
         let mut timing = fabric.timing_at(mem, schedule, 0);
         let ways = timing.ways.max(1);
-        let mut arbiters: Vec<MatrixArbiter> =
-            (0..ways).map(|_| MatrixArbiter::new(cores)).collect();
-        let mut way_busy = vec![0u64; ways];
-        let mut req_buf = vec![false; cores];
+        scratch.ensure_arbiters(ways, cores);
 
         let total = trace.total_accesses();
         let watchdog_limit = total
             .saturating_mul(self.config.watchdog_cycles_per_access)
             .saturating_add(100_000);
-        let change_points: Vec<u64> = schedule.map_or_else(Vec::new, FaultSchedule::change_points);
+        match schedule {
+            Some(s) => s.change_points_into(&mut scratch.change_points),
+            None => scratch.change_points.clear(),
+        }
         let mut change_idx = 0;
 
         let mut metrics = CoherenceMetrics::default();
@@ -154,9 +162,16 @@ impl SnoopEngine {
         let mut seq = 0u64;
         let mut cycle = 0u64;
 
-        // Initial think time before each core's first reference.
+        // Initial think time before each core's first reference. Bit
+        // `c` of `issuable` is set while core `c` has no MSHR in use
+        // and references left in its stream — the only cores the issue
+        // and next-event steps ever need to look at.
+        let mut issuable: u128 = 0;
         for core in 0..cores {
             scratch.ready_at[core] = trace.stream(core).first().map_or(0, |a| u64::from(a.think));
+            if !trace.stream(core).is_empty() {
+                issuable |= 1u128 << core;
+            }
         }
 
         loop {
@@ -168,7 +183,9 @@ impl SnoopEngine {
                 });
             }
             // Fault epoch: re-derive bus prices past each change point.
-            while change_idx < change_points.len() && cycle >= change_points[change_idx] {
+            while change_idx < scratch.change_points.len()
+                && cycle >= scratch.change_points[change_idx]
+            {
                 timing = fabric.timing_at(mem, schedule, cycle);
                 change_idx += 1;
             }
@@ -182,8 +199,13 @@ impl SnoopEngine {
                 let op = scratch.pending[core]
                     .take()
                     .expect("completion without MSHR");
-                if let Some(i) = scratch.inflight.iter().position(|&l| l == op.line) {
-                    scratch.inflight.swap_remove(i);
+                scratch.inflight[op.idx as usize] = false;
+                // The line unblocks: requests parked on it become
+                // arbitrable again (same line ⇒ same interleaving way).
+                for c in 0..cores {
+                    if scratch.requests[c] && scratch.pending[c].is_some_and(|p| p.idx == op.idx) {
+                        scratch.arb_mask[op.way as usize] |= 1u128 << c;
+                    }
                 }
                 let latency = when - op.issued_at;
                 metrics.accesses += 1;
@@ -198,26 +220,30 @@ impl SnoopEngine {
                 metrics.cycles = metrics.cycles.max(when);
                 completed += 1;
                 scratch.next_idx[core] += 1;
-                scratch.ready_at[core] = when
-                    + 1
-                    + trace
-                        .stream(core)
-                        .get(scratch.next_idx[core])
-                        .map_or(0, |a| u64::from(a.think));
+                match trace.stream(core).get(scratch.next_idx[core]) {
+                    Some(a) => {
+                        scratch.ready_at[core] = when + 1 + u64::from(a.think);
+                        issuable |= 1u128 << core;
+                    }
+                    None => scratch.ready_at[core] = when + 1,
+                }
             }
 
             // 2. Ready cores issue their next reference.
-            for core in 0..cores {
-                if scratch.pending[core].is_some() || scratch.ready_at[core] > cycle {
+            let mut issue = issuable;
+            while issue != 0 {
+                let core = issue.trailing_zeros() as usize;
+                issue &= issue - 1;
+                if scratch.ready_at[core] > cycle {
                     continue;
                 }
-                let Some(&a) = trace.stream(core).get(scratch.next_idx[core]) else {
-                    continue;
-                };
-                let line = trace.line_of(a.addr);
-                let state = scratch.caches[core]
-                    .probe(line)
-                    .map_or(LineState::Invalid, |(s, _)| s);
+                let at = scratch.next_idx[core];
+                let a = trace.stream(core)[at];
+                let idx = trace.line_indices(core)[at];
+                // The interned table already holds `line_of(a.addr)`.
+                let line = trace.lines()[idx as usize];
+                let probed = scratch.caches[core].probe(line);
+                let state = probed.map_or(LineState::Invalid, |(s, _)| s);
                 let hit = match (protocol, a.write, state) {
                     (_, false, s) if s.is_present() => true,
                     (_, true, LineState::Modified | LineState::Exclusive) => true,
@@ -225,18 +251,14 @@ impl SnoopEngine {
                 };
                 if hit {
                     let version = if a.write {
-                        let v = scratch.latest.entry(line).or_insert(0);
-                        *v += 1;
-                        let v = *v;
+                        scratch.latest[idx as usize] += 1;
+                        let v = scratch.latest[idx as usize];
                         scratch.caches[core].update(line, LineState::Modified, Some(v));
                         v
                     } else {
-                        let v = scratch.caches[core]
-                            .version(line)
-                            .expect("hit line is resident");
+                        let v = probed.expect("hit line is resident").1;
                         debug_assert_eq!(
-                            v,
-                            scratch.latest.get(&line).copied().unwrap_or(0),
+                            v, scratch.latest[idx as usize],
                             "read hit observed a stale version on line {line}"
                         );
                         v
@@ -261,50 +283,59 @@ impl SnoopEngine {
                     metrics.cycles = metrics.cycles.max(cycle + 1);
                     completed += 1;
                     scratch.next_idx[core] += 1;
-                    scratch.ready_at[core] = cycle
-                        + 1
-                        + trace
-                            .stream(core)
-                            .get(scratch.next_idx[core])
-                            .map_or(0, |a| u64::from(a.think));
+                    match trace.stream(core).get(scratch.next_idx[core]) {
+                        Some(a) => scratch.ready_at[core] = cycle + 1 + u64::from(a.think),
+                        None => {
+                            scratch.ready_at[core] = cycle + 1;
+                            issuable &= !(1u128 << core);
+                        }
+                    }
                 } else {
+                    #[allow(clippy::cast_possible_truncation)]
+                    let way = (line % ways as u64) as u32;
                     scratch.pending[core] = Some(PendingOp {
                         line,
+                        idx,
+                        way,
                         write: a.write,
                         issued_at: cycle,
                     });
                     scratch.requests[core] = true;
+                    issuable &= !(1u128 << core);
+                    if !scratch.inflight[idx as usize] {
+                        scratch.arb_mask[way as usize] |= 1u128 << core;
+                    }
                 }
             }
 
             // 3. Grant one transaction per free way.
             for way in 0..ways {
-                if way_busy[way] > cycle {
+                if scratch.way_busy[way] > cycle {
                     continue;
                 }
-                let mut any = false;
-                for (core, slot) in req_buf.iter_mut().enumerate().take(cores) {
-                    let ok = scratch.requests[core]
-                        && scratch.pending[core].is_some_and(|p| {
-                            (p.line % ways as u64) as usize == way
-                                && !scratch.inflight.contains(&p.line)
-                        });
-                    *slot = ok;
-                    any |= ok;
-                }
-                if !any {
+                let mask = scratch.arb_mask[way];
+                if mask == 0 {
                     continue;
                 }
-                let winner = arbiters[way]
-                    .arbitrate(&req_buf)
+                for core in 0..cores {
+                    scratch.req_buf[core] = mask & (1u128 << core) != 0;
+                }
+                let winner = scratch.arbiters[way]
+                    .arbitrate(&scratch.req_buf)
                     .expect("a request was raised");
                 scratch.requests[winner] = false;
+                scratch.arb_mask[way] &= !(1u128 << winner);
                 let op = scratch.pending[winner].expect("winner has an MSHR");
                 // Snoop transitions happen now: the grant is the bus
                 // serialization point.
                 let tx = apply_snoop_transaction(protocol, winner, op, scratch, &mut metrics);
                 debug_assert!(
-                    verify_invariants(protocol, &scratch.caches, &scratch.latest),
+                    verify_line_invariant(
+                        protocol,
+                        &scratch.caches,
+                        op.line,
+                        scratch.latest[op.idx as usize]
+                    ),
                     "protocol invariant broken after a grant on line {}",
                     op.line
                 );
@@ -326,10 +357,20 @@ impl SnoopEngine {
                 // data beats: the way is reserved for `held` data
                 // cycles only, so bus bandwidth is data-limited, not
                 // handshake-limited.
-                way_busy[way] = cycle + stall + held;
+                scratch.way_busy[way] = cycle + stall + held;
                 metrics.fabric_busy_cycles += held;
                 metrics.bus_transactions += 1;
-                scratch.inflight.push(op.line);
+                scratch.inflight[op.idx as usize] = true;
+                // Park the losers racing for the same line until the
+                // in-flight transaction completes (MSHR line blocking).
+                let mut losers = scratch.arb_mask[way];
+                while losers != 0 {
+                    let c = losers.trailing_zeros() as usize;
+                    losers &= losers - 1;
+                    if scratch.pending[c].is_some_and(|p| p.idx == op.idx) {
+                        scratch.arb_mask[way] &= !(1u128 << c);
+                    }
+                }
                 seq += 1;
                 scratch.completions.push(Reverse((done, seq, winner)));
             }
@@ -344,22 +385,14 @@ impl SnoopEngine {
             if let Some(&Reverse((when, _, _))) = scratch.completions.peek() {
                 next = next.min(when);
             }
-            for core in 0..cores {
-                if scratch.pending[core].is_none()
-                    && scratch.next_idx[core] < trace.stream(core).len()
-                {
-                    next = next.min(scratch.ready_at[core]);
-                }
+            let mut waiting = issuable;
+            while waiting != 0 {
+                let core = waiting.trailing_zeros() as usize;
+                waiting &= waiting - 1;
+                next = next.min(scratch.ready_at[core]);
             }
-            for (way, &busy) in way_busy.iter().enumerate() {
-                let waiting = (0..cores).any(|c| {
-                    scratch.requests[c]
-                        && scratch.pending[c].is_some_and(|p| {
-                            (p.line % ways as u64) as usize == way
-                                && !scratch.inflight.contains(&p.line)
-                        })
-                });
-                if waiting {
+            for (way, &busy) in scratch.way_busy.iter().enumerate() {
+                if scratch.arb_mask[way] != 0 {
                     next = next.min(busy);
                 }
             }
@@ -374,9 +407,10 @@ impl SnoopEngine {
             cycle = next.max(cycle + 1);
         }
 
-        debug_assert!(verify_invariants(
+        debug_assert!(verify_all_line_invariants(
             protocol,
             &scratch.caches,
+            trace.lines(),
             &scratch.latest
         ));
         Ok(RunOutcome {
@@ -455,18 +489,21 @@ fn apply_snoop_transaction(
 fn fill_with_eviction(
     core: usize,
     line: u64,
+    idx: u32,
     state: LineState,
     version: u64,
     scratch: &mut CoherenceScratch,
     metrics: &mut CoherenceMetrics,
 ) -> u64 {
-    let Some(victim) = scratch.caches[core].fill(line, state, version) else {
+    scratch.holders[idx as usize] |= 1u128 << core;
+    let Some(victim) = scratch.caches[core].fill(line, idx, state, version) else {
         return 0;
     };
+    scratch.holders[victim.idx as usize] &= !(1u128 << core);
     metrics.evictions += 1;
     if victim.state.is_dirty() {
         metrics.writebacks += 1;
-        scratch.memory.insert(victim.line, victim.version);
+        scratch.memory[victim.idx as usize] = victim.version;
         // The flush rides the same arbitration: a line transfer's worth
         // of extra beats.
         crate::timing::LINE_BEATS
@@ -482,19 +519,22 @@ fn apply_mesi(
     metrics: &mut CoherenceMetrics,
 ) -> TxOutcome {
     let line = op.line;
-    let cores = scratch.caches.len();
+    let li = op.idx as usize;
     let here = scratch.caches[requester].state(line);
     if op.write {
         if here == LineState::Shared {
             // BusUpgr: invalidate the other sharers, no data moves.
-            for other in 0..cores {
-                if other != requester && scratch.caches[other].invalidate(line) {
+            let mut peers = scratch.holders[li] & !(1u128 << requester);
+            while peers != 0 {
+                let other = peers.trailing_zeros() as usize;
+                peers &= peers - 1;
+                if scratch.caches[other].invalidate(line) {
                     metrics.invalidations += 1;
                 }
             }
-            let v = scratch.latest.entry(line).or_insert(0);
-            *v += 1;
-            let v = *v;
+            scratch.holders[li] = 1u128 << requester;
+            scratch.latest[li] += 1;
+            let v = scratch.latest[li];
             scratch.caches[requester].update(line, LineState::Modified, Some(v));
             metrics.upgrades += 1;
             return TxOutcome {
@@ -505,30 +545,38 @@ fn apply_mesi(
         }
         // BusRdX: fetch-and-own, invalidating every other copy.
         let mut supplier_version = None;
-        for other in 0..cores {
-            if other == requester {
-                continue;
-            }
-            if scratch.caches[other].state(line).is_present() {
-                // Any copy can supply: the MESI invariant keeps every
-                // resident copy at the latest version.
+        let mut peers = scratch.holders[li] & !(1u128 << requester);
+        while peers != 0 {
+            let other = peers.trailing_zeros() as usize;
+            peers &= peers - 1;
+            // Any copy can supply: the MESI invariant keeps every
+            // resident copy at the latest version. Supply and
+            // invalidate in one tag-match scan.
+            if let Some(v) = scratch.caches[other].invalidate_returning_version(line) {
                 if supplier_version.is_none() {
-                    supplier_version = scratch.caches[other].version(line);
+                    supplier_version = Some(v);
                 }
-                scratch.caches[other].invalidate(line);
                 metrics.invalidations += 1;
             }
         }
+        scratch.holders[li] &= 1u128 << requester;
         let c2c = supplier_version.is_some();
         if c2c {
             metrics.c2c_transfers += 1;
         } else {
             metrics.fills += 1;
         }
-        let v = scratch.latest.entry(line).or_insert(0);
-        *v += 1;
-        let v = *v;
-        let wb = fill_with_eviction(requester, line, LineState::Modified, v, scratch, metrics);
+        scratch.latest[li] += 1;
+        let v = scratch.latest[li];
+        let wb = fill_with_eviction(
+            requester,
+            line,
+            op.idx,
+            LineState::Modified,
+            v,
+            scratch,
+            metrics,
+        );
         TxOutcome {
             class: if c2c {
                 TxClass::LineC2c
@@ -539,35 +587,25 @@ fn apply_mesi(
             version: v,
         }
     } else {
-        // BusRd: owner flushes and demotes, clean copies demote E→S.
-        let mut version = scratch.memory.get(&line).copied().unwrap_or(0);
+        // BusRd: owner flushes and demotes, clean copies demote E→S —
+        // supply, demote, and flush resolved only on the actual
+        // holders.
+        let mut version = scratch.memory[li];
         let mut shared = false;
-        for other in 0..cores {
-            if other == requester {
-                continue;
-            }
-            let s = scratch.caches[other].state(line);
-            match s {
-                LineState::Modified | LineState::SharedModified => {
-                    let v = scratch.caches[other]
-                        .version(line)
-                        .expect("owner is resident");
-                    version = v;
-                    scratch.memory.insert(line, v);
-                    scratch.caches[other].update(line, LineState::Shared, None);
-                    shared = true;
+        let mut peers = scratch.holders[li] & !(1u128 << requester);
+        while peers != 0 {
+            let other = peers.trailing_zeros() as usize;
+            peers &= peers - 1;
+            if let Some((old, v)) = scratch.caches[other].transition(line, |_| LineState::Shared) {
+                version = v;
+                if old.is_owner() {
+                    scratch.memory[li] = v;
                 }
-                LineState::Exclusive | LineState::Shared | LineState::SharedClean => {
-                    version = scratch.caches[other].version(line).expect("copy resident");
-                    scratch.caches[other].update(line, LineState::Shared, None);
-                    shared = true;
-                }
-                LineState::Invalid => {}
+                shared = true;
             }
         }
         debug_assert_eq!(
-            version,
-            scratch.latest.get(&line).copied().unwrap_or(0),
+            version, scratch.latest[li],
             "BusRd fetched a stale version of line {line}"
         );
         if shared {
@@ -580,7 +618,7 @@ fn apply_mesi(
         } else {
             LineState::Exclusive
         };
-        let wb = fill_with_eviction(requester, line, state, version, scratch, metrics);
+        let wb = fill_with_eviction(requester, line, op.idx, state, version, scratch, metrics);
         TxOutcome {
             class: if shared {
                 TxClass::LineC2c
@@ -600,43 +638,27 @@ fn apply_dragon(
     metrics: &mut CoherenceMetrics,
 ) -> TxOutcome {
     let line = op.line;
-    let cores = scratch.caches.len();
+    let li = op.idx as usize;
     let here = scratch.caches[requester].state(line);
-    // Who else holds the line right now?
-    let mut owner_version = None;
-    let mut sharer_version = None;
-    let mut others = 0usize;
-    for other in 0..cores {
-        if other == requester {
-            continue;
-        }
-        let s = scratch.caches[other].state(line);
-        if s.is_present() {
-            others += 1;
-            let v = scratch.caches[other].version(line).expect("resident");
-            if s.is_owner() {
-                owner_version = Some(v);
-            } else {
-                sharer_version = Some(v);
-            }
-        }
-    }
-    let supplied = owner_version.or(sharer_version);
+    let peer_mask = scratch.holders[li] & !(1u128 << requester);
 
     if op.write {
+        // Who else holds the line right now? (The residency mask.)
+        let others = peer_mask.count_ones() as usize;
+        let supplied = others > 0;
         if here.is_present() {
             // BusUpd from Sc/Sm: broadcast the new word to every sharer.
-            let v = scratch.latest.entry(line).or_insert(0);
-            *v += 1;
-            let v = *v;
+            scratch.latest[li] += 1;
+            let v = scratch.latest[li];
             metrics.updates += 1;
             if others > 0 {
-                for other in 0..cores {
-                    if other != requester && scratch.caches[other].state(line).is_present() {
-                        // The writer becomes the sole owner; previous Sm
-                        // owners demote to Sc.
-                        scratch.caches[other].update(line, LineState::SharedClean, Some(v));
-                    }
+                let mut peers = peer_mask;
+                while peers != 0 {
+                    let other = peers.trailing_zeros() as usize;
+                    peers &= peers - 1;
+                    // The writer becomes the sole owner; previous Sm
+                    // owners demote to Sc.
+                    scratch.caches[other].update(line, LineState::SharedClean, Some(v));
                 }
                 scratch.caches[requester].update(line, LineState::SharedModified, Some(v));
             } else {
@@ -649,27 +671,27 @@ fn apply_dragon(
             }
         } else {
             // Write miss: BusRd + BusUpd in one arbitration.
-            let v = scratch.latest.entry(line).or_insert(0);
-            *v += 1;
-            let v = *v;
+            scratch.latest[li] += 1;
+            let v = scratch.latest[li];
             metrics.updates += 1;
-            let c2c = supplied.is_some();
+            let c2c = supplied;
             if c2c {
                 metrics.c2c_transfers += 1;
             } else {
                 metrics.fills += 1;
             }
             let state = if others > 0 {
-                for other in 0..cores {
-                    if other != requester && scratch.caches[other].state(line).is_present() {
-                        scratch.caches[other].update(line, LineState::SharedClean, Some(v));
-                    }
+                let mut peers = peer_mask;
+                while peers != 0 {
+                    let other = peers.trailing_zeros() as usize;
+                    peers &= peers - 1;
+                    scratch.caches[other].update(line, LineState::SharedClean, Some(v));
                 }
                 LineState::SharedModified
             } else {
                 LineState::Modified
             };
-            let wb = fill_with_eviction(requester, line, state, v, scratch, metrics);
+            let wb = fill_with_eviction(requester, line, op.idx, state, v, scratch, metrics);
             TxOutcome {
                 class: TxClass::LineWithUpdate { c2c },
                 writeback_beats: wb,
@@ -678,27 +700,34 @@ fn apply_dragon(
         }
     } else {
         // Read miss: BusRd. Owners stay owners (M → Sm), clean suppliers
-        // demote E → Sc.
-        let version = supplied.unwrap_or_else(|| scratch.memory.get(&line).copied().unwrap_or(0));
-        debug_assert_eq!(
-            version,
-            scratch.latest.get(&line).copied().unwrap_or(0),
-            "Dragon BusRd fetched a stale version of line {line}"
-        );
-        for other in 0..cores {
-            if other == requester {
-                continue;
-            }
-            match scratch.caches[other].state(line) {
-                LineState::Modified => {
-                    scratch.caches[other].update(line, LineState::SharedModified, None);
+        // demote E → Sc — collect and demote fused into one scan per
+        // peer (a peer's demote never alters another peer's copy).
+        let mut owner_version = None;
+        let mut sharer_version = None;
+        let mut others = 0usize;
+        let mut peers = peer_mask;
+        while peers != 0 {
+            let other = peers.trailing_zeros() as usize;
+            peers &= peers - 1;
+            if let Some((old, v)) = scratch.caches[other].transition(line, |s| match s {
+                LineState::Modified => LineState::SharedModified,
+                LineState::Exclusive => LineState::SharedClean,
+                s => s,
+            }) {
+                others += 1;
+                if old.is_owner() {
+                    owner_version = Some(v);
+                } else {
+                    sharer_version = Some(v);
                 }
-                LineState::Exclusive => {
-                    scratch.caches[other].update(line, LineState::SharedClean, None);
-                }
-                _ => {}
             }
         }
+        let supplied = owner_version.or(sharer_version);
+        let version = supplied.unwrap_or(scratch.memory[li]);
+        debug_assert_eq!(
+            version, scratch.latest[li],
+            "Dragon BusRd fetched a stale version of line {line}"
+        );
         let c2c = supplied.is_some();
         if c2c {
             metrics.c2c_transfers += 1;
@@ -710,7 +739,7 @@ fn apply_dragon(
         } else {
             LineState::Exclusive
         };
-        let wb = fill_with_eviction(requester, line, state, version, scratch, metrics);
+        let wb = fill_with_eviction(requester, line, op.idx, state, version, scratch, metrics);
         TxOutcome {
             class: if c2c {
                 TxClass::LineC2c
@@ -723,40 +752,130 @@ fn apply_dragon(
     }
 }
 
-/// Checks the protocol invariants over every resident line: at most one
-/// owner per line, `Modified`/`Exclusive` imply a sole copy, and all
-/// copies of a line agree on the version a reader would observe.
+/// Incremental protocol-invariant check over the **one line** a granted
+/// transaction can perturb: at most one owner, `Modified`/`Exclusive`
+/// imply a sole copy (MESI), and every copy a reader could hit carries
+/// the latest committed version. O(cores · assoc), allocation-free —
+/// cheap enough to `debug_assert!` per grant where the old exhaustive
+/// checker rebuilt a whole-cache hash map per access.
 #[must_use]
-pub fn verify_invariants(
+pub fn verify_line_invariant(
     protocol: Protocol,
     caches: &[PrivateCache],
-    latest: &HashMap<u64, u64>,
+    line: u64,
+    latest: u64,
 ) -> bool {
-    let mut per_line: HashMap<u64, (usize, usize, Vec<u64>)> = HashMap::new();
+    let mut copies = 0usize;
+    let mut exclusive_like = 0usize;
     for cache in caches {
-        for (line, state, version) in cache.resident_lines() {
-            let e = per_line.entry(line).or_insert((0, 0, Vec::new()));
-            e.0 += 1;
-            if match protocol {
-                Protocol::Mesi => matches!(state, LineState::Modified | LineState::Exclusive),
-                Protocol::Dragon => {
-                    matches!(state, LineState::Modified | LineState::Exclusive) || state.is_owner()
-                }
-            } {
-                e.1 += 1;
+        let state = cache.state(line);
+        if !state.is_present() {
+            continue;
+        }
+        copies += 1;
+        if match protocol {
+            Protocol::Mesi => matches!(state, LineState::Modified | LineState::Exclusive),
+            Protocol::Dragon => {
+                matches!(state, LineState::Modified | LineState::Exclusive) || state.is_owner()
             }
-            e.2.push(version);
+        } {
+            exclusive_like += 1;
+        }
+        // Every copy a reader could hit must be the latest committed
+        // version (invalidation and update protocols both guarantee it).
+        if cache.version(line) != Some(latest) {
+            return false;
         }
     }
-    per_line
+    let sole = exclusive_like == 0 || copies == 1 || protocol == Protocol::Dragon;
+    sole && exclusive_like <= 1
+}
+
+/// Exhaustive invariant sweep: [`verify_line_invariant`] over every
+/// interned line (`lines[i]` with latest serial `latest[i]`). Every
+/// resident line entered a cache through a trace access, so the
+/// interned set covers the caches completely. Allocation-free; runs
+/// once at end of run and in the equivalence suites.
+#[must_use]
+pub fn verify_all_line_invariants(
+    protocol: Protocol,
+    caches: &[PrivateCache],
+    lines: &[u64],
+    latest: &[u64],
+) -> bool {
+    lines
         .iter()
-        .all(|(line, (copies, exclusive_like, versions))| {
-            let sole = *exclusive_like == 0 || *copies == 1 || protocol == Protocol::Dragon;
-            let owners_ok = *exclusive_like <= 1;
-            // Every copy a reader could hit must be the latest committed
-            // version (invalidation and update protocols both guarantee it).
-            let latest_v = latest.get(line).copied().unwrap_or(0);
-            let versions_ok = versions.iter().all(|&v| v == latest_v);
-            sole && owners_ok && versions_ok
-        })
+        .zip(latest)
+        .all(|(&line, &v)| verify_line_invariant(protocol, caches, line, v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline;
+    use std::collections::HashMap;
+
+    /// Builds a cache set holding `line` in the given per-core states.
+    fn caches_with(states: &[(LineState, u64)], line: u64) -> Vec<PrivateCache> {
+        states
+            .iter()
+            .map(|&(state, version)| {
+                let mut c =
+                    PrivateCache::new(crate::cache::CacheGeometry::no_evict(8, 64)).unwrap();
+                if state.is_present() {
+                    c.fill(line, 0, state, version);
+                }
+                c
+            })
+            .collect()
+    }
+
+    /// The incremental checker must agree with the retained exhaustive
+    /// hash-map checker on both valid and corrupted states.
+    #[test]
+    fn incremental_checker_matches_exhaustive_baseline_checker() {
+        let line = 5u64;
+        let cases: Vec<(Vec<(LineState, u64)>, u64)> = vec![
+            // Valid: sole Modified at latest.
+            (vec![(LineState::Modified, 3), (LineState::Invalid, 0)], 3),
+            // Valid: two Shared copies at latest.
+            (vec![(LineState::Shared, 2), (LineState::Shared, 2)], 2),
+            // Broken: Exclusive alongside another copy (MESI).
+            (vec![(LineState::Exclusive, 1), (LineState::Shared, 1)], 1),
+            // Broken: two owners.
+            (vec![(LineState::Modified, 4), (LineState::Modified, 4)], 4),
+            // Broken: stale copy.
+            (vec![(LineState::Shared, 1), (LineState::Shared, 2)], 2),
+            // Valid: absent line, any latest.
+            (vec![(LineState::Invalid, 0), (LineState::Invalid, 0)], 7),
+        ];
+        for protocol in [Protocol::Mesi, Protocol::Dragon] {
+            for (states, latest) in &cases {
+                let caches = caches_with(states, line);
+                let mut map = HashMap::new();
+                map.insert(line, *latest);
+                let exhaustive = baseline::verify_invariants(protocol, &caches, &map);
+                let incremental = verify_line_invariant(protocol, &caches, line, *latest);
+                let sweep = verify_all_line_invariants(protocol, &caches, &[line], &[*latest]);
+                assert_eq!(
+                    incremental, exhaustive,
+                    "{protocol:?} {states:?} latest={latest}"
+                );
+                assert_eq!(sweep, exhaustive, "{protocol:?} sweep disagrees");
+            }
+        }
+    }
+
+    /// Dragon tolerates Sm+Sc replication that MESI would reject.
+    #[test]
+    fn dragon_allows_shared_owner_replication() {
+        let caches = caches_with(
+            &[(LineState::SharedModified, 9), (LineState::SharedClean, 9)],
+            2,
+        );
+        assert!(verify_line_invariant(Protocol::Dragon, &caches, 2, 9));
+        let mut map = HashMap::new();
+        map.insert(2, 9);
+        assert!(baseline::verify_invariants(Protocol::Dragon, &caches, &map));
+    }
 }

@@ -147,13 +147,40 @@ impl DirectoryTiming {
         clock_ghz: f64,
         dead: &[usize],
     ) -> Result<Self, CoherenceError> {
+        let mut timing = DirectoryTiming {
+            nodes: 0,
+            latency: Vec::new(),
+            dir_occupancy_cycles: 2,
+            fill_cycles: 0,
+            line_beats: LINE_BEATS,
+        };
+        timing.rebuild_avoiding(network, mem, clock_ghz, dead)?;
+        Ok(timing)
+    }
+
+    /// Recomputes the table in place for a new dead set (a fault
+    /// epoch), reusing the latency buffer so epoch changes cost path
+    /// recomputation only, not reallocation.
+    ///
+    /// # Errors
+    ///
+    /// [`CoherenceError::InvalidConfig`] if the network is empty.
+    pub fn rebuild_avoiding(
+        &mut self,
+        network: &RouterNetwork,
+        mem: &MemoryDesign,
+        clock_ghz: f64,
+        dead: &[usize],
+    ) -> Result<(), CoherenceError> {
         let nodes = network.topology().nodes();
         if nodes == 0 {
             return Err(CoherenceError::InvalidConfig {
                 reason: "directory network has no nodes".to_string(),
             });
         }
-        let mut latency = vec![0u64; nodes * nodes];
+        self.nodes = nodes;
+        self.latency.clear();
+        self.latency.resize(nodes * nodes, 0);
         for src in 0..nodes {
             for dst in 0..nodes {
                 if src == dst {
@@ -164,18 +191,13 @@ impl DirectoryTiming {
                 } else {
                     network.path_avoiding(src, dst, 0, dead)
                 };
-                latency[src * nodes + dst] = legs.map_or(u64::MAX, |legs| {
+                self.latency[src * nodes + dst] = legs.map_or(u64::MAX, |legs| {
                     legs.iter().map(|l| l.traversal_cycles).sum()
                 });
             }
         }
-        Ok(DirectoryTiming {
-            nodes,
-            latency,
-            dir_occupancy_cycles: 2,
-            fill_cycles: fill_cycles(mem, clock_ghz),
-            line_beats: LINE_BEATS,
-        })
+        self.fill_cycles = fill_cycles(mem, clock_ghz);
+        Ok(())
     }
 
     /// Node count.

@@ -35,9 +35,21 @@ pub struct CoreAccess {
 }
 
 /// Validated per-core access streams over a shared line space.
+///
+/// Construction also interns every distinct line the trace touches into
+/// a dense index space (`u32` indices, deterministic first-appearance
+/// order over core-major stream iteration), so the engines keep their
+/// per-line state — version maps, directory entries, MSHR line masks —
+/// in flat `Vec`s indexed by line index instead of hash maps keyed by
+/// line number. The interner is built exactly once per trace; the hot
+/// loops never hash.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AccessTrace {
     streams: Vec<Vec<CoreAccess>>,
+    /// Per-access interned line index, parallel to `streams`.
+    line_idx: Vec<Vec<u32>>,
+    /// Interned line numbers, index → line.
+    lines: Vec<u64>,
     line_bytes: u32,
     addr_limit: u64,
     total: u64,
@@ -88,8 +100,29 @@ impl AccessTrace {
             }
         }
         let total = streams.iter().map(|s| s.len() as u64).sum();
+        // Intern every distinct line once, in core-major first-appearance
+        // order, so engines can use dense per-line arenas.
+        let mut interner: std::collections::HashMap<u64, u32> = std::collections::HashMap::new();
+        let mut lines = Vec::new();
+        let line_idx = streams
+            .iter()
+            .map(|stream| {
+                stream
+                    .iter()
+                    .map(|a| {
+                        let line = a.addr / u64::from(line_bytes);
+                        *interner.entry(line).or_insert_with(|| {
+                            lines.push(line);
+                            u32::try_from(lines.len() - 1).expect("line index fits u32")
+                        })
+                    })
+                    .collect()
+            })
+            .collect();
         Ok(AccessTrace {
             streams,
+            line_idx,
+            lines,
             line_bytes,
             addr_limit,
             total,
@@ -157,6 +190,27 @@ impl AccessTrace {
     #[must_use]
     pub fn line_of(&self, addr: u64) -> u64 {
         addr / u64::from(self.line_bytes)
+    }
+
+    /// One core's interned line indices, parallel to
+    /// [`AccessTrace::stream`].
+    #[must_use]
+    pub fn line_indices(&self, core: usize) -> &[u32] {
+        &self.line_idx[core]
+    }
+
+    /// Number of distinct lines the trace touches — the size of every
+    /// per-line engine arena.
+    #[must_use]
+    pub fn num_lines(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Interned line numbers, index → line (first-appearance order over
+    /// core-major stream iteration).
+    #[must_use]
+    pub fn lines(&self) -> &[u64] {
+        &self.lines
     }
 }
 
@@ -518,6 +572,29 @@ mod tests {
             oob,
             CoherenceError::AddressOutOfRange { addr, .. } if addr == 1 << 30
         ));
+    }
+
+    #[test]
+    fn interner_is_dense_deterministic_and_parallel_to_streams() {
+        let t = AccessTrace::interleaved(
+            &[(0, 0, false), (1, 128, true), (0, 0, true), (1, 64, false)],
+            2,
+            64,
+            1 << 20,
+        )
+        .unwrap();
+        // First-appearance order over core-major iteration:
+        // core 0 touches line 0 twice, core 1 touches lines 2 then 1.
+        assert_eq!(t.lines(), &[0, 2, 1]);
+        assert_eq!(t.num_lines(), 3);
+        assert_eq!(t.line_indices(0), &[0, 0]);
+        assert_eq!(t.line_indices(1), &[1, 2]);
+        for core in 0..2 {
+            assert_eq!(t.line_indices(core).len(), t.stream(core).len());
+            for (a, &idx) in t.stream(core).iter().zip(t.line_indices(core)) {
+                assert_eq!(t.lines()[idx as usize], t.line_of(a.addr));
+            }
+        }
     }
 
     #[test]

@@ -9,10 +9,11 @@
 //! agree too (finite caches add refetches the infinite-cache references
 //! never see).
 
+use cryowire_coherence::baseline::{self, BaselineScratch};
 use cryowire_coherence::reference::{replay_directory, replay_snooping};
 use cryowire_coherence::{
-    AccessTrace, CacheGeometry, CoherenceConfig, CoherenceMetrics, DirectoryEngine, Protocol,
-    RunOutcome, SnoopEngine, SnoopFabric,
+    AccessTrace, CacheGeometry, CoherenceConfig, CoherenceMetrics, CoherenceScratch,
+    CoherenceSystem, DirectoryEngine, Protocol, RunOutcome, SnoopEngine, SnoopFabric, SystemFabric,
 };
 use cryowire_device::Temperature;
 use cryowire_faults::FaultPlan;
@@ -42,6 +43,24 @@ fn config(protocol: Protocol, geometry: CacheGeometry) -> CoherenceConfig {
 
 fn no_evict() -> CacheGeometry {
     CacheGeometry::no_evict(64, LINE)
+}
+
+/// Geometry axis for the bit-identity suites: infinite (no-evict), a
+/// thrashing 8-line 2-way cache, and a small finite 4 KB 2-way cache.
+fn geometries() -> [CacheGeometry; 3] {
+    [
+        no_evict(),
+        CacheGeometry {
+            size_bytes: 8 * u64::from(LINE),
+            assoc: 2,
+            line_bytes: LINE,
+        },
+        CacheGeometry {
+            size_bytes: 4096,
+            assoc: 2,
+            line_bytes: LINE,
+        },
+    ]
 }
 
 fn run_snoop(protocol: Protocol, geometry: CacheGeometry, trace: &AccessTrace) -> RunOutcome {
@@ -207,6 +226,198 @@ fn runs_are_deterministic_across_scratch_reuse() {
     assert_eq!(first, second, "scratch reuse must not change results");
     let fresh = run_snoop(Protocol::Mesi, no_evict(), &trace);
     assert_eq!(first, fresh, "fresh scratch must match");
+}
+
+/// A mixed fault plan touching both fabrics: a dead H-tree segment
+/// (re-forms the CryoBus), a transient router stall, and a transient
+/// dead link (forces mesh detours / severed routes).
+fn mk_schedule(
+    level: usize,
+    index: usize,
+    stall: u64,
+    start: u64,
+) -> cryowire_faults::FaultSchedule {
+    FaultPlan::new(start ^ stall)
+        .htree_segment_dead(level, index)
+        .event(cryowire_faults::FaultEvent::transient(
+            start,
+            1_500,
+            cryowire_faults::FaultKind::RouterStall {
+                resource: 0,
+                extra_cycles: stall,
+            },
+        ))
+        .event(cryowire_faults::FaultEvent::transient(
+            start / 2,
+            2_000,
+            cryowire_faults::FaultKind::LinkDead {
+                resource: index * 7 + 3,
+            },
+        ))
+        .schedule(1_000_000)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The flat-arena snooping engine is bit-identical to the retained
+    /// hash-map baseline — metrics, commit log, and typed errors — over
+    /// random traffic, both protocols, every geometry class, with and
+    /// without a fault schedule.
+    #[test]
+    fn optimized_snoop_is_bit_identical_to_baseline(
+        raw in collection::vec((any::<u8>(), any::<u8>(), any::<bool>()), 1..250),
+        cores in 2usize..9,
+        geom in 0usize..3,
+        faulty in any::<bool>(),
+        stall in 0u64..48,
+        start in 0u64..2_000,
+    ) {
+        let trace = mk_trace(&raw, cores);
+        let geometry = geometries()[geom];
+        let bus = CryoBus::new(64, Temperature::liquid_nitrogen());
+        let mem = MemoryDesign::mem_77k();
+        let schedule = faulty.then(|| mk_schedule(0, 1, stall, start));
+        for protocol in [Protocol::Mesi, Protocol::Dragon] {
+            let cfg = config(protocol, geometry);
+            let mut scratch = CoherenceScratch::new();
+            let opt = SnoopEngine::new(cfg).expect("valid").run_with_scratch(
+                &trace,
+                SnoopFabric::CryoBus(&bus),
+                &mem,
+                schedule.as_ref(),
+                &mut scratch,
+            );
+            let mut bscratch = BaselineScratch::new();
+            let base = baseline::run_snooping(
+                cfg,
+                &trace,
+                SnoopFabric::CryoBus(&bus),
+                &mem,
+                schedule.as_ref(),
+                &mut bscratch,
+            );
+            prop_assert_eq!(&opt, &base, "{:?} diverged from the baseline", protocol);
+        }
+    }
+
+    /// The flat-arena directory engine — including the system's
+    /// amortized fault-free path table and the in-place fault-epoch
+    /// rebuild — is bit-identical to the baseline that rebuilds its
+    /// timing from scratch every run.
+    #[test]
+    fn optimized_directory_is_bit_identical_to_baseline(
+        raw in collection::vec((any::<u8>(), any::<u8>(), any::<bool>()), 1..200),
+        cores in 2usize..9,
+        geom in 0usize..3,
+        faulty in any::<bool>(),
+        stall in 0u64..48,
+        start in 0u64..2_000,
+    ) {
+        let trace = mk_trace(&raw, cores);
+        let cfg = config(Protocol::Mesi, geometries()[geom]);
+        let t77 = Temperature::liquid_nitrogen();
+        let mem = MemoryDesign::mem_77k();
+        let schedule = faulty.then(|| mk_schedule(0, 1, stall, start));
+        // Optimized side goes through CoherenceSystem so the shared
+        // base table (fault-free) and epoch rebuild (faulted) are both
+        // what production runs use.
+        let system = CoherenceSystem::directory(
+            RouterNetwork::mesh64(RouterClass::OneCycle, t77),
+            5.44,
+            mem,
+            cfg,
+        )
+        .expect("directory system builds");
+        let mut scratch = CoherenceScratch::new();
+        let opt = system.run_with(&trace, schedule.as_ref(), &mut scratch);
+        let mesh = RouterNetwork::mesh64(RouterClass::OneCycle, t77);
+        let mut bscratch = BaselineScratch::new();
+        let base = baseline::run_directory(
+            cfg,
+            &trace,
+            &mesh,
+            5.44,
+            &mem,
+            schedule.as_ref(),
+            &mut bscratch,
+        );
+        prop_assert_eq!(&opt, &base, "directory diverged from the baseline");
+    }
+
+    /// Lockstep lane batches are bit-identical to running each lane
+    /// scalar with a fresh scratch — any lane mix of protocols and
+    /// geometries, on both fabrics, with and without a fault schedule.
+    #[test]
+    fn batched_lanes_are_bit_identical_to_scalar_runs(
+        raw in collection::vec((any::<u8>(), any::<u8>(), any::<bool>()), 1..200),
+        cores in 2usize..9,
+        lane_picks in collection::vec((0usize..3, any::<bool>()), 1..5),
+        faulty in any::<bool>(),
+        stall in 0u64..48,
+        start in 0u64..2_000,
+    ) {
+        let trace = mk_trace(&raw, cores);
+        let t77 = Temperature::liquid_nitrogen();
+        let schedule = faulty.then(|| mk_schedule(0, 1, stall, start));
+
+        // Snooping: lanes vary geometry AND protocol.
+        let lanes: Vec<CoherenceConfig> = lane_picks
+            .iter()
+            .map(|&(g, dragon)| {
+                config(
+                    if dragon { Protocol::Dragon } else { Protocol::Mesi },
+                    geometries()[g],
+                )
+            })
+            .collect();
+        let system = CoherenceSystem::snooping(
+            SystemFabric::CryoBus(CryoBus::new(64, t77)),
+            MemoryDesign::mem_77k(),
+            lanes[0],
+        )
+        .expect("snooping system builds");
+        let mut scratch = CoherenceScratch::new();
+        let batch = system.run_batch_with(&trace, &lanes, schedule.as_ref(), &mut scratch);
+        prop_assert_eq!(batch.len(), lanes.len());
+        for (i, cfg) in lanes.iter().enumerate() {
+            let lane_system = CoherenceSystem::snooping(
+                SystemFabric::CryoBus(CryoBus::new(64, t77)),
+                MemoryDesign::mem_77k(),
+                *cfg,
+            )
+            .expect("lane system builds");
+            let mut fresh = CoherenceScratch::new();
+            let scalar = lane_system.run_with(&trace, schedule.as_ref(), &mut fresh);
+            prop_assert_eq!(&batch[i], &scalar, "snoop lane {} diverged from scalar", i);
+        }
+
+        // Directory: lanes vary geometry (MESI only).
+        let dir_lanes: Vec<CoherenceConfig> = lane_picks
+            .iter()
+            .map(|&(g, _)| config(Protocol::Mesi, geometries()[g]))
+            .collect();
+        let dir_system = CoherenceSystem::directory(
+            RouterNetwork::mesh64(RouterClass::OneCycle, t77),
+            5.44,
+            MemoryDesign::mem_77k(),
+            dir_lanes[0],
+        )
+        .expect("directory system builds");
+        let batch = dir_system.run_batch_with(&trace, &dir_lanes, schedule.as_ref(), &mut scratch);
+        for (i, cfg) in dir_lanes.iter().enumerate() {
+            let lane_system = CoherenceSystem::directory(
+                RouterNetwork::mesh64(RouterClass::OneCycle, t77),
+                5.44,
+                MemoryDesign::mem_77k(),
+                *cfg,
+            )
+            .expect("lane system builds");
+            let mut fresh = CoherenceScratch::new();
+            let scalar = lane_system.run_with(&trace, schedule.as_ref(), &mut fresh);
+            prop_assert_eq!(&batch[i], &scalar, "directory lane {} diverged from scalar", i);
+        }
+    }
 }
 
 /// Sharing-pattern traces exercise all three fabrics end to end; the

@@ -34,8 +34,8 @@ pub use bench_batch::{
     BenchBatchResult,
 };
 pub use bench_coherence::{
-    bench_coherence, bench_coherence_grid, bench_coherence_json, BenchCoherencePoint,
-    BenchCoherenceResult, EngineKind,
+    bench_coherence, bench_coherence_geometries, bench_coherence_grid, bench_coherence_json,
+    BenchCoherencePoint, BenchCoherenceResult, EngineKind,
 };
 pub use bench_core::{
     bench_core, bench_core_grid, bench_core_json, BenchCorePoint, BenchCoreResult,
@@ -56,11 +56,12 @@ pub use pipeline_figs::{
 };
 pub use summary::{headline_summary, HeadlineSummary};
 pub use sweeps::{
-    ablation_depth_spec, degraded_eval, degraded_plan, degraded_spec, degraded_spec_injected,
-    degraded_sweep_artifact, degraded_sweep_artifact_injected, depth_ablation_from_artifact,
-    depth_grid_eval, depth_grid_spec, depth_sweep_artifact, fig21_from_artifact, fig21_spec,
-    fig21_sweep_artifact, fig27_from_artifact, fig27_spec, fig27_sweep_artifact,
-    linspace_temperatures, InjectFaults, SweepOptions, DEGRADED_HORIZON_CYCLES, DEGRADED_SCENARIOS,
+    ablation_depth_spec, coherence_spec, coherence_sweep_artifact, degraded_eval, degraded_plan,
+    degraded_spec, degraded_spec_injected, degraded_sweep_artifact,
+    degraded_sweep_artifact_injected, depth_ablation_from_artifact, depth_grid_eval,
+    depth_grid_spec, depth_sweep_artifact, fig21_from_artifact, fig21_spec, fig21_sweep_artifact,
+    fig27_from_artifact, fig27_spec, fig27_sweep_artifact, linspace_temperatures, InjectFaults,
+    SweepOptions, COHERENCE_SWEEP_ACCESSES, DEGRADED_HORIZON_CYCLES, DEGRADED_SCENARIOS,
     FIG21_NETWORKS,
 };
 pub use system_figs::{

@@ -9,6 +9,7 @@
 //! functions and these harness runs are comparable value-for-value
 //! (asserted in `tests/determinism.rs`).
 
+use cryowire_coherence::CoherenceScratch;
 use cryowire_device::Temperature;
 use cryowire_faults::FaultPlan;
 use cryowire_harness::supervise;
@@ -382,6 +383,79 @@ pub fn fig21_from_artifact(artifact: &RunArtifact) -> Fig21Result {
     }
 }
 
+// ------------------------------------------------------- coherence grid
+
+/// Accesses per core of the coherence grid sweep's shared trace.
+pub const COHERENCE_SWEEP_ACCESSES: usize = 200;
+
+/// The coherence grid: engine × private-cache geometry, every point
+/// replaying the same barrier-heavy (streamcluster) trace. Points of
+/// one engine share the trace *and* the fabric, so the harness groups
+/// them into a single lockstep batch per engine
+/// ([`coherence_sweep_artifact`]).
+#[must_use]
+pub fn coherence_spec() -> SweepSpec {
+    SweepSpec::new("coherence-geometry")
+        .axis(
+            "engine",
+            super::bench_coherence::EngineKind::ALL
+                .iter()
+                .map(|e| e.name().to_string()),
+        )
+        .axis(
+            "geometry",
+            super::bench_coherence_geometries()
+                .iter()
+                .map(|(n, _)| (*n).to_string()),
+        )
+}
+
+/// Runs the coherence grid through the harness's batched path: points
+/// grouped by engine (the shared trace + fabric content key), each
+/// group evaluated as one [`CoherenceSystem::run_batch_with`] lockstep
+/// pass over its geometry lanes through a single warm
+/// [`CoherenceScratch`]. Journaling, resume, caching and supervision
+/// all apply per *point* — a lane's record is indistinguishable from a
+/// scalar evaluation, so a resumed run re-batches only the missing
+/// lanes and the canonical artifact stays byte-identical to an
+/// uninterrupted (or scalar) run at any thread count.
+///
+/// [`CoherenceSystem`]: cryowire_coherence::CoherenceSystem
+/// [`CoherenceSystem::run_batch_with`]: cryowire_coherence::CoherenceSystem::run_batch_with
+#[must_use]
+pub fn coherence_sweep_artifact(accesses_per_core: usize, opts: SweepOptions<'_>) -> RunArtifact {
+    use super::bench_coherence as bc;
+    let workload = Workload::parsec_by_name("streamcluster").expect("known workload");
+    let trace = cryowire_coherence::TraceGenConfig::from_workload(
+        &workload,
+        bc::CORES,
+        accesses_per_core,
+        0xC0_11E5,
+    )
+    .generate()
+    .expect("workload trace generates");
+    opts.build(coherence_spec(), "coherence-grid/v1", 0)
+        .run_batched(
+            |point| point.str("engine").to_string(),
+            |key, batch| {
+                let kind = bc::EngineKind::by_name(key);
+                let lanes: Vec<cryowire_coherence::CoherenceConfig> = batch
+                    .iter()
+                    .map(|(point, _)| {
+                        bc::lane_config(kind, bc::geometry_by_name(point.str("geometry")))
+                    })
+                    .collect();
+                let (system, _) = bc::build_system(kind, lanes[0].geometry);
+                let mut scratch = CoherenceScratch::new();
+                system
+                    .run_batch_with(&trace, &lanes, None, &mut scratch)
+                    .iter()
+                    .map(|r| bc::outcome_value(r.as_ref().expect("clean lane completes")))
+                    .collect()
+            },
+        )
+}
+
 // -------------------------------------------------------------- degraded
 
 /// Scenario identifiers of the degraded-operation sweep, in axis order.
@@ -659,6 +733,43 @@ mod tests {
             assert_eq!(f.value, r.value);
             assert_eq!(f.seed, r.seed);
         }
+    }
+
+    #[test]
+    fn coherence_grid_is_thread_and_batch_invariant() {
+        // 12 points, 3 batch groups. Thread counts and scalar-vs-batched
+        // evaluation must not show up in the canonical artifact.
+        let accesses = 64;
+        let serial = coherence_sweep_artifact(accesses, SweepOptions::serial());
+        assert_eq!(serial.stats.points, 12);
+        assert_eq!(serial.stats.failed, 0);
+        let threaded = coherence_sweep_artifact(accesses, SweepOptions::threaded(4));
+        assert_eq!(serial.canonical_json(), threaded.canonical_json());
+    }
+
+    #[test]
+    fn coherence_grid_resumes_from_journal_byte_identically() {
+        let accesses = 64;
+        let dir =
+            std::env::temp_dir().join(format!("cryowire-coherence-sweep-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let journal = dir.join("coherence.journal");
+        let full = coherence_sweep_artifact(accesses, SweepOptions::serial());
+        // First run journals every point; the resumed run replays them
+        // all (0 evaluated) and must reproduce the artifact exactly.
+        let first = coherence_sweep_artifact(
+            accesses,
+            SweepOptions::serial().with_journal(&journal, false),
+        );
+        assert_eq!(first.canonical_json(), full.canonical_json());
+        let resumed = coherence_sweep_artifact(
+            accesses,
+            SweepOptions::serial().with_journal(&journal, true),
+        );
+        assert_eq!(resumed.stats.resumed, 12);
+        assert_eq!(resumed.stats.evaluated, 0);
+        assert_eq!(resumed.canonical_json(), full.canonical_json());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -196,20 +196,24 @@ impl FaultSchedule {
     /// fault state only at these boundaries.
     #[must_use]
     pub fn change_points(&self) -> Vec<u64> {
-        let mut points: Vec<u64> = self
-            .events
-            .iter()
-            .flat_map(|e| {
-                [
-                    Some(e.start_cycle),
-                    e.duration.map(|d| e.start_cycle.saturating_add(d)),
-                ]
-            })
-            .flatten()
-            .collect();
-        points.sort_unstable();
-        points.dedup();
+        let mut points = Vec::new();
+        self.change_points_into(&mut points);
         points
+    }
+
+    /// [`FaultSchedule::change_points`] into a caller-owned buffer, so a
+    /// hot loop reusing its scratch pays no per-run allocation. The
+    /// buffer is cleared first.
+    pub fn change_points_into(&self, out: &mut Vec<u64>) {
+        out.clear();
+        for e in &self.events {
+            out.push(e.start_cycle);
+            if let Some(d) = e.duration {
+                out.push(e.start_cycle.saturating_add(d));
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
     }
 
     /// Canonical text encoding of the whole schedule (bit-exact for

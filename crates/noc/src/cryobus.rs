@@ -50,6 +50,17 @@ impl MatrixArbiter {
         self.prio.is_empty()
     }
 
+    /// Restores the initial by-index priority matrix in place, so a
+    /// scratch-held arbiter starts every run from the same state a
+    /// freshly built one would.
+    pub fn reset(&mut self) {
+        for (i, row) in self.prio.iter_mut().enumerate() {
+            for (j, cell) in row.iter_mut().enumerate() {
+                *cell = i < j;
+            }
+        }
+    }
+
     /// Grants one requester among `requests` (true = requesting), updating
     /// the priority matrix so the winner drops to lowest priority.
     /// Returns `None` when nobody requests.
